@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+The :class:`~repro.experiments.harness.ExperimentRunner` caches every
+simulated run, so one session-scoped instance lets the Figure 17 and
+Figure 18 benches (which share all 25 runs) pay for each simulation
+once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared, caching experiment runner per benchmark session."""
+    return ExperimentRunner()

@@ -1,0 +1,43 @@
+"""Ablation: crossbar geometry sweep (DESIGN.md Section 5.4).
+
+The paper fixes S=8, C=32, G=64.  This bench sweeps the crossbar size
+and GE count on PageRank/WV and checks the cost model responds sanely:
+more GEs -> faster (more parallel tiles); larger crossbars -> fewer,
+denser tiles (time should not increase by more than the sparsity waste
+allows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.graph.datasets import dataset
+
+
+def _run(config: GraphRConfig) -> float:
+    accel = GraphR(config)
+    _, stats = accel.run("pagerank", dataset("WV"), max_iterations=10)
+    return stats.seconds
+
+
+def test_more_ges_is_faster(benchmark):
+    def sweep():
+        few = _run(GraphRConfig(mode="analytic", num_ges=16))
+        many = _run(GraphRConfig(mode="analytic", num_ges=64))
+        return few, many
+
+    few, many = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nG=16: {few * 1e3:.3f} ms   G=64: {many * 1e3:.3f} ms")
+    assert many < few, "4x the graph engines must not be slower"
+
+
+@pytest.mark.parametrize("crossbar_size", [4, 8, 16])
+def test_crossbar_size_sweep(benchmark, crossbar_size):
+    seconds = benchmark.pedantic(
+        lambda: _run(GraphRConfig(mode="analytic",
+                                  crossbar_size=crossbar_size)),
+        rounds=1, iterations=1)
+    print(f"\nS={crossbar_size}: {seconds * 1e3:.3f} ms")
+    assert seconds > 0

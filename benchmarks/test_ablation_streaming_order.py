@@ -1,0 +1,36 @@
+"""Ablation: column-major vs row-major streaming-apply (Figure 11).
+
+The paper chooses column-major because it needs a RegO only as wide as
+one subgraph while row-major must hold every destination of a source
+stripe, and ReRAM register writes are the expensive direction.  This
+bench quantifies the register-capacity gap on the paper's geometry.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GraphRConfig
+from repro.graph.datasets import dataset
+from repro.graph.partition import ceil_div
+
+
+def register_requirements(config: GraphRConfig, num_vertices: int):
+    """(column_major_rego, row_major_rego) entries, per Section 3.3."""
+    width = config.tile_cols
+    block = config.effective_block_size(num_vertices)
+    column_major = width
+    # Row-major holds the destinations of every subgraph sharing the
+    # same source stripe: the full block width.
+    row_major = ceil_div(block, width) * width
+    return column_major, row_major
+
+
+def test_column_major_needs_fewer_registers(benchmark):
+    def measure():
+        graph = dataset("WV")
+        config = GraphRConfig(mode="analytic")
+        return register_requirements(config, graph.num_vertices)
+
+    column, row = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nRegO entries: column-major={column}  row-major={row}")
+    assert column < row, "the paper's choice must need fewer registers"
+    assert row % column == 0

@@ -1,0 +1,50 @@
+"""Figure 17: GraphR speedup over the CPU platform (25 runs).
+
+Paper numbers: geometric mean 16.01x, maximum 132.67x (SpMV on WV),
+minimum 2.40x (SSSP on OK); parallel-MAC algorithms (PR, SpMV) beat
+parallel-add-op ones (BFS, SSSP).
+
+Shape assertions (see EXPERIMENTS.md for the tolerance rationale):
+* every run is faster on GraphR;
+* the maximum lands on SpMV on a small graph;
+* the geometric mean is O(10x);
+* SpMV's geomean exceeds SSSP's (MAC > add-op);
+* within each algorithm the smallest graph (WV) shows the largest
+  speedup (sparsity/size trend).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.calibration import BANDS
+from repro.experiments.figures import figure17
+from repro.experiments.harness import geometric_mean
+
+
+def test_figure17_speedup_shape(benchmark, runner):
+    result = benchmark.pedantic(lambda: figure17(runner),
+                                rounds=1, iterations=1)
+    print("\n" + result.describe())
+
+    speedups = {(r.algorithm, r.dataset): r.speedup for r in result.rows}
+    assert all(s > 1.0 for s in speedups.values()), \
+        "GraphR must win every cell"
+
+    best = max(speedups, key=speedups.get)
+    assert best[0] == "spmv" and best[1] in ("WV", "SD"), \
+        f"paper's max is SpMV on WV; got {best}"
+
+    band = BANDS["speedup_geomean_vs_cpu"]
+    assert band.contains(result.geomean_speedup), \
+        f"geomean {result.geomean_speedup:.2f} far from the paper's 16.01"
+
+    spmv_gm = geometric_mean(
+        s for (alg, _), s in speedups.items() if alg == "spmv")
+    sssp_gm = geometric_mean(
+        s for (alg, _), s in speedups.items() if alg == "sssp")
+    assert spmv_gm > sssp_gm, "MAC pattern must beat add-op pattern"
+
+    for algorithm in ("pagerank", "bfs", "sssp", "spmv"):
+        wv = speedups[(algorithm, "WV")]
+        lj = speedups[(algorithm, "LJ")]
+        assert wv > lj, (f"{algorithm}: WV ({wv:.1f}x) should beat "
+                         f"LJ ({lj:.1f}x)")

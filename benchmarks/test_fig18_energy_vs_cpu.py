@@ -1,0 +1,41 @@
+"""Figure 18: GraphR energy saving over the CPU platform.
+
+Paper numbers: geometric mean 33.82x, maximum 217.88x (SpMV on SD),
+minimum 4.50x (SSSP on OK).
+
+Shape assertions:
+* every run saves energy;
+* the geometric energy saving exceeds the geometric speedup (the
+  paper's headline relationship: 33.82x vs 16.01x);
+* the minimum lands on SSSP on a large graph (WG/LJ/OK);
+* the maximum lands on SpMV.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.calibration import BANDS
+from repro.experiments.figures import figure18
+
+
+def test_figure18_energy_shape(benchmark, runner):
+    result = benchmark.pedantic(lambda: figure18(runner),
+                                rounds=1, iterations=1)
+    print("\n" + result.describe())
+
+    savings = {(r.algorithm, r.dataset): r.energy_saving
+               for r in result.rows}
+    assert all(s > 1.0 for s in savings.values()), \
+        "GraphR must save energy in every cell"
+
+    band = BANDS["energy_geomean_vs_cpu"]
+    assert band.contains(result.geomean_energy), \
+        f"geomean {result.geomean_energy:.2f} far from the paper's 33.82"
+    assert result.geomean_energy > result.geomean_speedup, \
+        "energy saving should exceed speedup (paper: 33.82 vs 16.01)"
+
+    worst = min(savings, key=savings.get)
+    assert worst[0] == "sssp" and worst[1] in ("WG", "LJ", "OK"), \
+        f"paper's min is SSSP on OK; got {worst}"
+
+    best = max(savings, key=savings.get)
+    assert best[0] == "spmv", f"paper's max is SpMV (on SD); got {best}"

@@ -1,0 +1,37 @@
+"""Figure 20: GraphR vs PIM/Tesseract (PR, SSSP on WV, AZ, LJ).
+
+Paper numbers: 1.16x-4.12x speedup, 3.67x-10.96x more energy
+efficient.
+
+Shape assertions:
+* GraphR wins every comparison;
+* speedups sit in a band around the paper's 1.16-4.12x ([1.0, 6.5]);
+* energy savings sit in a band around 3.67-10.96x ([2.5, 16]);
+* the small graph (WV) shows the largest gain for both algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.calibration import BANDS
+from repro.experiments.figures import figure20
+
+
+def test_figure20_pim_shape(benchmark, runner):
+    result = benchmark.pedantic(lambda: figure20(runner),
+                                rounds=1, iterations=1)
+    print("\n" + result.describe())
+
+    cells = {(r.algorithm, r.dataset): r for r in result.rows}
+    assert set(cells) == {(a, d) for a in ("pagerank", "sssp")
+                          for d in ("WV", "AZ", "LJ")}
+
+    for row in result.rows:
+        assert row.speedup > 1.0, \
+            f"{row.algorithm}/{row.dataset}: GraphR must win"
+        assert BANDS["speedup_vs_pim"].contains(row.speedup)
+        assert BANDS["energy_vs_pim"].contains(row.energy_saving)
+
+    for algorithm in ("pagerank", "sssp"):
+        assert cells[(algorithm, "WV")].speedup > \
+            cells[(algorithm, "LJ")].speedup, \
+            f"{algorithm}: gain should shrink with graph size"

@@ -1,0 +1,54 @@
+"""Figure 21: sensitivity to sparsity.
+
+The paper plots GraphR's performance and energy saving over CPU for PR
+and SSSP against dataset density (#edges / #vertices^2, WV..LJ): both
+metrics *decrease* as density decreases, because sparser graphs spread
+their edges over more subgraph tiles, slowing edge access.
+
+Shape assertions: for both algorithms, the densest dataset (WV) gives
+the largest speedup and energy saving, the sparsest (WG/LJ) the
+smallest; the overall trend down-with-sparsity holds in rank
+correlation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure21
+
+
+def _rank_correlation(xs, ys) -> float:
+    """Spearman rank correlation without scipy dependency here."""
+    def ranks(vals):
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        out = [0.0] * len(vals)
+        for rank, idx in enumerate(order):
+            out[idx] = float(rank)
+        return out
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+def test_figure21_sparsity_trend(benchmark, runner):
+    result = benchmark.pedantic(lambda: figure21(runner),
+                                rounds=1, iterations=1)
+    print("\n" + result.describe())
+    densities = result.extra["density"]
+
+    for algorithm in ("pagerank", "sssp"):
+        rows = [r for r in result.rows if r.algorithm == algorithm]
+        dens = [densities[r.dataset] for r in rows]
+        speed = [r.speedup for r in rows]
+        energy = [r.energy_saving for r in rows]
+
+        densest = max(range(len(rows)), key=lambda i: dens[i])
+        sparsest = min(range(len(rows)), key=lambda i: dens[i])
+        assert speed[densest] > speed[sparsest], \
+            f"{algorithm}: performance should fall with sparsity"
+        assert energy[densest] > energy[sparsest], \
+            f"{algorithm}: energy saving should fall with sparsity"
+
+        assert _rank_correlation(dens, speed) > 0.5, \
+            f"{algorithm}: speedup not increasing with density"

@@ -1,0 +1,22 @@
+"""Table 1: qualitative architecture comparison.
+
+Regenerates the paper's Table 1 and checks the GraphR column states the
+two differentiators the paper claims: crossbar-based processEdge and
+purely sequential (preprocessed) memory access.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table1
+
+
+def test_table1_rows(benchmark):
+    rows, text = benchmark(table1)
+    print("\n" + text)
+    names = [r.architecture for r in rows]
+    assert names == ["CPU", "GPU", "Tesseract", "GAA",
+                     "Graphicionado", "GraphR"]
+    graphr = rows[-1]
+    assert "crossbar" in graphr.process_edge.lower()
+    assert "sequential" in graphr.memory_access.lower()
+    assert "spmv" in graphr.generality.lower()

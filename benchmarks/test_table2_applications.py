@@ -1,0 +1,32 @@
+"""Table 2: application -> vertex-program mapping.
+
+The benchmark regenerates the table and asserts the implementation
+agrees with the paper row by row: reduce op, mapping pattern and
+active-list requirement.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import get_program
+from repro.algorithms.vertex_program import MappingPattern
+from repro.experiments.tables import table2
+
+EXPECTED = {
+    "spmv": ("add", MappingPattern.PARALLEL_MAC, False),
+    "pagerank": ("add", MappingPattern.PARALLEL_MAC, False),
+    "bfs": ("min", MappingPattern.PARALLEL_ADD_OP, True),
+    "sssp": ("min", MappingPattern.PARALLEL_ADD_OP, True),
+}
+
+
+def test_table2_matches_implementation(benchmark):
+    rows, text = benchmark(table2)
+    print("\n" + text)
+    assert [r.application for r in rows] == list(EXPECTED)
+    for row in rows:
+        reduce_op, pattern, active = EXPECTED[row.application]
+        program = get_program(row.application)
+        assert program.reduce_op == reduce_op
+        assert program.pattern is pattern
+        assert program.needs_active_list is active
+        assert row.active_vertex_list_required is active

@@ -1,0 +1,31 @@
+"""Table 3: dataset inventory.
+
+Generates every dataset analog and checks the published statistics are
+honoured: unscaled datasets match the paper's vertex/edge counts
+(edges exactly, vertices up to power-of-two rounding), scaled ones
+record their scale factor and stay within the generation cap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table3
+from repro.graph.datasets import MAX_SYNTH_EDGES, PAPER_DATASETS
+
+
+def test_table3_generated_datasets(benchmark):
+    rows, text = benchmark.pedantic(
+        lambda: table3(generate=True), rounds=1, iterations=1)
+    print("\n" + text)
+    assert set(rows) == set(PAPER_DATASETS)
+    for code, entry in rows.items():
+        spec = PAPER_DATASETS[code]
+        assert entry["paper_edges"] == spec.paper_edges
+        if spec.paper_edges <= MAX_SYNTH_EDGES and not spec.bipartite:
+            assert entry["generated_edges"] == spec.paper_edges
+            # R-MAT rounds vertices up to the next power of two.
+            assert entry["generated_vertices"] >= spec.paper_vertices
+            assert entry["generated_vertices"] < 2 * spec.paper_vertices
+            assert entry["scale_factor"] == 1.0
+        else:
+            assert entry["generated_edges"] <= MAX_SYNTH_EDGES
+            assert entry["scale_factor"] >= 1.0

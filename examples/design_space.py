@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Design-space exploration: sweep the GraphR geometry.
+
+The paper fixes crossbar size S=8, C=32 crossbars per GE and G=64 GEs.
+This example sweeps S and G on PageRank/WikiVote and prints how
+simulated time and energy respond — the kind of study an architect
+would run before taping out a node.
+
+Usage::
+
+    python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphR, GraphRConfig, dataset
+from repro.experiments.report import render_table
+
+
+def run_config(graph, **overrides):
+    config = GraphRConfig(mode="analytic", **overrides)
+    accelerator = GraphR(config)
+    _, stats = accelerator.run("pagerank", graph, max_iterations=10)
+    return config, stats
+
+
+def main() -> None:
+    graph = dataset("WV")
+    print(f"workload: 10 PageRank iterations on {graph}\n")
+
+    body = []
+    for crossbar_size in (4, 8, 16):
+        for num_ges in (16, 64, 256):
+            config, stats = run_config(graph,
+                                       crossbar_size=crossbar_size,
+                                       num_ges=num_ges)
+            body.append([
+                str(crossbar_size),
+                str(config.crossbars_per_ge),
+                str(num_ges),
+                str(config.logical_crossbars),
+                f"{stats.seconds * 1e6:.1f}",
+                f"{stats.joules * 1e3:.2f}",
+            ])
+    print(render_table(
+        ["S", "C", "G", "logical crossbars", "time (us)", "energy (mJ)"],
+        body,
+    ))
+    print("\nReading the table: more GEs buy time linearly until the "
+          "sequential edge scan binds; larger crossbars trade fewer, "
+          "denser tiles against more wasted cells per tile.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Mini evaluation: GraphR vs CPU, GPU and PIM on one workload.
+
+Reproduces a single column of the paper's Figures 17-20: PageRank on
+the Amazon analog across all four simulated platforms, printing the
+speedups and energy savings relative to the CPU baseline.
+
+Usage::
+
+    python examples/platform_comparison.py [dataset] [algorithm]
+    python examples/platform_comparison.py LJ sssp
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GraphR, GraphRConfig, dataset
+from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    code = sys.argv[1] if len(sys.argv) > 1 else "AZ"
+    algorithm = sys.argv[2] if len(sys.argv) > 2 else "pagerank"
+    if algorithm in ("bfs", "sssp"):
+        kwargs = {"source": 0}
+    elif algorithm == "pagerank":
+        kwargs = {"max_iterations": 20}
+    elif algorithm == "cf":
+        kwargs = {"epochs": 3}
+    else:
+        kwargs = {}
+    graph = dataset(code, weighted=(algorithm == "sssp"))
+    print(f"workload: {algorithm} on {graph}\n")
+
+    runs = {}
+    accelerator = GraphR(GraphRConfig(mode="analytic"))
+    _, runs["graphr"] = accelerator.run(algorithm, graph, **kwargs)
+    for platform in (CPUPlatform(), GPUPlatform(), PIMPlatform()):
+        _, runs[platform.name] = platform.run(algorithm, graph, **kwargs)
+
+    cpu = runs["cpu"]
+    body = []
+    for name in ("cpu", "gpu", "pim", "graphr"):
+        stats = runs[name]
+        body.append([
+            name,
+            f"{stats.seconds * 1e3:.3f}",
+            f"{stats.joules:.4f}",
+            f"{cpu.seconds / stats.seconds:.2f}x",
+            f"{cpu.joules / stats.joules:.2f}x",
+        ])
+    print(render_table(
+        ["platform", "time (ms)", "energy (J)",
+         "speedup vs CPU", "energy saving vs CPU"],
+        body,
+    ))
+
+    graphr = runs["graphr"]
+    print(f"\nGraphR vs GPU: {runs['gpu'].seconds / graphr.seconds:.2f}x "
+          f"faster, {runs['gpu'].joules / graphr.joules:.2f}x less energy")
+    print(f"GraphR vs PIM: {runs['pim'].seconds / graphr.seconds:.2f}x "
+          f"faster, {runs['pim'].joules / graphr.joules:.2f}x less energy")
+
+
+if __name__ == "__main__":
+    main()

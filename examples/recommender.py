@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Collaborative filtering on the Netflix analog (the paper's CF
+workload, feature length 32).
+
+Trains the factor model on the bipartite rating graph, reports the
+reconstruction RMSE per epoch budget, and prints item recommendations
+for one user — the end-to-end application the paper's evaluation
+motivates.
+
+Usage::
+
+    python examples/recommender.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GraphR, GraphRConfig, dataset
+from repro.algorithms.cf import cf_rmse
+from repro.graph.datasets import PAPER_DATASETS
+
+
+def main() -> None:
+    graph = dataset("NF")
+    spec = PAPER_DATASETS["NF"]
+    num_users = graph.num_vertices - spec.items
+    print(f"ratings graph: {graph} "
+          f"({num_users} users x {spec.items} movies)")
+
+    accelerator = GraphR(GraphRConfig(mode="analytic"))
+    result, stats = accelerator.run("cf", graph, features=32, epochs=6)
+    rmse = cf_rmse(graph, result.values)
+    print(f"\ntrained 32-feature model in {result.iterations} epochs; "
+          f"rating RMSE = {rmse:.3f}")
+    print(f"simulated accelerator cost: {stats.seconds * 1e3:.2f} ms, "
+          f"{stats.joules * 1e3:.1f} mJ")
+
+    # Recommend for the heaviest-rating user.
+    user = int(np.argmax(graph.out_degrees()[:num_users]))
+    factors = result.values
+    items = np.arange(num_users, graph.num_vertices)
+    scores = factors[items] @ factors[user]
+
+    rated = set(
+        int(d) for s, d, _ in graph.adjacency if s == user)
+    print(f"\nuser {user} rated {len(rated)} movies; top suggestions "
+          f"among unseen ones:")
+    order = items[np.argsort(scores)[::-1]]
+    shown = 0
+    for item in order:
+        if int(item) in rated:
+            continue
+        movie = int(item) - num_users
+        print(f"  movie {movie:5d}  predicted score "
+              f"{scores[item - num_users]:.2f}")
+        shown += 1
+        if shown == 5:
+            break
+
+
+if __name__ == "__main__":
+    main()

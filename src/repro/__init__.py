@@ -1,0 +1,33 @@
+"""repro — a reproduction of *GraphR: Accelerating Graph Processing
+Using ReRAM* (Song et al., HPCA 2018).
+
+The package layers, bottom-up:
+
+* :mod:`repro.graph` — sparse formats, generators, dataset analogs,
+  partitioning and the Section 3.4 preprocessing pass;
+* :mod:`repro.reram` — functional ReRAM cell/crossbar and GE
+  peripheral models;
+* :mod:`repro.hw` — technology constants and time/energy ledgers;
+* :mod:`repro.algorithms` — vertex programs and exact references
+  (PageRank, BFS, SSSP, SpMV, collaborative filtering);
+* :mod:`repro.core` — the GraphR accelerator (the paper's
+  contribution): streaming-apply, MAC/add-op mappers, cost model;
+* :mod:`repro.baselines` — CPU (GridGraph-like), GPU (Gunrock-like)
+  and PIM (Tesseract-like) platform models;
+* :mod:`repro.experiments` — the harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import GraphR, dataset
+    result, stats = GraphR().run("pagerank", dataset("WV"))
+"""
+
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.graph.datasets import dataset, list_datasets
+
+__version__ = "1.0.0"
+
+__all__ = ["GraphR", "GraphRConfig", "dataset", "list_datasets",
+           "__version__"]

@@ -1,0 +1,49 @@
+"""Graph algorithms as vertex programs (Figure 6, Table 2).
+
+Each algorithm exists twice:
+
+* a **reference implementation** — exact numpy code that also records a
+  per-iteration :class:`~repro.algorithms.vertex_program.IterationTrace`
+  (active vertices/edges), which every platform model consumes;
+* a **vertex program descriptor** — the ``processEdge`` / ``reduce``
+  decomposition GraphR maps onto crossbars (parallel-MAC or
+  parallel-add-op pattern).
+"""
+
+from repro.algorithms.vertex_program import (
+    VertexProgram,
+    AlgorithmResult,
+    IterationTrace,
+    MappingPattern,
+)
+from repro.algorithms.pagerank import PageRankProgram, pagerank_reference
+from repro.algorithms.bfs import BFSProgram, bfs_reference
+from repro.algorithms.sssp import SSSPProgram, sssp_reference
+from repro.algorithms.spmv import SpMVProgram, spmv_reference
+from repro.algorithms.cf import CollaborativeFilteringProgram, cf_reference, cf_rmse
+from repro.algorithms.registry import (
+    get_program,
+    list_algorithms,
+    run_reference,
+)
+
+__all__ = [
+    "VertexProgram",
+    "AlgorithmResult",
+    "IterationTrace",
+    "MappingPattern",
+    "PageRankProgram",
+    "pagerank_reference",
+    "BFSProgram",
+    "bfs_reference",
+    "SSSPProgram",
+    "sssp_reference",
+    "SpMVProgram",
+    "spmv_reference",
+    "CollaborativeFilteringProgram",
+    "cf_reference",
+    "cf_rmse",
+    "get_program",
+    "list_algorithms",
+    "run_reference",
+]

@@ -1,0 +1,106 @@
+"""Breadth-first search as a vertex program (Table 2 row 3).
+
+BFS is the unweighted special case of SSSP: ``processEdge`` computes
+``1 + V.prop`` and ``reduce`` takes the minimum, yielding each vertex's
+level (hop distance from the source).  It is a parallel-add-op program
+with an active-vertex list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.vertex_program import (
+    AlgorithmResult,
+    IterationTrace,
+    MappingPattern,
+    VertexProgram,
+)
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = ["BFSProgram", "bfs_reference", "UNREACHABLE"]
+
+#: Property value for unreached vertices — the paper's reserved maximum
+#: cell value ``M``.  2**16 - 1 is the 16-bit fixed-point ceiling.
+UNREACHABLE = float((1 << 16) - 1)
+
+
+class BFSProgram(VertexProgram):
+    """Vertex-program descriptor for BFS."""
+
+    name = "bfs"
+    pattern = MappingPattern.PARALLEL_ADD_OP
+    reduce_op = "min"
+    needs_active_list = True
+    reduce_identity = UNREACHABLE
+
+    def __init__(self, source: int = 0) -> None:
+        if source < 0:
+            raise GraphFormatError("source must be non-negative")
+        self.source = int(source)
+
+    def initial_properties(self, graph: Graph, **kwargs) -> np.ndarray:
+        """Level 0 at the source, unreachable everywhere else."""
+        source = int(kwargs.get("source", self.source))
+        if not 0 <= source < graph.num_vertices:
+            raise GraphFormatError(
+                f"source {source} out of range for {graph.num_vertices} vertices"
+            )
+        props = np.full(graph.num_vertices, UNREACHABLE)
+        props[source] = 0.0
+        return props
+
+    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+        """Every present edge contributes 1 hop."""
+        return np.ones(graph.num_edges)
+
+    def has_converged(self, old_properties: np.ndarray,
+                      new_properties: np.ndarray, iteration: int) -> bool:
+        """No level changed — the frontier died out."""
+        return bool(np.array_equal(old_properties, new_properties))
+
+
+def bfs_reference(graph: Graph, source: int = 0,
+                  max_iterations: int = 0) -> AlgorithmResult:
+    """Level-synchronous BFS with a frontier trace.
+
+    ``max_iterations`` of 0 means unbounded (BFS terminates in at most
+    ``|V|`` levels).  The trace's ``frontiers`` list holds the active
+    source mask per iteration; the platform models use it to count the
+    subgraphs/edges actually touched.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise GraphFormatError(f"source {source} out of range")
+    src = np.asarray(graph.adjacency.rows)
+    dst = np.asarray(graph.adjacency.cols)
+
+    levels = np.full(n, UNREACHABLE)
+    levels[source] = 0.0
+    frontier = np.zeros(n, dtype=bool)
+    frontier[source] = True
+    limit = max_iterations if max_iterations > 0 else n + 1
+
+    trace = IterationTrace(frontiers=[])
+    iterations = 0
+    while frontier.any() and iterations < limit:
+        iterations += 1
+        edge_mask = frontier[src]
+        trace.record(vertices=int(frontier.sum()),
+                     edges=int(edge_mask.sum()),
+                     frontier=frontier)
+        # Level-synchronous step: every frontier vertex sits at level
+        # iterations-1, so unvisited neighbours get level = iterations.
+        candidates = dst[edge_mask]
+        fresh = candidates[levels[candidates] == UNREACHABLE]
+        levels[fresh] = float(iterations)
+        frontier = np.zeros(n, dtype=bool)
+        frontier[fresh] = True
+    return AlgorithmResult(
+        algorithm="bfs",
+        values=levels,
+        iterations=iterations,
+        converged=not frontier.any(),
+        trace=trace,
+    )

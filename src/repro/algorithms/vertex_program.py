@@ -1,0 +1,173 @@
+"""The vertex programming model (Figure 6) and its GraphR mapping hooks.
+
+A vertex program runs iterations of two phases::
+
+    # Phase 1: compute edge values
+    for each edge E(V, U) from active vertex V:
+        E.value = processEdge(E.weight, V.prop)
+
+    # Phase 2: reduce and apply
+    for each edge E(U, V) to vertex V:
+        V.prop = reduce(V.prop, E.value)
+
+GraphR maps a program onto crossbars through two patterns (Section 4):
+
+* :attr:`MappingPattern.PARALLEL_MAC` — ``processEdge`` is a multiply,
+  so a whole ``C x C`` crossbar performs MACs every cycle
+  (parallelism ~ ``C * C * N * G``);
+* :attr:`MappingPattern.PARALLEL_ADD_OP` — ``processEdge`` is an add,
+  performed one crossbar row per time slot with the reduce op in the
+  sALU (parallelism ~ ``C * N * G``).
+
+The descriptor below exposes exactly what the accelerator and the
+baselines need: the crossbar coefficient per edge, the input presented
+per source vertex, the sALU reduce op, and the apply step.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["MappingPattern", "IterationTrace", "AlgorithmResult",
+           "VertexProgram"]
+
+
+class MappingPattern(enum.Enum):
+    """Which Section 4 crossbar mapping a program uses."""
+
+    PARALLEL_MAC = "parallel-mac"
+    PARALLEL_ADD_OP = "parallel-add-op"
+
+
+@dataclass
+class IterationTrace:
+    """Per-iteration activity record consumed by the platform models.
+
+    ``active_vertices[i]`` / ``active_edges[i]`` are the counts
+    processed in iteration ``i``; ``frontiers[i]`` (optional, only for
+    active-list algorithms) is the boolean mask of active source
+    vertices at the start of iteration ``i``.
+    """
+
+    active_vertices: List[int] = field(default_factory=list)
+    active_edges: List[int] = field(default_factory=list)
+    frontiers: Optional[List[np.ndarray]] = None
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations recorded."""
+        return len(self.active_edges)
+
+    @property
+    def total_edges_processed(self) -> int:
+        """Sum of active edges across iterations."""
+        return int(sum(self.active_edges))
+
+    def record(self, vertices: int, edges: int,
+               frontier: Optional[np.ndarray] = None) -> None:
+        """Append one iteration's activity."""
+        self.active_vertices.append(int(vertices))
+        self.active_edges.append(int(edges))
+        if frontier is not None:
+            if self.frontiers is None:
+                self.frontiers = []
+            self.frontiers.append(np.asarray(frontier, dtype=bool).copy())
+
+
+@dataclass
+class AlgorithmResult:
+    """What a reference (or simulated) run produced.
+
+    ``values`` is the final vertex property vector (or an
+    ``(n, F)`` matrix for collaborative filtering).
+    """
+
+    algorithm: str
+    values: np.ndarray
+    iterations: int
+    converged: bool
+    trace: IterationTrace = field(default_factory=IterationTrace)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+
+
+class VertexProgram(ABC):
+    """Descriptor of one Table 2 vertex program.
+
+    Subclasses declare the mapping pattern, the sALU reduce operation,
+    and three callbacks the simulators use:
+
+    * :meth:`crossbar_coefficient` — the value stored in the crossbar
+      cell for an edge (Phase 1's multiplicand / addend);
+    * :meth:`source_input` — the value presented on the wordline for a
+      source vertex;
+    * :meth:`apply` — the per-vertex post-reduce step.
+    """
+
+    #: Algorithm name as used in Table 2 and the benchmarks.
+    name: str = "abstract"
+    #: GraphR mapping pattern (Section 4).
+    pattern: MappingPattern = MappingPattern.PARALLEL_MAC
+    #: sALU reduce operation (Figure 15): "add" or "min".
+    reduce_op: str = "add"
+    #: Whether the algorithm maintains an active-vertex list (Table 2).
+    needs_active_list: bool = False
+    #: Identity element of ``reduce_op`` (0 for add, +inf for min).
+    reduce_identity: float = 0.0
+    #: True when crossbar coefficients live in [0, 1) (probability-style
+    #: programs); lets the mapper maximise fractional precision.
+    unit_interval_coefficients: bool = False
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def initial_properties(self, graph: Graph, **kwargs) -> np.ndarray:
+        """Initial ``V.prop`` vector."""
+
+    @abstractmethod
+    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+        """Per-edge coefficient written into crossbar cells.
+
+        Returns an array aligned with ``graph.adjacency`` entries.  For
+        parallel-MAC programs this is the multiplier of ``V.prop``; for
+        parallel-add-op programs it is the addend (edge weight).
+        """
+
+    def source_input(self, properties: np.ndarray, graph: Graph) -> np.ndarray:
+        """Value driven on the wordline for each source vertex.
+
+        Default: the property itself (PageRank-style).
+        """
+        return np.asarray(properties, dtype=np.float64)
+
+    def apply(self, reduced: np.ndarray, old_properties: np.ndarray,
+              graph: Graph) -> np.ndarray:
+        """Per-vertex post-reduce step (Phase 2's final assignment).
+
+        Default: take the reduced value as the new property.
+        """
+        return reduced
+
+    def has_converged(self, old_properties: np.ndarray,
+                      new_properties: np.ndarray, iteration: int) -> bool:
+        """Convergence test run by the controller each iteration."""
+        return bool(np.allclose(old_properties, new_properties,
+                                atol=1e-10, rtol=0.0))
+
+    # ------------------------------------------------------------------
+    @property
+    def parallelism_degree_exponent(self) -> int:
+        """2 for MAC (C*C*N*G), 1 for add-op (C*N*G) — how many crossbar
+        dimensions contribute parallelism."""
+        return 2 if self.pattern is MappingPattern.PARALLEL_MAC else 1
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"pattern={self.pattern.value}, reduce={self.reduce_op})")

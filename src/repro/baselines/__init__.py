@@ -1,0 +1,30 @@
+"""Baseline platform models: CPU (GridGraph-like), GPU (Gunrock-like)
+and PIM (Tesseract-like).
+
+Each platform implements :class:`~repro.baselines.base.Platform`:
+``run(algorithm, graph, **kw)`` executes the exact reference algorithm
+for the *values* and charges an analytical performance/energy model for
+the *costs*, driven by the same per-iteration activity trace GraphR's
+analytic mode uses.  Model parameters and their calibration rationale
+are documented per module and in DESIGN.md Section 2.
+"""
+
+from repro.baselines.base import Platform
+from repro.baselines.memory import CacheModel, cache_miss_rate
+from repro.baselines.cachesim import CacheSimulator, CacheStats
+from repro.baselines.cpu import CPUPlatform
+from repro.baselines.gpu import GPUPlatform
+from repro.baselines.gridgraph import GridGraphEngine
+from repro.baselines.pim import PIMPlatform
+
+__all__ = [
+    "Platform",
+    "CacheModel",
+    "cache_miss_rate",
+    "CacheSimulator",
+    "CacheStats",
+    "CPUPlatform",
+    "GPUPlatform",
+    "GridGraphEngine",
+    "PIMPlatform",
+]

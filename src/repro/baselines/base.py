@@ -1,0 +1,39 @@
+"""Platform abstraction shared by the three baseline models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+from repro.algorithms.registry import run_reference
+from repro.algorithms.vertex_program import AlgorithmResult
+from repro.graph.graph import Graph
+from repro.hw.stats import RunStats
+
+__all__ = ["Platform"]
+
+
+class Platform(ABC):
+    """A simulated execution platform.
+
+    Subclasses implement :meth:`_charge`, which receives the finished
+    reference result (values + per-iteration trace) and fills in the
+    platform's simulated time and energy.
+    """
+
+    #: Platform identifier used in RunStats and reports.
+    name: str = "abstract"
+
+    def run(self, algorithm: str, graph: Graph,
+            **kwargs) -> Tuple[AlgorithmResult, RunStats]:
+        """Execute ``algorithm`` on ``graph``; returns values + costs."""
+        result = run_reference(algorithm, graph, **kwargs)
+        stats = RunStats(platform=self.name, algorithm=algorithm,
+                         dataset=graph.name, iterations=result.iterations)
+        self._charge(result, graph, stats, **kwargs)
+        return result, stats
+
+    @abstractmethod
+    def _charge(self, result: AlgorithmResult, graph: Graph,
+                stats: RunStats, **kwargs) -> None:
+        """Fill ``stats.seconds`` / ``stats.energy`` for this run."""

@@ -1,0 +1,94 @@
+"""GPU baseline: Gunrock (and cuMF_SGD for CF) on a Tesla K40c (Table 5).
+
+Model
+-----
+Gunrock's kernels on graph workloads are memory-bound; per iteration
+with ``E_i`` active edges:
+
+* memory time — ``E_i * bytes_per_edge`` (CSR indices, weight, source
+  property gather, destination atomic update) over the board bandwidth,
+  derated by an irregular-access efficiency;
+* compute time — ``E_i * instructions`` over the SIMT throughput with a
+  divergence derate; the iteration takes the max of the two plus a few
+  kernel launches;
+* once per run: PCIe transfer of the graph + property vectors
+  (the overhead the paper credits GraphR for not paying) and a fixed
+  framework setup.
+
+Energy is ``board power x time`` (the paper measures via nvidia-smi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.vertex_program import AlgorithmResult
+from repro.baselines.base import Platform
+from repro.graph.graph import Graph
+from repro.hw.params import GPUParams
+from repro.hw.stats import RunStats
+
+__all__ = ["GPUPlatform"]
+
+
+@dataclass(frozen=True)
+class _GPUModelKnobs:
+    """Calibration constants of the GPU model."""
+
+    bytes_per_edge: float = 24.0
+    memory_efficiency: float = 0.38      # irregular-gather derate
+    instructions_per_edge: float = 12.0
+    kernels_per_iteration: int = 3
+    fixed_overhead_s: float = 5e-3
+    transfer_bytes_per_edge: float = 12.0
+    #: cuMF_SGD keeps factor vectors in shared memory/registers, so the
+    #: DRAM traffic per rating is far below 2 x F x 8 bytes.
+    cf_work_factor: float = 0.33
+
+
+class GPUPlatform(Platform):
+    """Gunrock/cuMF-style GPU execution model."""
+
+    name = "gpu"
+
+    def __init__(self, params: GPUParams | None = None,
+                 knobs: _GPUModelKnobs | None = None) -> None:
+        self.params = params or GPUParams()
+        self.knobs = knobs or _GPUModelKnobs()
+
+    # ------------------------------------------------------------------
+    def _charge(self, result: AlgorithmResult, graph: Graph,
+                stats: RunStats, **kwargs) -> None:
+        p = self.params
+        k = self.knobs
+
+        work_factor = 1.0
+        if result.algorithm == "cf":
+            features = int(kwargs.get("features", 32))
+            work_factor = features * k.cf_work_factor
+
+        effective_bw = p.memory_bandwidth_bps * k.memory_efficiency
+        simt_rate = p.cuda_cores * p.frequency_hz * p.simt_efficiency
+
+        transfer_bytes = (graph.num_edges * k.transfer_bytes_per_edge
+                          + graph.num_vertices * 8)
+        transfer_s = transfer_bytes / p.pcie_bandwidth_bps
+        seconds = k.fixed_overhead_s + transfer_s
+        stats.latency.add("pcie_transfer", transfer_s)
+        stats.latency.add("framework_setup", k.fixed_overhead_s)
+
+        for edges in result.trace.active_edges:
+            memory_s = edges * k.bytes_per_edge * work_factor / effective_bw
+            compute_s = (edges * k.instructions_per_edge * work_factor
+                         / simt_rate)
+            launch_s = k.kernels_per_iteration * p.kernel_launch_s
+            iter_s = max(memory_s, compute_s) + launch_s
+            seconds += iter_s
+            stats.latency.add("memory" if memory_s >= compute_s
+                              else "compute", max(memory_s, compute_s))
+            stats.latency.add("kernel_launch", launch_s)
+
+        stats.seconds = seconds
+        stats.energy.charge_joules("board", p.board_power_w * seconds)
+        stats.extra["transfer_s"] = transfer_s
+        stats.extra["work_factor"] = work_factor

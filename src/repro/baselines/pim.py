@@ -1,0 +1,98 @@
+"""PIM baseline: a Tesseract-like HMC architecture [4].
+
+Model
+-----
+Tesseract places one in-order core in each of 512 HMC vaults and maps
+vertex programs over them; edges whose destination lives in another
+vault cross the interconnect as non-blocking ``put`` messages.
+
+Per iteration with ``E_i`` active edges:
+
+* core time — ``E_i * cycles_per_edge`` across all cores (in-order,
+  memory-latency-limited IPC derate);
+* message time — remote edges x injection/receive overhead across all
+  cores (puts interleave with compute but interrupt receivers);
+* vault memory time — edge + vertex traffic over the aggregate internal
+  bandwidth (the HMC's strength: it rarely binds);
+* a per-iteration global barrier.
+
+Energy is ``platform power x time`` — the paper's normalisation, and
+consistent with Tesseract's reported ~94 W for logic + DRAM layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.vertex_program import AlgorithmResult
+from repro.baselines.base import Platform
+from repro.graph.graph import Graph
+from repro.hw.params import PIMParams
+from repro.hw.stats import RunStats
+
+__all__ = ["PIMPlatform"]
+
+
+@dataclass(frozen=True)
+class _PIMModelKnobs:
+    """Calibration constants of the Tesseract model."""
+
+    cycles_per_edge: float = 28.0        # in-order core, DRAM-latency bound
+    bytes_per_edge: float = 20.0
+    message_bytes: float = 40.0          # put(): target id, arg, metadata
+    frontier_imbalance: float = 8.0      # vault skew on active-list algos
+    barrier_s: float = 3e-5
+    fixed_overhead_s: float = 5e-4
+    cf_work_factor: float = 1.0
+
+
+class PIMPlatform(Platform):
+    """Tesseract-style processing-in-memory execution model."""
+
+    name = "pim"
+
+    def __init__(self, params: PIMParams | None = None,
+                 knobs: _PIMModelKnobs | None = None) -> None:
+        self.params = params or PIMParams()
+        self.knobs = knobs or _PIMModelKnobs()
+
+    # ------------------------------------------------------------------
+    def _charge(self, result: AlgorithmResult, graph: Graph,
+                stats: RunStats, **kwargs) -> None:
+        p = self.params
+        k = self.knobs
+
+        work_factor = 1.0
+        if result.algorithm == "cf":
+            features = int(kwargs.get("features", 32))
+            work_factor = features * k.cf_work_factor
+
+        core_rate = p.total_cores * p.core_frequency_hz * p.core_ipc
+        seconds = k.fixed_overhead_s
+        stats.latency.add("setup", k.fixed_overhead_s)
+
+        # Frontier algorithms concentrate work in the vaults owning the
+        # active vertices; Tesseract has no work stealing across vaults.
+        imbalance = (k.frontier_imbalance
+                     if result.trace.frontiers is not None else 1.0)
+
+        for edges in result.trace.active_edges:
+            compute_cycles = edges * k.cycles_per_edge * work_factor
+            message_cycles = (edges * p.remote_edge_fraction
+                              * p.message_overhead_cycles * work_factor)
+            core_s = (compute_cycles + message_cycles) / core_rate
+            # Remote puts serialise on the inter-cube links.
+            link_s = (edges * p.remote_edge_fraction * k.message_bytes
+                      * work_factor / p.intercube_bandwidth_bps)
+            memory_s = (edges * k.bytes_per_edge * work_factor
+                        / p.internal_bandwidth_bps)
+            busy_s = max(core_s, link_s, memory_s) * imbalance
+            seconds += busy_s + k.barrier_s
+            slowest = max((core_s, "cores"), (link_s, "links"),
+                          (memory_s, "memory"))[1]
+            stats.latency.add(slowest, busy_s)
+            stats.latency.add("barrier", k.barrier_s)
+
+        stats.seconds = seconds
+        stats.energy.charge_joules("hmc", p.power_w * seconds)
+        stats.extra["work_factor"] = work_factor

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run ALGORITHM DATASET``
+    Simulate one workload on a chosen platform and print the stats.
+``figures [fig17|fig18|fig19|fig20|fig21|all]``
+    Regenerate the paper's figures as text.
+``tables [1|2|3]``
+    Print the paper's tables.
+``datasets``
+    List the Table 3 dataset analogs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.graph.datasets import dataset, list_datasets
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphR (HPCA 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("algorithm",
+                     choices=["pagerank", "bfs", "sssp", "spmv", "cf",
+                              "wcc"])
+    run.add_argument("dataset", help="Table 3 code, e.g. WV")
+    run.add_argument("--platform", default="graphr",
+                     choices=["graphr", "cpu", "gpu", "pim"])
+    run.add_argument("--iterations", type=int, default=20,
+                     help="iteration budget for iterative algorithms")
+    run.add_argument("--source", type=int, default=0,
+                     help="source vertex for BFS/SSSP")
+    run.add_argument("--epochs", type=int, default=3,
+                     help="training epochs for CF")
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("which", nargs="?", default="all",
+                         choices=["fig17", "fig18", "fig19", "fig20",
+                                  "fig21", "all"])
+
+    tables = sub.add_parser("tables", help="print paper tables")
+    tables.add_argument("which", nargs="?", default="all",
+                        choices=["1", "2", "3", "all"])
+
+    sub.add_parser("datasets", help="list dataset analogs")
+    return parser
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    graph = dataset(args.dataset, weighted=(args.algorithm == "sssp"))
+    kwargs: dict = {}
+    if args.algorithm in ("bfs", "sssp"):
+        kwargs["source"] = args.source
+    elif args.algorithm == "pagerank":
+        kwargs["max_iterations"] = args.iterations
+    elif args.algorithm == "cf":
+        kwargs["epochs"] = args.epochs
+
+    if args.platform == "graphr":
+        _, stats = GraphR(GraphRConfig(mode="analytic")).run(
+            args.algorithm, graph, **kwargs)
+    else:
+        platform = {"cpu": CPUPlatform, "gpu": GPUPlatform,
+                    "pim": PIMPlatform}[args.platform]()
+        _, stats = platform.run(args.algorithm, graph, **kwargs)
+
+    print(stats.summary())
+    print("energy breakdown (J):")
+    for component, joules in stats.energy.breakdown().items():
+        print(f"  {component:20s} {joules:.6e}")
+    return 0
+
+
+def _figures_command(args: argparse.Namespace) -> int:
+    from repro.experiments import (ExperimentRunner, figure17, figure18,
+                                   figure19, figure20, figure21)
+    builders = {"fig17": figure17, "fig18": figure18, "fig19": figure19,
+                "fig20": figure20, "fig21": figure21}
+    wanted = builders if args.which == "all" else \
+        {args.which: builders[args.which]}
+    runner = ExperimentRunner()
+    for builder in wanted.values():
+        print(builder(runner).describe())
+        print()
+    return 0
+
+
+def _tables_command(args: argparse.Namespace) -> int:
+    from repro.experiments import table1, table2, table3
+    builders = {"1": table1, "2": table2,
+                "3": lambda: table3(generate=False)}
+    wanted = builders if args.which == "all" else \
+        {args.which: builders[args.which]}
+    for builder in wanted.values():
+        _, text = builder()
+        print(text)
+        print()
+    return 0
+
+
+def _datasets_command(_: argparse.Namespace) -> int:
+    from repro.graph.datasets import PAPER_DATASETS
+    for code in list_datasets():
+        spec = PAPER_DATASETS[code]
+        print(f"{code}: {spec.full_name} — paper |V|="
+              f"{spec.paper_vertices:,}, |E|={spec.paper_edges:,}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _run_command,
+        "figures": _figures_command,
+        "tables": _tables_command,
+        "datasets": _datasets_command,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

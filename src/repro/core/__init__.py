@@ -1,0 +1,56 @@
+"""GraphR accelerator core — the paper's primary contribution.
+
+The public entry point is :class:`~repro.core.accelerator.GraphR`:
+
+>>> from repro.core import GraphR, GraphRConfig
+>>> from repro.graph import rmat
+>>> accel = GraphR(GraphRConfig())
+>>> result, stats = accel.run("pagerank", rmat(8, 400, seed=1))
+
+Internally a run flows through the controller's iteration loop
+(Figure 10), the streaming-apply scheduler (Figure 11), and either the
+parallel-MAC or parallel-add-op mapper (Section 4) executing on
+functional graph engines; every event is charged to the cost model so
+``stats`` carries the simulated time and energy.
+"""
+
+from repro.core.config import GraphRConfig
+from repro.core.cost import CostModel, IterationEvents
+from repro.core.registers import RegisterFile
+from repro.core.engine import GraphEngine
+from repro.core.streaming import SubgraphStreamer, Tile
+from repro.core.accelerator import GraphR
+from repro.core.multinode import MultiNodeConfig, MultiNodeGraphR
+from repro.core.outofcore import (
+    BlockManifest,
+    OutOfCoreRunner,
+    prepare_on_disk,
+)
+from repro.core.isa import (
+    Instruction,
+    Opcode,
+    events_from_trace,
+    trace_iteration,
+    trace_summary,
+)
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "events_from_trace",
+    "trace_iteration",
+    "trace_summary",
+    "BlockManifest",
+    "OutOfCoreRunner",
+    "prepare_on_disk",
+    "MultiNodeConfig",
+    "MultiNodeGraphR",
+    "GraphRConfig",
+    "CostModel",
+    "IterationEvents",
+    "RegisterFile",
+    "GraphEngine",
+    "SubgraphStreamer",
+    "Tile",
+    "GraphR",
+]

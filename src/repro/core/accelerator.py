@@ -1,0 +1,111 @@
+"""Public GraphR facade.
+
+>>> from repro.core import GraphR, GraphRConfig
+>>> from repro.graph import dataset
+>>> accel = GraphR()
+>>> result, stats = accel.run("pagerank", dataset("WV"))
+>>> stats.seconds > 0 and stats.joules > 0
+True
+
+``run`` picks the execution mode per the configuration: functional
+(device-level simulation) when the streamed-tile budget allows,
+analytic (exact algorithm + event-counted cost) otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.algorithms.registry import get_program
+from repro.algorithms.vertex_program import AlgorithmResult, VertexProgram
+from repro.core.config import GraphRConfig
+from repro.core.controller import Controller
+from repro.graph.graph import Graph
+from repro.hw.stats import RunStats
+
+__all__ = ["GraphR"]
+
+#: Program-constructor keywords, per algorithm, that ``run`` forwards to
+#: the program instance rather than the reference call.
+_CTOR_KEYS = {
+    "pagerank": ("damping", "tolerance"),
+    "bfs": ("source",),
+    "sssp": ("source",),
+    "spmv": (),
+    "cf": ("features", "epochs"),
+    "wcc": (),
+}
+
+
+class GraphR:
+    """A GraphR node: run vertex programs on the simulated accelerator."""
+
+    def __init__(self, config: Optional[GraphRConfig] = None) -> None:
+        self.config = config or GraphRConfig()
+
+    def run(self, algorithm: Union[str, VertexProgram], graph: Graph,
+            mode: Optional[str] = None,
+            **kwargs) -> Tuple[AlgorithmResult, RunStats]:
+        """Execute an algorithm on a graph.
+
+        Parameters
+        ----------
+        algorithm:
+            Registered name (``"pagerank"``, ``"bfs"``, ``"sssp"``,
+            ``"spmv"``, ``"cf"``) or a :class:`VertexProgram` instance.
+        graph:
+            Input graph.
+        mode:
+            Override the config's execution mode for this run.
+        kwargs:
+            Algorithm parameters (``source=...``, ``damping=...``,
+            ``epochs=...``); routed to both the program constructor and
+            the reference implementation as appropriate.
+
+        Returns
+        -------
+        (AlgorithmResult, RunStats)
+            The computed values plus simulated time/energy.
+        """
+        if isinstance(algorithm, VertexProgram):
+            program = algorithm
+            reference_kwargs = dict(kwargs)
+        else:
+            ctor_keys = _CTOR_KEYS.get(algorithm.lower(), ())
+            ctor_kwargs = {k: v for k, v in kwargs.items() if k in ctor_keys}
+            program = get_program(algorithm, **ctor_kwargs)
+            reference_kwargs = dict(kwargs)
+
+        controller = Controller(self.config, graph, program)
+        chosen = mode or self.config.mode
+        if chosen == "auto":
+            chosen = self._pick_mode(controller, program)
+        if chosen == "functional":
+            program_kwargs = {k: v for k, v in kwargs.items()
+                              if k in ("source", "x", "seed")}
+            result, stats = controller.run_functional(**program_kwargs)
+        else:
+            result, stats = controller.run_analytic(**reference_kwargs)
+        stats.extra["config"] = {
+            "crossbar_size": self.config.crossbar_size,
+            "crossbars_per_ge": self.config.crossbars_per_ge,
+            "num_ges": self.config.num_ges,
+            "slices": self.config.slices,
+        }
+        return result, stats
+
+    def _pick_mode(self, controller: Controller,
+                   program: VertexProgram) -> str:
+        """Functional when the tile x iteration budget allows."""
+        if program.name == "cf":
+            return "analytic"
+        projected = (controller.streamer.num_nonempty_subgraphs
+                     * self.config.max_iterations)
+        if projected <= self.config.functional_tile_budget:
+            return "functional"
+        return "analytic"
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (f"GraphR(S={cfg.crossbar_size}, C={cfg.crossbars_per_ge}, "
+                f"G={cfg.num_ges}, mode={cfg.mode})")

@@ -1,0 +1,74 @@
+"""Parallel-add-op mapping (Section 4.2): SSSP/BFS relaxations.
+
+One streaming-apply iteration: only subgraphs containing edges from
+*active* sources are loaded; each active source row is presented in its
+own time slot (one-hot wordline plus the bias row carrying
+``dist(u)``), and the sALU's comparator array folds candidates into the
+destination register with ``min`` (Figure 16 c3).  The iteration is
+synchronous across subgraphs — destination updates become visible as
+source values in the *next* iteration, exactly the semantics of the
+frontier-driven Bellman-Ford reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.vertex_program import VertexProgram
+from repro.core.cost import IterationEvents
+from repro.core.engine import GraphEngine
+from repro.core.streaming import SubgraphStreamer
+from repro.graph.graph import Graph
+
+__all__ = ["run_addop_iteration"]
+
+
+def run_addop_iteration(
+    streamer: SubgraphStreamer,
+    engine: GraphEngine,
+    program: VertexProgram,
+    graph: Graph,
+    properties: np.ndarray,
+    coefficients: np.ndarray,
+    frontier: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
+    """Execute one parallel-add-op iteration functionally.
+
+    Returns ``(new_properties, changed_mask, events)``; the changed
+    mask is the next iteration's frontier (the paper's active
+    indicators).
+    """
+    cfg = streamer.config
+    s = cfg.tile_rows
+    w = cfg.tile_cols
+    n = graph.num_vertices
+    absent = float(program.reduce_identity)
+    padded = streamer.ordering.padded_vertices
+
+    padded_dist = np.full(padded + w, absent)
+    padded_dist[:n] = properties
+    accum = np.full(padded + w, absent)
+    accum[:n] = properties
+
+    events = IterationEvents()
+    for tile in streamer.iter_subgraphs(frontier):
+        dense = np.full((s, w), absent)
+        dense[tile.rows_local, tile.cols_local] = coefficients[tile.edge_ids]
+        source_values = padded_dist[tile.row_base:tile.row_base + s]
+        active_rows = np.unique(tile.rows_local)
+        out, tile_events = engine.addop_tile(dense, source_values,
+                                             active_rows, absent)
+        span = slice(tile.col_base, tile.col_base + w)
+        accum[span] = np.minimum(accum[span], out)
+        events.merge(tile_events)
+        events.edges += tile.nnz
+        events.subgraphs += 1
+
+    new_properties = accum[:n]
+    changed = new_properties < properties
+    events.apply_ops += int(changed.sum())
+    events.scanned_edges = graph.num_edges
+    events.addop = True
+    return new_properties, changed, events

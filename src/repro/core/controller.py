@@ -1,0 +1,169 @@
+"""Controller: the Figure 10 loop, in both execution modes.
+
+The controller coordinates data movement between memory ReRAM and the
+GEs, runs the streaming-apply iteration, reduces with the sALU, and
+checks convergence.  :class:`Controller` implements that loop twice:
+
+* :meth:`run_functional` — every tile goes through the functional
+  :class:`~repro.core.engine.GraphEngine`, so the returned values are
+  computed by the simulated device chain;
+* :meth:`run_analytic` — the exact reference algorithm provides the
+  values and the per-iteration frontier trace, and the streaming
+  scheduler converts each iteration into event counts.  Identical work
+  is charged identically (same :class:`~repro.core.cost.CostModel`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.registry import run_reference
+from repro.algorithms.vertex_program import (
+    AlgorithmResult,
+    IterationTrace,
+    MappingPattern,
+    VertexProgram,
+)
+from repro.core.addop_mapper import run_addop_iteration
+from repro.core.config import GraphRConfig
+from repro.core.cost import CostModel
+from repro.core.engine import GraphEngine
+from repro.core.mac_mapper import run_mac_iteration
+from repro.core.streaming import SubgraphStreamer
+from repro.errors import MappingError
+from repro.graph.graph import Graph
+from repro.hw.stats import RunStats
+from repro.reram.fixed_point import FixedPointFormat
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """Iteration-loop driver for one (graph, program, config) run."""
+
+    def __init__(self, config: GraphRConfig, graph: Graph,
+                 program: VertexProgram) -> None:
+        self.config = config
+        self.graph = graph
+        self.program = program
+        self.streamer = SubgraphStreamer(graph, config)
+        self.cost = CostModel(config)
+        if program.pattern is MappingPattern.PARALLEL_MAC:
+            # Probability-style programs get maximal fractional
+            # precision; general MAC programs need integer range for
+            # weighted coefficients.
+            frac = (config.data_bits - 1
+                    if program.unit_interval_coefficients
+                    else config.frac_bits)
+            fmt = FixedPointFormat(config.data_bits, frac)
+        else:
+            fmt = FixedPointFormat(config.data_bits, 0)
+        self.engine = GraphEngine(config, coeff_fmt=fmt, input_fmt=fmt)
+
+    # ------------------------------------------------------------------
+    def run_functional(self, **program_kwargs) -> Tuple[AlgorithmResult,
+                                                        RunStats]:
+        """Run the loop through the functional device models."""
+        program = self.program
+        graph = self.graph
+        if program.name == "cf":
+            raise MappingError(
+                "collaborative filtering has matrix-valued properties; "
+                "use analytic mode"
+            )
+        stats = RunStats(platform="graphr", algorithm=program.name,
+                         dataset=graph.name)
+        stats.seconds += self.config.setup_overhead_s
+        stats.latency.add("setup", self.config.setup_overhead_s)
+        coefficients = program.crossbar_coefficient(graph)
+        properties = program.initial_properties(graph, **program_kwargs)
+        frontier: Optional[np.ndarray] = None
+        if program.needs_active_list:
+            frontier = properties != program.reduce_identity
+
+        trace = IterationTrace(
+            frontiers=[] if program.needs_active_list else None)
+        converged = False
+        iterations = 0
+        for iteration in range(1, self.config.max_iterations + 1):
+            if program.needs_active_list and not frontier.any():
+                converged = True
+                break
+            iterations = iteration
+            new_props, changed, events = self._run_one(
+                properties, coefficients, frontier)
+            stats.seconds += self.cost.charge_iteration(
+                events, stats.energy, stats.latency)
+            trace.record(
+                vertices=(int(frontier.sum()) if frontier is not None
+                          else graph.num_vertices),
+                edges=events.edges,
+                frontier=frontier if program.needs_active_list else None,
+            )
+            done = program.has_converged(properties, new_props, iteration)
+            properties = new_props
+            if program.needs_active_list:
+                frontier = changed
+                done = not changed.any()
+            if done:
+                converged = True
+                break
+        stats.iterations = iterations
+        stats.extra["mode"] = "functional"
+        stats.extra["nonempty_subgraphs"] = self.streamer.num_nonempty_subgraphs
+        stats.extra["subgraph_slots"] = self.streamer.total_subgraph_slots
+        result = AlgorithmResult(
+            algorithm=program.name,
+            values=properties,
+            iterations=iterations,
+            converged=converged,
+            trace=trace,
+        )
+        return result, stats
+
+    def _run_one(self, properties: np.ndarray, coefficients: np.ndarray,
+                 frontier: Optional[np.ndarray]):
+        """Dispatch one iteration to the pattern's mapper."""
+        if self.program.pattern is MappingPattern.PARALLEL_MAC:
+            return run_mac_iteration(self.streamer, self.engine,
+                                     self.program, self.graph,
+                                     properties, coefficients,
+                                     frontier=None)
+        return run_addop_iteration(self.streamer, self.engine,
+                                   self.program, self.graph,
+                                   properties, coefficients,
+                                   frontier=frontier)
+
+    # ------------------------------------------------------------------
+    def run_analytic(self, **reference_kwargs) -> Tuple[AlgorithmResult,
+                                                        RunStats]:
+        """Run the reference algorithm and charge event-counted costs."""
+        program = self.program
+        graph = self.graph
+        stats = RunStats(platform="graphr", algorithm=program.name,
+                         dataset=graph.name)
+        stats.seconds += self.config.setup_overhead_s
+        stats.latency.add("setup", self.config.setup_overhead_s)
+        result = run_reference(program.name, graph, **reference_kwargs)
+
+        work_factor = getattr(program, "features", 1) \
+            if program.name == "cf" else 1
+        if program.needs_active_list and result.trace.frontiers:
+            for frontier in result.trace.frontiers:
+                events = self.streamer.iteration_events(
+                    program.pattern, frontier=frontier)
+                stats.seconds += self.cost.charge_iteration(
+                    events, stats.energy, stats.latency)
+        else:
+            events = self.streamer.iteration_events(
+                program.pattern, frontier=None, work_factor=work_factor)
+            for _ in range(max(1, result.iterations)):
+                stats.seconds += self.cost.charge_iteration(
+                    events, stats.energy, stats.latency)
+        stats.iterations = result.iterations
+        stats.extra["mode"] = "analytic"
+        stats.extra["nonempty_subgraphs"] = self.streamer.num_nonempty_subgraphs
+        stats.extra["subgraph_slots"] = self.streamer.total_subgraph_slots
+        return result, stats

@@ -1,0 +1,214 @@
+"""GraphR cost model: one place where events become seconds and joules.
+
+Both execution modes (functional and analytic) reduce an iteration to
+the same :class:`IterationEvents` record, and :class:`CostModel`
+converts it to time/energy with the device constants.  This guarantees
+the two modes charge identically for identical work.
+
+Timing model (documented assumptions)
+-------------------------------------
+* The controller streams **non-empty** ``S x S`` crossbar tiles into the
+  node's ``logical_crossbars`` full-precision crossbars; empty tiles
+  cost nothing (the paper's empty-subgraph skip, applied at crossbar
+  granularity — "the sparsity only incurs waste inside the subgraph").
+* Programming a tile takes one array write phase
+  (``write_latency``; per-row drivers operate in parallel), so a batch
+  of ``logical_crossbars`` tiles programs in one write latency.
+* A *presentation* is one wordline drive + bitline read of a tile:
+  parallel-MAC programs make one presentation per tile, parallel-add-op
+  programs one per active source row (Figure 16 c3).  Each presentation
+  costs one GE cycle; presentations across the node's crossbars happen
+  in parallel, so compute time is ``ceil(presentations /
+  logical_crossbars) * ge_cycle``.
+* Edge fetch from memory ReRAM and COO->matrix conversion by the
+  controller overlap with GE work (double-buffered RegI/RegO), so an
+  iteration's latency is ``max(fetch, convert, program + compute)``
+  plus a small per-iteration controller overhead.
+
+Energy model
+------------
+* Crossbar writes: parallel-MAC tiles program only the non-zero
+  coefficient cells (zero is the erased HRS default), while
+  parallel-add-op tiles program whole touched rows because absent
+  cells must hold the reserved maximum value ``M`` (Section 4.2); both
+  multiply by the bit-slice count.
+* Every presentation activates ``S x S x slices`` cells (read energy),
+  converts ``S * slices`` bitlines per logical tile through the ADC,
+  performs ``S`` sALU reduce lanes and ``S`` RegO read-modify-writes.
+* Memory-ReRAM edge fetch charges one cell read per ``cell_bits`` of
+  edge record.
+* ReRAM has essentially no leakage, so no static term is charged for
+  the arrays; ADC static power is charged over busy time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import GraphRConfig
+from repro.hw.energy import EnergyLedger
+from repro.hw.timing import LatencyModel
+
+__all__ = ["IterationEvents", "CostModel", "EDGE_BYTES"]
+
+#: Bytes per COO edge record in memory ReRAM (src, dst, weight packed).
+EDGE_BYTES = 8
+
+
+@dataclass
+class IterationEvents:
+    """Event counts of one streaming-apply iteration.
+
+    ``subgraphs`` / ``tiles`` count non-empty subgraph steps and
+    non-empty ``S x S`` crossbar tiles; ``presentations`` counts
+    wordline drives (see the module docstring); ``touched_rows`` counts
+    distinct (tile, source-row) pairs that were programmed;
+    ``edges`` counts edge records converted into crossbar tiles;
+    ``scanned_edges`` counts the records streamed past the controller —
+    GraphR's disk/memory accesses are strictly sequential (Section 3.5),
+    so every iteration scans the full ordered edge list of the blocks it
+    visits even when only a few subgraphs are active.
+    ``addop`` marks parallel-add-op iterations, whose presentations have
+    ``1/S`` the parallelism of MAC ones (Section 4: C*N*G vs C*C*N*G).
+    """
+
+    edges: int = 0
+    scanned_edges: int = 0
+    subgraphs: int = 0
+    tiles: int = 0
+    presentations: int = 0
+    touched_rows: int = 0
+    programmed_cells: int = 0
+    reduce_ops: int = 0
+    apply_ops: int = 0
+    addop: bool = False
+
+    def merge(self, other: "IterationEvents") -> None:
+        """Accumulate another record (used when summing blocks)."""
+        self.edges += other.edges
+        self.scanned_edges += other.scanned_edges
+        self.subgraphs += other.subgraphs
+        self.tiles += other.tiles
+        self.presentations += other.presentations
+        self.touched_rows += other.touched_rows
+        self.programmed_cells += other.programmed_cells
+        self.reduce_ops += other.reduce_ops
+        self.apply_ops += other.apply_ops
+        self.addop = self.addop or other.addop
+
+
+class CostModel:
+    """Translates :class:`IterationEvents` into seconds and joules."""
+
+    def __init__(self, config: GraphRConfig) -> None:
+        self.config = config
+        self.tech = config.technology
+
+    # ------------------------------------------------------------------
+    def presentation_parallelism(self, addop: bool) -> int:
+        """Concurrent presentations per GE cycle.
+
+        MAC presentations use every logical crossbar; add-op
+        presentations drive one wordline at a time per tile group and
+        engage the sALU comparator path, giving ``1/S`` the parallelism
+        (the paper's C*N*G vs C*C*N*G degrees, Section 4).
+        """
+        units = self.config.logical_crossbars
+        if addop:
+            units = max(1, units // self.config.crossbar_size)
+        return units
+
+    def iteration_time_s(self, events: IterationEvents) -> float:
+        """Latency of one iteration (critical path, see module doc)."""
+        cfg = self.config
+        reram = self.tech.reram
+
+        scanned = max(events.scanned_edges, events.edges)
+        fetch_s = scanned * EDGE_BYTES / cfg.mem_bandwidth_bps
+        convert_s = events.edges / cfg.controller_edges_per_second
+
+        batches = -(-events.tiles // cfg.logical_crossbars)
+        program_s = batches * reram.write_latency_s
+        units = self.presentation_parallelism(events.addop)
+        cycles = -(-events.presentations // units)
+        compute_s = cycles * reram.ge_cycle_s
+
+        pipeline_stage = max(fetch_s, convert_s, program_s + compute_s)
+        return pipeline_stage + cfg.iteration_overhead_s
+
+    # ------------------------------------------------------------------
+    def charge_iteration(self, events: IterationEvents,
+                         energy: EnergyLedger,
+                         latency: LatencyModel) -> float:
+        """Charge one iteration into the ledgers; returns its seconds."""
+        cfg = self.config
+        reram = self.tech.reram
+        adc = self.tech.adc
+        regs = self.tech.registers
+        salu = self.tech.salu
+        s = cfg.crossbar_size
+        slices = cfg.slices
+
+        # --- energy ----------------------------------------------------
+        # Programming: MAC tiles write only the non-zero coefficients
+        # (zero = erased HRS default); add-op tiles write whole touched
+        # rows because absent cells hold the reserved maximum M.
+        if events.programmed_cells:
+            cells = events.programmed_cells
+        elif events.addop:
+            cells = events.touched_rows * s
+        else:
+            cells = events.edges
+        energy.charge("crossbar_write", cells * slices,
+                      reram.write_energy_j)
+        # Analog MVM cell activations.
+        cells_read = events.presentations * s * s * slices
+        energy.charge("crossbar_read", cells_read, reram.read_energy_j)
+        # ADC conversions: every physical bitline of a presented tile.
+        conversions = events.presentations * s * slices
+        energy.charge("adc", conversions, adc.energy_per_sample_j)
+        # sALU reduce lanes and register traffic.  Streaming order sets
+        # the register geometry (Figure 11): column-major needs a RegO
+        # of one subgraph width and reads RegI per presentation;
+        # row-major reads each source stripe once but must hold every
+        # destination of the stripe, paying a capacity-scaled access
+        # energy (CACTI-style ~sqrt(capacity) wordline/bitline cost).
+        energy.charge("salu", events.reduce_ops, salu.op_energy_j)
+        if cfg.streaming_order == "column":
+            rego_scale = 1.0
+            reg_reads = events.presentations * s
+        else:
+            # Whole-graph blocks (block_size None) are approximated as
+            # 16 subgraph widths for the capacity penalty.
+            block = cfg.block_size or 16 * cfg.tile_cols
+            rego_scale = max(1.0, (block / cfg.tile_cols) ** 0.5)
+            reg_reads = events.touched_rows
+        energy.charge("reg_read", reg_reads, regs.read_energy_j)
+        energy.charge("reg_write", events.reduce_ops,
+                      regs.write_energy_j * rego_scale)
+        # Memory-ReRAM edge fetch (sequential scan of the ordered list).
+        scanned = max(events.scanned_edges, events.edges)
+        edge_cells = scanned * EDGE_BYTES * 8 // reram.cell_bits
+        energy.charge("mem_reram_read", edge_cells, reram.read_energy_j)
+        # Apply phase (teleport add / frontier update) in the sALU.
+        energy.charge("apply", events.apply_ops, salu.op_energy_j)
+
+        # --- latency ---------------------------------------------------
+        seconds = self.iteration_time_s(events)
+        batches = -(-events.tiles // cfg.logical_crossbars)
+        program_s = batches * reram.write_latency_s
+        units = self.presentation_parallelism(events.addop)
+        cycles = -(-events.presentations // units)
+        compute_s = cycles * reram.ge_cycle_s
+        latency.add("ge_program", program_s)
+        latency.add("ge_compute", compute_s)
+        overlap = seconds - self.config.iteration_overhead_s
+        latency.add("fetch_convert_slack",
+                    max(0.0, overlap - program_s - compute_s))
+        latency.add("controller", self.config.iteration_overhead_s)
+
+        # ADC static power over the busy window.
+        adc_count = cfg.adcs_per_ge * cfg.num_ges
+        energy.charge_joules("adc_static",
+                             adc_count * adc.power_w * compute_s)
+        return seconds

@@ -1,0 +1,160 @@
+"""Functional graph engine (Figure 8): tile-level crossbar math.
+
+The engine executes one subgraph tile's worth of analog work with the
+same arithmetic the device chain (driver -> bit-sliced crossbars ->
+S/H -> ADC -> shift-add) produces, but vectorised at tile granularity:
+values are quantised through the configured fixed-point format, the
+dot products are computed exactly on the quantised codes, and optional
+Gaussian noise models analog read disturbance.  Unit tests assert this
+shortcut is bit-equivalent to composing the individual device models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import GraphRConfig
+from repro.core.cost import IterationEvents
+from repro.errors import DeviceError
+from repro.reram.fixed_point import FixedPointFormat
+from repro.reram.variation import VariationModel
+
+__all__ = ["GraphEngine"]
+
+
+class GraphEngine:
+    """Tile-level functional model of a GE array.
+
+    Parameters
+    ----------
+    config:
+        Node configuration (crossbar size, slices, noise).
+    coeff_fmt / input_fmt:
+        Fixed-point formats for stored coefficients and driven inputs.
+    """
+
+    def __init__(self, config: GraphRConfig,
+                 coeff_fmt: Optional[FixedPointFormat] = None,
+                 input_fmt: Optional[FixedPointFormat] = None) -> None:
+        self.config = config
+        self.coeff_fmt = coeff_fmt or FixedPointFormat(
+            config.data_bits, config.data_bits - 1)
+        self.input_fmt = input_fmt or FixedPointFormat(
+            config.data_bits, config.data_bits - 1)
+        self._rng = np.random.default_rng(config.seed)
+        if config.programming_sigma > 0 or config.ir_drop_alpha > 0:
+            # Variation is applied to the composed coefficient codes —
+            # a first-order stand-in for per-slice cell variation.
+            self._variation: Optional[VariationModel] = VariationModel(
+                programming_sigma=config.programming_sigma,
+                ir_drop_alpha=config.ir_drop_alpha,
+                seed=config.seed,
+            )
+        else:
+            self._variation = None
+
+    # ------------------------------------------------------------------
+    def mac_tile(self, dense_tile: np.ndarray,
+                 inputs: np.ndarray) -> Tuple[np.ndarray, IterationEvents]:
+        """Parallel-MAC presentation: ``out = inputs @ tile``.
+
+        ``dense_tile`` is ``(S, W)`` coefficients, ``inputs`` length S.
+        Both are quantised to their fixed-point formats; the product is
+        exact on the quantised codes (the bit-sliced shift-add chain
+        reconstructs full precision).
+        """
+        tile = np.asarray(dense_tile, dtype=np.float64)
+        x = np.asarray(inputs, dtype=np.float64)
+        if tile.ndim != 2 or tile.shape[0] != x.shape[0]:
+            raise DeviceError(
+                f"tile {tile.shape} incompatible with inputs {x.shape}"
+            )
+        coeff_codes = self.coeff_fmt.encode(tile)
+        input_codes = self.input_fmt.encode(x)
+        effective = coeff_codes.astype(np.float64)
+        if self._variation is not None:
+            effective = self._variation.effective_levels(effective)
+        raw = input_codes.astype(np.float64) @ effective
+        out = raw * self.coeff_fmt.scale * self.input_fmt.scale
+        out = self._maybe_noise(out)
+        events = self._tile_events(coeff_codes, presentations_per_tile=1)
+        return out, events
+
+    def addop_tile(self, dense_weights: np.ndarray,
+                   source_values: np.ndarray,
+                   active_rows: np.ndarray,
+                   absent_value: float) -> Tuple[np.ndarray, IterationEvents]:
+        """Parallel-add-op presentations (Figure 16 c3).
+
+        For every active row ``r``, compute ``w[r, :] + source_values[r]``
+        with absent cells pinned at ``absent_value`` (the reserved cell
+        maximum ``M``), then fold rows with elementwise minimum — the
+        comparator array the sALU provides.  Returns the folded
+        candidate vector (length W).
+        """
+        w = np.asarray(dense_weights, dtype=np.float64)
+        src = np.asarray(source_values, dtype=np.float64)
+        active = np.asarray(active_rows, dtype=np.int64)
+        if w.ndim != 2 or src.shape != (w.shape[0],):
+            raise DeviceError("weights/source shape mismatch")
+        if active.size == 0:
+            return np.full(w.shape[1], absent_value), IterationEvents()
+        if active.min() < 0 or active.max() >= w.shape[0]:
+            raise DeviceError("active row out of range")
+
+        candidates = w[active] + src[active, None]
+        # Saturating add: anything involving an absent cell stays absent.
+        absent = w[active] >= absent_value
+        candidates = np.where(absent, absent_value, candidates)
+        candidates = np.minimum(candidates, absent_value)
+        out = candidates.min(axis=0)
+        out = self._maybe_noise(out, clip_max=absent_value)
+
+        # Mark a cell "stored" when an edge exists (absent cells hold M
+        # but belong to the same written rows).
+        stored = np.where(w >= absent_value, 0.0, np.maximum(w, 1e-12))
+        coeff_codes = (stored > 0).astype(np.int64)
+        events = self._tile_events(coeff_codes, presentations_per_tile=0)
+        # One presentation per (non-empty crossbar tile, active row) pair:
+        # each time slot drives one wordline of the tiles that hold that
+        # row's edges.
+        s = self.config.crossbar_size
+        events.presentations = events.touched_rows
+        events.reduce_ops = events.presentations * s
+        return out, events
+
+    # ------------------------------------------------------------------
+    def _tile_events(self, coeff_codes: np.ndarray,
+                     presentations_per_tile: int) -> IterationEvents:
+        """Count non-empty S x S crossbar tiles and touched rows."""
+        s = self.config.crossbar_size
+        rows, cols = coeff_codes.shape
+        n_tiles = -(-cols // s)
+        padded = np.zeros((rows, n_tiles * s), dtype=bool)
+        padded[:, :cols] = coeff_codes != 0
+        per_tile = padded.reshape(rows, n_tiles, s)
+        row_touched = per_tile.any(axis=2)          # (rows, n_tiles)
+        tile_nonempty = row_touched.any(axis=0)     # (n_tiles,)
+        tiles = int(tile_nonempty.sum())
+        touched = int(row_touched.sum())
+        presentations = tiles * presentations_per_tile
+        return IterationEvents(
+            tiles=tiles,
+            touched_rows=touched,
+            presentations=presentations,
+            reduce_ops=presentations * s,
+        )
+
+    def _maybe_noise(self, values: np.ndarray,
+                     clip_max: Optional[float] = None) -> np.ndarray:
+        """Inject analog read noise when configured."""
+        if self.config.noise_sigma <= 0:
+            return values
+        sigma = self.config.noise_sigma * self.coeff_fmt.scale
+        noisy = values + self._rng.normal(0.0, sigma, size=values.shape)
+        noisy = np.maximum(noisy, 0.0)
+        if clip_max is not None:
+            noisy = np.minimum(noisy, clip_max)
+        return noisy

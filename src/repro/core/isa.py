@@ -1,0 +1,133 @@
+"""Controller instruction traces (Figure 10).
+
+The paper's controller "could execute simple instructions to:
+1) coordinate graph data movements between memory ReRAM and GEs ...
+2) convert edges ... to sparse matrix format in GEs; 3) perform
+convergence check."  This module makes that control flow inspectable:
+:func:`trace_iteration` emits the exact instruction sequence one
+streaming-apply iteration issues, and :func:`events_from_trace` folds a
+trace back into the cost model's event record.
+
+The round trip ``events_from_trace(trace_iteration(...)) ==
+streamer.iteration_events(...)`` is asserted in tests: the vectorised
+analytic path and the instruction-level view count identical work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.vertex_program import MappingPattern
+from repro.core.cost import IterationEvents
+from repro.core.streaming import SubgraphStreamer
+
+__all__ = ["Opcode", "Instruction", "trace_iteration",
+           "events_from_trace", "trace_summary"]
+
+
+class Opcode(enum.Enum):
+    """The controller's instruction repertoire."""
+
+    LOAD_BLOCK = "load_block"            # disk/memory -> memory ReRAM
+    CONVERT = "convert"                  # COO slice -> dense tiles
+    PROGRAM_SUBGRAPH = "program_subgraph"  # write tiles into crossbars
+    PRESENT = "present"                  # drive wordlines, read bitlines
+    REDUCE = "reduce"                    # sALU fold into RegO
+    APPLY = "apply"                      # per-vertex post-processing
+    CHECK_CONVERGENCE = "check_convergence"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One controller instruction with its operand fields."""
+
+    opcode: Opcode
+    operands: Dict[str, int] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v}" for k, v in sorted(
+            self.operands.items()))
+        return f"{self.opcode.value}({args})"
+
+
+def trace_iteration(streamer: SubgraphStreamer,
+                    pattern: MappingPattern,
+                    frontier: Optional[np.ndarray] = None
+                    ) -> List[Instruction]:
+    """Instruction sequence of one streaming-apply iteration.
+
+    Mirrors Figure 10's loop body: load, then per non-empty subgraph
+    convert/program/present/reduce, then apply + convergence check.
+    """
+    config = streamer.config
+    s = config.crossbar_size
+    program: List[Instruction] = [
+        Instruction(Opcode.LOAD_BLOCK,
+                    {"edges": streamer.graph.num_edges}),
+    ]
+    destinations: set[int] = set()
+    for tile in streamer.iter_subgraphs(frontier):
+        crossbar_tiles = int(np.unique(tile.cols_local // s).size)
+        touched_rows = int(np.unique(
+            (tile.cols_local // s).astype(np.int64) * s
+            + tile.rows_local).size)
+        program.append(Instruction(Opcode.CONVERT,
+                                   {"edges": tile.nnz}))
+        program.append(Instruction(
+            Opcode.PROGRAM_SUBGRAPH,
+            {"subgraph": tile.index, "tiles": crossbar_tiles,
+             "rows": touched_rows}))
+        if pattern is MappingPattern.PARALLEL_MAC:
+            presentations = crossbar_tiles
+        else:
+            presentations = touched_rows
+        program.append(Instruction(
+            Opcode.PRESENT,
+            {"subgraph": tile.index, "count": presentations}))
+        program.append(Instruction(
+            Opcode.REDUCE,
+            {"subgraph": tile.index, "lanes": presentations * s}))
+        destinations.update(
+            (tile.col_base + tile.cols_local).tolist())
+    program.append(Instruction(Opcode.APPLY,
+                               {"vertices": len(destinations)}))
+    program.append(Instruction(Opcode.CHECK_CONVERGENCE,
+                               {"vertices": streamer.graph.num_vertices}))
+    return program
+
+
+def events_from_trace(trace: List[Instruction],
+                      pattern: MappingPattern) -> IterationEvents:
+    """Fold an instruction trace back into cost-model events."""
+    events = IterationEvents(
+        addop=pattern is MappingPattern.PARALLEL_ADD_OP)
+    for instruction in trace:
+        ops = instruction.operands
+        if instruction.opcode is Opcode.LOAD_BLOCK:
+            events.scanned_edges += ops["edges"]
+        elif instruction.opcode is Opcode.CONVERT:
+            events.edges += ops["edges"]
+        elif instruction.opcode is Opcode.PROGRAM_SUBGRAPH:
+            events.subgraphs += 1
+            events.tiles += ops["tiles"]
+            events.touched_rows += ops["rows"]
+        elif instruction.opcode is Opcode.PRESENT:
+            events.presentations += ops["count"]
+        elif instruction.opcode is Opcode.REDUCE:
+            events.reduce_ops += ops["lanes"]
+        elif instruction.opcode is Opcode.APPLY:
+            events.apply_ops += ops["vertices"]
+    return events
+
+
+def trace_summary(trace: List[Instruction]) -> Dict[str, int]:
+    """Instruction count per opcode (diagnostics / tests)."""
+    summary: Dict[str, int] = {}
+    for instruction in trace:
+        key = instruction.opcode.value
+        summary[key] = summary.get(key, 0) + 1
+    return summary

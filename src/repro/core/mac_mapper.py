@@ -1,0 +1,71 @@
+"""Parallel-MAC mapping (Section 4.1): PageRank-style iterations.
+
+One streaming-apply iteration: every non-empty subgraph is written to
+the GEs, the source properties are driven once, and the bitline sums
+accumulate into the destination register through the sALU's ``add``.
+After the full scan the per-vertex ``apply`` step (e.g. PageRank's
+teleport term) produces the new property vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.vertex_program import VertexProgram
+from repro.core.cost import IterationEvents
+from repro.core.engine import GraphEngine
+from repro.core.streaming import SubgraphStreamer
+from repro.graph.graph import Graph
+
+__all__ = ["run_mac_iteration"]
+
+
+def run_mac_iteration(
+    streamer: SubgraphStreamer,
+    engine: GraphEngine,
+    program: VertexProgram,
+    graph: Graph,
+    properties: np.ndarray,
+    coefficients: np.ndarray,
+    frontier: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
+    """Execute one parallel-MAC iteration functionally.
+
+    Parameters
+    ----------
+    coefficients:
+        Per-edge crossbar coefficients, aligned with the *original*
+        edge order of ``graph.adjacency`` (``tile.edge_ids`` indexes
+        into it).
+
+    Returns ``(new_properties, changed_mask, events)``.
+    """
+    cfg = streamer.config
+    s = cfg.tile_rows
+    w = cfg.tile_cols
+    n = graph.num_vertices
+    padded = streamer.ordering.padded_vertices
+    # Pad once so tiles at the matrix edge slice uniformly.
+    padded_inputs = np.zeros(padded + w)
+    padded_inputs[:n] = program.source_input(properties, graph)
+    accum = np.zeros(padded + w)
+
+    events = IterationEvents()
+    for tile in streamer.iter_subgraphs(frontier):
+        dense = np.zeros((s, w))
+        dense[tile.rows_local, tile.cols_local] = coefficients[tile.edge_ids]
+        inputs = padded_inputs[tile.row_base:tile.row_base + s]
+        out, tile_events = engine.mac_tile(dense, inputs)
+        accum[tile.col_base:tile.col_base + w] += out
+        events.merge(tile_events)
+        events.edges += tile.nnz
+        events.subgraphs += 1
+
+    new_properties = program.apply(accum[:n], properties, graph)
+    events.apply_ops += n
+    events.scanned_edges = graph.num_edges
+    changed = ~np.isclose(new_properties, properties,
+                          rtol=0.0, atol=cfg.tolerance)
+    return new_properties, changed, events

@@ -1,0 +1,164 @@
+"""Multi-node GraphR (the paper's other deployment setting).
+
+Section 3.1: "multi-node: one can connect different GraphR nodes ...
+to process large graphs.  In this case, each block is processed by a
+GraphR node.  Data movements happen between GraphR nodes."  The paper
+evaluates only the out-of-core single node and leaves multi-node as
+future work; this module provides the extension.
+
+Model
+-----
+The vertex space is split into ``num_nodes`` contiguous destination
+stripes; node ``k`` owns every edge whose destination falls in stripe
+``k`` (column partitioning, so each node reduces its own vertices and
+no cross-node reduction is needed).  Per iteration:
+
+* every node runs streaming-apply over its stripe (its own streamer +
+  the shared cost model) — nodes work in parallel, so the compute time
+  is the **max** over nodes;
+* afterwards the updated vertex properties are exchanged: every node
+  broadcasts its stripe to the others over the inter-node links
+  (all-gather), charged at ``link_bandwidth_bps`` with a per-message
+  latency.
+
+Results are computed once by the exact reference (the partitioning is
+value-preserving by construction), exactly like single-node analytic
+mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.algorithms.registry import get_program, run_reference
+from repro.algorithms.vertex_program import AlgorithmResult, VertexProgram
+from repro.core.config import GraphRConfig
+from repro.core.cost import CostModel
+from repro.core.streaming import SubgraphStreamer
+from repro.errors import ConfigError
+from repro.graph.coo import COOMatrix
+from repro.graph.graph import Graph
+from repro.hw.stats import RunStats
+
+__all__ = ["MultiNodeConfig", "MultiNodeGraphR"]
+
+#: Bytes per exchanged vertex property (16-bit value + id packing).
+PROPERTY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MultiNodeConfig:
+    """Cluster parameters for a multi-node GraphR deployment.
+
+    ``link_bandwidth_bps`` models the point-to-point inter-node links
+    (PCIe/NVLink-class by default); ``link_latency_s`` is charged once
+    per exchange round.
+    """
+
+    num_nodes: int = 4
+    node: GraphRConfig = None  # type: ignore[assignment]
+    link_bandwidth_bps: float = 16e9
+    link_latency_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+        if self.link_bandwidth_bps <= 0 or self.link_latency_s < 0:
+            raise ConfigError("invalid link parameters")
+        if self.node is None:
+            object.__setattr__(self, "node",
+                               GraphRConfig(mode="analytic"))
+
+
+class MultiNodeGraphR:
+    """A cluster of GraphR nodes processing one graph cooperatively."""
+
+    def __init__(self, config: MultiNodeConfig | None = None) -> None:
+        self.config = config or MultiNodeConfig()
+
+    # ------------------------------------------------------------------
+    def _stripes(self, graph: Graph) -> List[Tuple[int, int]]:
+        """Contiguous destination ranges, one per node."""
+        n = graph.num_vertices
+        k = min(self.config.num_nodes, max(1, n))
+        bounds = np.linspace(0, n, k + 1).astype(int)
+        return [(int(bounds[i]), int(bounds[i + 1])) for i in range(k)]
+
+    def _node_graph(self, graph: Graph, stripe: Tuple[int, int]) -> Graph:
+        """Subgraph of edges whose destination lies in the stripe.
+
+        Vertex ids are kept global so the streamer's frontier masks
+        line up across nodes.
+        """
+        lo, hi = stripe
+        adj = graph.adjacency
+        dst = np.asarray(adj.cols)
+        mask = (dst >= lo) & (dst < hi)
+        sub = COOMatrix(adj.shape, np.asarray(adj.rows)[mask],
+                        dst[mask], np.asarray(adj.values)[mask])
+        return Graph(adjacency=sub, name=f"{graph.name}[{lo}:{hi}]",
+                     weighted=graph.weighted,
+                     scale_factor=graph.scale_factor)
+
+    # ------------------------------------------------------------------
+    def run(self, algorithm: str, graph: Graph,
+            **kwargs) -> Tuple[AlgorithmResult, RunStats]:
+        """Execute ``algorithm`` across the cluster (analytic mode).
+
+        Returns the reference-exact result and the cluster-level stats:
+        per-iteration time is ``max`` over nodes plus the property
+        exchange; energy sums every node's ledger plus link energy.
+        """
+        program = get_program(algorithm)
+        result = run_reference(algorithm, graph, **kwargs)
+        stats = RunStats(platform="graphr-multinode", algorithm=algorithm,
+                         dataset=graph.name, iterations=result.iterations)
+
+        stripes = self._stripes(graph)
+        node_cfg = self.config.node
+        cost = CostModel(node_cfg)
+        streamers = [SubgraphStreamer(self._node_graph(graph, s), node_cfg)
+                     for s in stripes]
+
+        frontiers = (result.trace.frontiers
+                     if program.needs_active_list
+                     and result.trace.frontiers else None)
+        iterations = max(1, result.iterations)
+
+        exchange_bytes = graph.num_vertices * PROPERTY_BYTES
+        exchange_s = (exchange_bytes / self.config.link_bandwidth_bps
+                      + self.config.link_latency_s)
+
+        work_factor = getattr(program, "features", 1) \
+            if algorithm == "cf" else 1
+        seconds = node_cfg.setup_overhead_s
+        for it in range(iterations):
+            frontier = frontiers[it] if frontiers is not None else None
+            node_times = []
+            for streamer in streamers:
+                events = streamer.iteration_events(
+                    program.pattern, frontier=frontier,
+                    work_factor=work_factor)
+                node_seconds = cost.charge_iteration(
+                    events, stats.energy, stats.latency)
+                node_times.append(node_seconds)
+            slowest = max(node_times)
+            seconds += slowest + exchange_s
+            stats.latency.add("exchange", exchange_s)
+            stats.energy.charge_joules(
+                "internode_links",
+                exchange_bytes * len(stripes) * 10e-12)  # ~10 pJ/byte
+
+        stats.seconds = seconds
+        stats.extra["mode"] = "multinode-analytic"
+        stats.extra["num_nodes"] = len(stripes)
+        stats.extra["stripe_edges"] = [s.graph.num_edges
+                                       for s in streamers]
+        return result, stats
+
+    def __repr__(self) -> str:
+        return (f"MultiNodeGraphR(nodes={self.config.num_nodes}, "
+                f"link={self.config.link_bandwidth_bps / 1e9:.0f} GB/s)")

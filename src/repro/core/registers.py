@@ -1,0 +1,62 @@
+"""Input/output register files (RegI / RegO in Figure 8).
+
+RegI caches the source-vertex properties driven onto wordlines; RegO
+accumulates destination-vertex reductions for the subgraph column being
+streamed.  Column-major streaming keeps RegO no larger than one
+subgraph's width — the reason the paper prefers it (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+__all__ = ["RegisterFile"]
+
+
+class RegisterFile:
+    """A fixed-capacity vector register with access counting."""
+
+    def __init__(self, capacity: int, name: str = "reg") -> None:
+        if capacity <= 0:
+            raise DeviceError("register capacity must be positive")
+        self.capacity = int(capacity)
+        self.name = name
+        self._data = np.zeros(capacity, dtype=np.float64)
+        self.reads = 0
+        self.writes = 0
+
+    def load(self, values: np.ndarray, offset: int = 0) -> None:
+        """Write a contiguous span starting at ``offset``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise DeviceError("register values must be a vector")
+        if offset < 0 or offset + values.shape[0] > self.capacity:
+            raise DeviceError(
+                f"{self.name}: span [{offset}, {offset + values.shape[0]}) "
+                f"exceeds capacity {self.capacity}"
+            )
+        self._data[offset:offset + values.shape[0]] = values
+        self.writes += int(values.shape[0])
+
+    def read(self, offset: int = 0, length: int | None = None) -> np.ndarray:
+        """Read a contiguous span (whole register by default)."""
+        if length is None:
+            length = self.capacity - offset
+        if offset < 0 or length < 0 or offset + length > self.capacity:
+            raise DeviceError(f"{self.name}: bad read span")
+        self.reads += int(length)
+        return self._data[offset:offset + length].copy()
+
+    def fill(self, value: float) -> None:
+        """Set every entry (e.g. the reduce identity)."""
+        self._data[:] = float(value)
+        self.writes += self.capacity
+
+    @property
+    def data(self) -> np.ndarray:
+        """Unaccounted view for assertions in tests."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view

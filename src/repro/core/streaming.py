@@ -1,0 +1,249 @@
+"""Streaming-apply scheduler (Section 3.3, Figure 11).
+
+:class:`SubgraphStreamer` owns the preprocessed edge order of one graph
+under one :class:`~repro.core.config.GraphRConfig` and serves both
+execution modes:
+
+* :meth:`iter_subgraphs` — yields non-empty subgraph tiles in the
+  global streaming order (column-major blocks, column-major subgraphs)
+  for the functional engines;
+* :meth:`iteration_events` — vectorised event extraction (non-empty
+  subgraphs / crossbar tiles / touched rows / presentations) for the
+  analytic cost path, optionally restricted to an active-source
+  frontier.
+
+Both views derive from the same per-edge precomputation, so functional
+and analytic runs of the same iteration count identical events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.algorithms.vertex_program import MappingPattern
+from repro.core.config import GraphRConfig
+from repro.core.cost import IterationEvents
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.graph.preprocess import GraphROrdering, global_order_id
+
+__all__ = ["SubgraphStreamer", "Tile"]
+
+
+@dataclass
+class Tile:
+    """One non-empty subgraph in streaming order.
+
+    Coordinates are split into the global vertex ranges the tile covers
+    (``row_base`` + ``tile_rows`` sources, ``col_base`` + ``tile_cols``
+    destinations) and tile-local edge arrays.
+    """
+
+    index: int
+    row_base: int
+    col_base: int
+    rows_local: np.ndarray
+    cols_local: np.ndarray
+    edge_ids: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Edges in the tile."""
+        return int(self.rows_local.shape[0])
+
+
+class SubgraphStreamer:
+    """Precomputed streaming order of one (graph, config) pair."""
+
+    def __init__(self, graph: Graph, config: GraphRConfig) -> None:
+        self.graph = graph
+        self.config = config
+        block = config.effective_block_size(graph.num_vertices)
+        self.ordering = GraphROrdering(
+            num_vertices=graph.num_vertices,
+            block_size=block,
+            crossbar_size=config.crossbar_size,
+            crossbars_per_ge=config.logical_crossbars_per_ge,
+            num_ges=config.num_ges,
+        )
+        rows = np.asarray(graph.adjacency.rows)
+        cols = np.asarray(graph.adjacency.cols)
+        gid = global_order_id(self.ordering, rows, cols)
+
+        # Sort edges into streaming order once (the Section 3.4 pass).
+        order = np.argsort(gid, kind="stable")
+        self._perm = order
+        self._gid = gid[order]
+        self._src = rows[order]
+        self._dst = cols[order]
+
+        per_tile = self.ordering.entries_per_subgraph
+        s = config.crossbar_size
+        self._subgraph_of_edge = self._gid // per_tile
+        sub_order = self._gid % per_tile
+        self._row_in_tile = sub_order % s
+        col_in_tile = sub_order // s
+        self._crossbar_of_edge = (
+            self._subgraph_of_edge * config.logical_crossbars
+            + col_in_tile // s
+        )
+        self._rowkey_of_edge = (
+            self._crossbar_of_edge * s + self._row_in_tile
+        )
+
+        # Subgraph boundaries for functional iteration.
+        self._boundaries = np.flatnonzero(
+            np.concatenate(([True],
+                            self._subgraph_of_edge[1:]
+                            != self._subgraph_of_edge[:-1]))
+        )
+
+        # Block-level bookkeeping for the selective-scan optimisation.
+        grid_r, grid_c = self.ordering.subgraph_grid
+        per_block = grid_r * grid_c
+        self._block_of_edge = self._subgraph_of_edge // per_block
+        num_blocks = self.ordering.blocks_per_side ** 2
+        self._block_edge_counts = np.bincount(
+            self._block_of_edge, minlength=num_blocks).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nonempty_subgraphs(self) -> int:
+        """Non-empty subgraphs in the whole graph."""
+        return int(self._boundaries.size)
+
+    @property
+    def total_subgraph_slots(self) -> int:
+        """All subgraph positions, empty ones included."""
+        o = self.ordering
+        grid_r, grid_c = o.subgraph_grid
+        return o.blocks_per_side ** 2 * grid_r * grid_c
+
+    @property
+    def preprocessed_order(self) -> np.ndarray:
+        """Permutation applied to the graph's edges (read-only)."""
+        view = self._perm.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    def subgraph_origin(self, subgraph_index: int) -> tuple[int, int]:
+        """Global (source, destination) vertex origin of a subgraph slot."""
+        o = self.ordering
+        grid_r, grid_c = o.subgraph_grid
+        per_block = grid_r * grid_c
+        block_order, within = divmod(int(subgraph_index), per_block)
+        side = o.blocks_per_side
+        block_j, block_i = divmod(block_order, side)
+        tile_j, tile_i = divmod(within, grid_r)
+        row = block_i * o.block_size + tile_i * o.tile_rows
+        col = block_j * o.block_size + tile_j * o.tile_cols
+        return row, col
+
+    def iter_subgraphs(self,
+                       frontier: Optional[np.ndarray] = None
+                       ) -> Iterator[Tile]:
+        """Yield non-empty subgraphs in streaming order.
+
+        ``frontier`` (boolean over vertices) restricts to subgraphs
+        containing at least one edge from an active source; the tile's
+        edge arrays still contain only active-source edges, matching
+        the controller's active-list filtering.
+        """
+        starts = self._boundaries
+        stops = np.concatenate((starts[1:], [self._gid.size]))
+        for start, stop in zip(starts, stops):
+            sl = slice(int(start), int(stop))
+            src = self._src[sl]
+            if frontier is not None:
+                keep = frontier[src]
+                if not keep.any():
+                    continue
+                src = src[keep]
+                dst = self._dst[sl][keep]
+                edge_ids = self._perm[sl][keep]
+                rows_in = self._row_in_tile[sl][keep]
+            else:
+                dst = self._dst[sl]
+                edge_ids = self._perm[sl]
+                rows_in = self._row_in_tile[sl]
+            sub_index = int(self._subgraph_of_edge[start])
+            row_base, col_base = self.subgraph_origin(sub_index)
+            yield Tile(
+                index=sub_index,
+                row_base=row_base,
+                col_base=col_base,
+                rows_local=rows_in,
+                cols_local=dst - col_base,
+                edge_ids=edge_ids,
+            )
+
+    # ------------------------------------------------------------------
+    def iteration_events(self, pattern: MappingPattern,
+                         frontier: Optional[np.ndarray] = None,
+                         work_factor: int = 1) -> IterationEvents:
+        """Event counts of one iteration (the analytic path).
+
+        ``work_factor`` multiplies presentations/reduces for algorithms
+        that make several passes per iteration (collaborative filtering
+        presents once per feature).  Programming work does *not* scale
+        with it: the coefficients are static across passes, so tiles are
+        written once per subgraph step regardless of how many vectors
+        are driven through them.
+        """
+        if frontier is None:
+            mask = slice(None)
+            edges = int(self._gid.size)
+        else:
+            frontier = np.asarray(frontier, dtype=bool)
+            if frontier.shape != (self.graph.num_vertices,):
+                raise PartitionError("frontier length must equal |V|")
+            mask = frontier[self._src]
+            edges = int(np.count_nonzero(mask))
+            if edges == 0:
+                return IterationEvents()
+
+        if self.config.skip_empty_subgraphs:
+            subgraphs = int(np.unique(self._subgraph_of_edge[mask]).size)
+            tiles = int(np.unique(self._crossbar_of_edge[mask]).size)
+            touched_rows = int(np.unique(self._rowkey_of_edge[mask]).size)
+        else:
+            # Ablation: without sparsity skipping, every subgraph slot is
+            # streamed and every crossbar/row in it pays program/compute.
+            subgraphs = self.total_subgraph_slots
+            tiles = subgraphs * self.config.logical_crossbars
+            touched_rows = tiles * self.config.crossbar_size
+        if pattern is MappingPattern.PARALLEL_MAC:
+            presentations = tiles
+        else:
+            presentations = touched_rows
+        presentations *= work_factor
+        s = self.config.crossbar_size
+        if frontier is None:
+            destinations = int(np.unique(self._dst).size)
+        else:
+            destinations = int(np.unique(self._dst[mask]).size)
+
+        # Selective block scan (optimisation study, off by default —
+        # the paper's controller streams every block): with per-block
+        # activity metadata, blocks without any active-source edge need
+        # not be read from memory ReRAM at all.
+        if self.config.selective_block_scan and frontier is not None:
+            active_blocks = np.unique(self._block_of_edge[mask])
+            scanned = int(self._block_edge_counts[active_blocks].sum())
+        else:
+            scanned = int(self._gid.size)
+        return IterationEvents(
+            edges=edges,
+            scanned_edges=scanned,
+            subgraphs=subgraphs,
+            tiles=tiles,
+            presentations=presentations,
+            touched_rows=touched_rows,
+            reduce_ops=presentations * s,
+            apply_ops=destinations,
+            addop=pattern is MappingPattern.PARALLEL_ADD_OP,
+        )

@@ -1,0 +1,47 @@
+"""Exception hierarchy shared across the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or matrix payload is malformed (bad shape, dtype,
+    out-of-range vertex id, negative weight where disallowed...)."""
+
+
+class PartitionError(ReproError):
+    """A block/subgraph partitioning request is inconsistent with the
+    graph or the accelerator geometry."""
+
+
+class ConfigError(ReproError):
+    """An accelerator or platform configuration is invalid."""
+
+
+class MappingError(ReproError):
+    """A graph algorithm cannot be mapped onto the requested execution
+    pattern (e.g. a non-SpMV vertex program on a MAC mapper)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration
+    budget."""
+
+
+class DeviceError(ReproError):
+    """A ReRAM device-level operation is invalid (value out of the cell's
+    programmable range, crossbar shape mismatch...)."""
+
+
+class DatasetError(ReproError):
+    """A named dataset is unknown or its generation parameters are
+    invalid."""

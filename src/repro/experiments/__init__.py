@@ -1,0 +1,64 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+One function per table/figure; each returns structured rows/series and
+can render the same text the benchmarks print.  See DESIGN.md Section 4
+for the experiment index and expected shapes.
+"""
+
+from repro.experiments.harness import (
+    ComparisonRow,
+    ExperimentRunner,
+    geometric_mean,
+)
+from repro.experiments.figures import (
+    figure17,
+    figure18,
+    figure19,
+    figure20,
+    figure21,
+)
+from repro.experiments.tables import table1, table2, table3
+from repro.experiments.report import render_table
+from repro.experiments.sweeps import (
+    SweepPoint,
+    bandwidth_sweep,
+    block_size_sweep,
+    geometry_sweep,
+)
+from repro.experiments.validation import (
+    ValidationReport,
+    validate,
+    validate_matrix,
+)
+from repro.experiments.persistence import (
+    figure_to_dict,
+    load_figure_json,
+    save_figure_json,
+    stats_to_dict,
+)
+
+__all__ = [
+    "figure_to_dict",
+    "load_figure_json",
+    "save_figure_json",
+    "stats_to_dict",
+    "SweepPoint",
+    "bandwidth_sweep",
+    "block_size_sweep",
+    "geometry_sweep",
+    "ValidationReport",
+    "validate",
+    "validate_matrix",
+    "ComparisonRow",
+    "ExperimentRunner",
+    "geometric_mean",
+    "figure17",
+    "figure18",
+    "figure19",
+    "figure20",
+    "figure21",
+    "table1",
+    "table2",
+    "table3",
+    "render_table",
+]

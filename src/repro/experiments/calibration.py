@@ -1,0 +1,68 @@
+"""Single source of truth for the paper's published numbers and the
+tolerance bands the benchmarks assert.
+
+Keeping every number here (rather than scattered through bench files)
+makes the reproduction contract auditable: each constant cites where in
+the paper it comes from, and each band states why it is as wide as it
+is (see EXPERIMENTS.md for the per-figure discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperNumbers", "Band", "PAPER", "BANDS"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """An inclusive [low, high] assertion band."""
+
+    low: float
+    high: float
+
+    def contains(self, value: float) -> bool:
+        """Whether a measured value falls inside the band."""
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Every quantitative claim of Section 5 used by the benchmarks."""
+
+    # Figure 17 / abstract.
+    speedup_geomean_vs_cpu: float = 16.01
+    speedup_max_vs_cpu: float = 132.67        # SpMV on WV
+    speedup_min_vs_cpu: float = 2.40          # SSSP on OK
+    # Figure 18 / abstract.
+    energy_geomean_vs_cpu: float = 33.82
+    energy_max_vs_cpu: float = 217.88         # SpMV on SD
+    energy_min_vs_cpu: float = 4.50           # SSSP on OK
+    # Figure 19.
+    speedup_vs_gpu_low: float = 1.69
+    speedup_vs_gpu_high: float = 2.19
+    energy_vs_gpu_low: float = 4.77
+    energy_vs_gpu_high: float = 8.91
+    # Figure 20.
+    speedup_vs_pim_low: float = 1.16
+    speedup_vs_pim_high: float = 4.12
+    energy_vs_pim_low: float = 3.67
+    energy_vs_pim_high: float = 10.96
+
+
+#: The paper's numbers, importable anywhere.
+PAPER = PaperNumbers()
+
+#: Assertion bands used by the shipped benchmarks.  Bands are wider
+#: than the paper's point values because the reproduction runs on
+#: scaled synthetic analogs and calibrated analytical baselines
+#: (EXPERIMENTS.md, "Reading guide").
+BANDS = {
+    # geometric means over the 25 CPU-comparison runs
+    "speedup_geomean_vs_cpu": Band(6.0, 40.0),
+    "energy_geomean_vs_cpu": Band(12.0, 90.0),
+    # per-run extremes
+    "speedup_vs_gpu": Band(1.2, 3.5),
+    "speedup_vs_pim": Band(1.0, 6.5),
+    "energy_vs_pim": Band(2.5, 16.0),
+}

@@ -1,0 +1,160 @@
+"""Builders for Figures 17-21 of the paper.
+
+Each function returns a :class:`FigureResult` carrying the same
+rows/series the paper plots, plus the geometric means quoted in the
+text.  ``describe()`` renders the figure as text; the matching
+benchmark in ``benchmarks/`` prints it and asserts the expected shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.harness import (
+    ComparisonRow,
+    ExperimentRunner,
+    geometric_mean,
+)
+from repro.experiments.report import render_table
+from repro.graph.datasets import PAPER_DATASETS
+
+__all__ = ["FigureResult", "figure17", "figure18", "figure19",
+           "figure20", "figure21", "FIG17_ALGORITHMS", "FIG17_DATASETS"]
+
+#: The 24 graph runs of Figures 17/18, plus CF on NF as the 25th.
+FIG17_ALGORITHMS = ("pagerank", "bfs", "sssp", "spmv")
+FIG17_DATASETS = ("WV", "SD", "AZ", "WG", "LJ", "OK")
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one figure builder."""
+
+    figure: str
+    title: str
+    rows: List[ComparisonRow]
+    geomean_speedup: Optional[float] = None
+    geomean_energy: Optional[float] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self, metric: str = "both") -> str:
+        """Text rendering of the figure's series."""
+        header = ["algorithm", "dataset", "speedup", "energy_saving"]
+        body = [[r.algorithm, r.dataset, f"{r.speedup:.2f}",
+                 f"{r.energy_saving:.2f}"] for r in self.rows]
+        lines = [f"{self.figure}: {self.title}",
+                 render_table(header, body)]
+        if self.geomean_speedup is not None:
+            lines.append(f"geomean speedup      = "
+                         f"{self.geomean_speedup:.2f}x")
+        if self.geomean_energy is not None:
+            lines.append(f"geomean energy saving = "
+                         f"{self.geomean_energy:.2f}x")
+        return "\n".join(lines)
+
+    def cell(self, algorithm: str, dataset: str) -> ComparisonRow:
+        """Look up one (algorithm, dataset) row."""
+        for row in self.rows:
+            if row.algorithm == algorithm and row.dataset == dataset:
+                return row
+        raise KeyError(f"no cell ({algorithm}, {dataset})")
+
+
+def _figure17_rows(runner: ExperimentRunner) -> List[ComparisonRow]:
+    rows = runner.compare_matrix("cpu", FIG17_ALGORITHMS, FIG17_DATASETS)
+    rows.append(runner.compare("cpu", "cf", "NF"))
+    return rows
+
+
+def figure17(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Figure 17: GraphR speedup over the CPU platform (25 runs).
+
+    Paper: geometric mean 16.01x, max 132.67x (SpMV on WV), min 2.40x
+    (SSSP on OK); MAC-pattern algorithms above add-op ones.
+    """
+    runner = runner or ExperimentRunner()
+    rows = _figure17_rows(runner)
+    return FigureResult(
+        figure="Figure 17",
+        title="GraphR speedup over CPU (GridGraph/GraphChi)",
+        rows=rows,
+        geomean_speedup=geometric_mean(r.speedup for r in rows),
+        geomean_energy=geometric_mean(r.energy_saving for r in rows),
+    )
+
+
+def figure18(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Figure 18: GraphR energy saving over the CPU platform.
+
+    Paper: geometric mean 33.82x, max 217.88x (SpMV on SD), min 4.50x
+    (SSSP on OK).  Same 25 runs as Figure 17.
+    """
+    runner = runner or ExperimentRunner()
+    rows = _figure17_rows(runner)
+    return FigureResult(
+        figure="Figure 18",
+        title="GraphR energy saving over CPU",
+        rows=rows,
+        geomean_speedup=geometric_mean(r.speedup for r in rows),
+        geomean_energy=geometric_mean(r.energy_saving for r in rows),
+    )
+
+
+def figure19(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Figure 19: GraphR vs GPU (PR and SSSP on LJ, CF on NF).
+
+    Paper: 1.69-2.19x speedup, 4.77-8.91x energy saving; the SSSP
+    speedup is the lowest of the three perf gains.
+    """
+    runner = runner or ExperimentRunner()
+    rows = [
+        runner.compare("gpu", "pagerank", "LJ"),
+        runner.compare("gpu", "sssp", "LJ"),
+        runner.compare("gpu", "cf", "NF"),
+    ]
+    return FigureResult(
+        figure="Figure 19",
+        title="GraphR vs GPU (Gunrock / cuMF_SGD on Tesla K40c)",
+        rows=rows,
+    )
+
+
+def figure20(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Figure 20: GraphR vs PIM/Tesseract (PR, SSSP on WV, AZ, LJ).
+
+    Paper: 1.16-4.12x speedup, 3.67-10.96x energy saving.
+    """
+    runner = runner or ExperimentRunner()
+    rows = [runner.compare("pim", algorithm, code)
+            for algorithm in ("pagerank", "sssp")
+            for code in ("WV", "AZ", "LJ")]
+    return FigureResult(
+        figure="Figure 20",
+        title="GraphR vs PIM (Tesseract-like HMC)",
+        rows=rows,
+    )
+
+
+def figure21(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Figure 21: sensitivity to sparsity (PR and SSSP, WV..LJ).
+
+    The x-axis is dataset density ``|E| / |V|^2`` (of the original
+    datasets); performance and energy saving relative to CPU decrease
+    mildly as density decreases (sparsity increases).
+    """
+    runner = runner or ExperimentRunner()
+    codes = ("WV", "SD", "AZ", "WG", "LJ")
+    rows = [runner.compare("cpu", algorithm, code)
+            for algorithm in ("pagerank", "sssp")
+            for code in codes]
+    densities: Dict[str, float] = {}
+    for code in codes:
+        spec = PAPER_DATASETS[code]
+        densities[code] = spec.paper_edges / spec.paper_vertices ** 2
+    return FigureResult(
+        figure="Figure 21",
+        title="GraphR vs CPU as a function of dataset density",
+        rows=rows,
+        extra={"density": densities},
+    )

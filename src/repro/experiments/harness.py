@@ -1,0 +1,124 @@
+"""Run matrices of (platform x algorithm x dataset) comparisons.
+
+The harness memoises per-run results inside one
+:class:`ExperimentRunner` so the figure builders (which share cells,
+e.g. Figures 17 and 18 use the same 25 runs) execute each simulation
+once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
+from repro.baselines.base import Platform
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.errors import ConfigError
+from repro.graph.datasets import dataset
+from repro.graph.graph import Graph
+from repro.hw.stats import RunStats
+
+__all__ = ["ComparisonRow", "ExperimentRunner", "geometric_mean",
+           "DEFAULT_RUN_KWARGS"]
+
+#: Per-algorithm run parameters used by every shipped benchmark.  The
+#: PageRank iteration budget is capped so a full figure regenerates in
+#: minutes; shapes are iteration-count invariant because both platforms
+#: scale with the same trace.
+DEFAULT_RUN_KWARGS: Dict[str, dict] = {
+    "pagerank": {"max_iterations": 20},
+    "bfs": {"source": 0},
+    "sssp": {"source": 0},
+    "spmv": {},
+    "cf": {"epochs": 3},
+}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ConfigError("geometric_mean of empty sequence")
+    if min(values) <= 0:
+        raise ConfigError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class ComparisonRow:
+    """One cell of a figure: GraphR vs one baseline on one workload."""
+
+    algorithm: str
+    dataset: str
+    speedup: float
+    energy_saving: float
+    graphr: RunStats
+    baseline: RunStats
+
+    def as_tuple(self) -> Tuple[str, str, float, float]:
+        """Compact ``(algorithm, dataset, speedup, energy_saving)``."""
+        return (self.algorithm, self.dataset, self.speedup,
+                self.energy_saving)
+
+
+class ExperimentRunner:
+    """Executes and caches simulated runs for the figure builders."""
+
+    def __init__(self, config: Optional[GraphRConfig] = None,
+                 run_kwargs: Optional[Dict[str, dict]] = None) -> None:
+        self.config = config or GraphRConfig(mode="analytic")
+        self.accelerator = GraphR(self.config)
+        self.platforms: Dict[str, Platform] = {
+            "cpu": CPUPlatform(),
+            "gpu": GPUPlatform(),
+            "pim": PIMPlatform(),
+        }
+        self.run_kwargs = dict(DEFAULT_RUN_KWARGS)
+        if run_kwargs:
+            self.run_kwargs.update(run_kwargs)
+        self._cache: Dict[Tuple[str, str, str], RunStats] = {}
+
+    # ------------------------------------------------------------------
+    def graph_for(self, algorithm: str, code: str) -> Graph:
+        """Dataset analog with the weighting the algorithm needs."""
+        return dataset(code, weighted=(algorithm == "sssp"))
+
+    def stats(self, platform: str, algorithm: str, code: str) -> RunStats:
+        """Simulated stats of one run (cached)."""
+        key = (platform, algorithm, code)
+        if key in self._cache:
+            return self._cache[key]
+        graph = self.graph_for(algorithm, code)
+        kwargs = dict(self.run_kwargs.get(algorithm, {}))
+        if platform == "graphr":
+            _, stats = self.accelerator.run(algorithm, graph, **kwargs)
+        elif platform in self.platforms:
+            _, stats = self.platforms[platform].run(algorithm, graph,
+                                                    **kwargs)
+        else:
+            raise ConfigError(f"unknown platform {platform!r}")
+        self._cache[key] = stats
+        return stats
+
+    def compare(self, baseline: str, algorithm: str,
+                code: str) -> ComparisonRow:
+        """GraphR vs one baseline on one workload."""
+        graphr = self.stats("graphr", algorithm, code)
+        base = self.stats(baseline, algorithm, code)
+        return ComparisonRow(
+            algorithm=algorithm,
+            dataset=code,
+            speedup=graphr.speedup_over(base),
+            energy_saving=graphr.energy_saving_over(base),
+            graphr=graphr,
+            baseline=base,
+        )
+
+    def compare_matrix(self, baseline: str, algorithms: Iterable[str],
+                       codes: Iterable[str]) -> List[ComparisonRow]:
+        """Cartesian product of comparisons."""
+        return [self.compare(baseline, algorithm, code)
+                for algorithm in algorithms for code in codes]

@@ -1,0 +1,76 @@
+"""Serialise run statistics and figure results to JSON.
+
+Lets a benchmark run be archived and diffed across library versions —
+the regression-tracking workflow an open-source release needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import ConfigError
+from repro.experiments.figures import FigureResult
+from repro.hw.stats import RunStats
+
+__all__ = ["stats_to_dict", "figure_to_dict", "save_figure_json",
+           "load_figure_json"]
+
+
+def stats_to_dict(stats: RunStats) -> Dict[str, object]:
+    """JSON-safe dictionary of one run's statistics."""
+    return {
+        "platform": stats.platform,
+        "algorithm": stats.algorithm,
+        "dataset": stats.dataset,
+        "seconds": stats.seconds,
+        "joules": stats.joules,
+        "iterations": stats.iterations,
+        "energy_breakdown": dict(stats.energy.breakdown()),
+        "energy_counts": dict(stats.energy.counts()),
+        "latency_breakdown": dict(stats.latency.breakdown()),
+        "extra": {k: v for k, v in stats.extra.items()
+                  if isinstance(v, (str, int, float, bool, list, dict))},
+    }
+
+
+def figure_to_dict(figure: FigureResult) -> Dict[str, object]:
+    """JSON-safe dictionary of one regenerated figure."""
+    return {
+        "figure": figure.figure,
+        "title": figure.title,
+        "geomean_speedup": figure.geomean_speedup,
+        "geomean_energy": figure.geomean_energy,
+        "rows": [
+            {
+                "algorithm": row.algorithm,
+                "dataset": row.dataset,
+                "speedup": row.speedup,
+                "energy_saving": row.energy_saving,
+                "graphr": stats_to_dict(row.graphr),
+                "baseline": stats_to_dict(row.baseline),
+            }
+            for row in figure.rows
+        ],
+    }
+
+
+def save_figure_json(figure: FigureResult,
+                     path: Union[str, Path]) -> None:
+    """Write one figure's data to a JSON file."""
+    Path(path).write_text(json.dumps(figure_to_dict(figure), indent=2))
+
+
+def load_figure_json(path: Union[str, Path]) -> Dict[str, object]:
+    """Read an archived figure back (as plain dictionaries).
+
+    Round-tripping to live objects is intentionally not supported:
+    archives are for comparison, not resumption.
+    """
+    payload = json.loads(Path(path).read_text())
+    for key in ("figure", "title", "rows"):
+        if key not in payload:
+            raise ConfigError(f"{path}: missing {key!r}; not a figure "
+                              "archive")
+    return payload

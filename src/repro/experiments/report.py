@@ -1,0 +1,39 @@
+"""Plain-text table rendering for figure/table reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["render_table"]
+
+
+def render_table(header: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """ASCII table with per-column width fitting.
+
+    >>> print(render_table(["a", "b"], [["1", "22"]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    if not header:
+        raise ConfigError("header must be non-empty")
+    for row in rows:
+        if len(row) != len(header):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(header)}"
+            )
+    columns = [list(col) for col in zip(header, *rows)] if rows \
+        else [[h] for h in header]
+    widths = [max(len(cell) for cell in col) for col in columns]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(cells, widths)).rstrip()
+
+    lines: List[str] = [fmt(header)]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Structured parameter-sweep utilities for design-space studies.
+
+Each sweep runs one workload across a parameter axis on the analytic
+accelerator and returns tidy rows; the design-space example and the
+ablation benchmarks build on these instead of hand-rolling loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.hw.stats import RunStats
+
+__all__ = ["SweepPoint", "geometry_sweep", "block_size_sweep",
+           "bandwidth_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's outcome in a sweep."""
+
+    parameters: Dict[str, object]
+    seconds: float
+    joules: float
+    iterations: int
+
+    @classmethod
+    def from_stats(cls, parameters: Dict[str, object],
+                   stats: RunStats) -> "SweepPoint":
+        """Condense a run's stats into a sweep row."""
+        return cls(parameters=dict(parameters), seconds=stats.seconds,
+                   joules=stats.joules, iterations=stats.iterations)
+
+
+def _run(graph: Graph, algorithm: str, overrides: Dict[str, object],
+         run_kwargs: Dict[str, object]) -> RunStats:
+    config = GraphRConfig(mode="analytic", **overrides)
+    _, stats = GraphR(config).run(algorithm, graph, **run_kwargs)
+    return stats
+
+
+def geometry_sweep(graph: Graph, algorithm: str = "pagerank",
+                   crossbar_sizes: Iterable[int] = (4, 8, 16),
+                   ge_counts: Iterable[int] = (16, 64, 256),
+                   run_kwargs: Optional[Dict[str, object]] = None
+                   ) -> List[SweepPoint]:
+    """Sweep crossbar size x GE count (the paper's S and G)."""
+    run_kwargs = run_kwargs or {"max_iterations": 10}
+    points: List[SweepPoint] = []
+    for s in crossbar_sizes:
+        for g in ge_counts:
+            params = {"crossbar_size": s, "num_ges": g}
+            stats = _run(graph, algorithm, params, run_kwargs)
+            points.append(SweepPoint.from_stats(params, stats))
+    if not points:
+        raise ConfigError("empty sweep")
+    return points
+
+
+def block_size_sweep(graph: Graph, algorithm: str = "pagerank",
+                     block_sizes: Iterable[int] = (1024, 4096, 16384),
+                     run_kwargs: Optional[Dict[str, object]] = None
+                     ) -> List[SweepPoint]:
+    """Sweep the out-of-core block size ``B``.
+
+    Smaller blocks mean more blocks per pass (more per-block padding
+    and boundary tiles) but a smaller memory-ReRAM footprint — the
+    trade Figure 9's ``B`` parameter controls.
+    """
+    run_kwargs = run_kwargs or {"max_iterations": 10}
+    points: List[SweepPoint] = []
+    for block in block_sizes:
+        params = {"block_size": int(block)}
+        stats = _run(graph, algorithm, params, run_kwargs)
+        points.append(SweepPoint.from_stats(params, stats))
+    if not points:
+        raise ConfigError("empty sweep")
+    return points
+
+
+def bandwidth_sweep(graph: Graph, algorithm: str = "pagerank",
+                    bandwidths_bps: Iterable[float] = (32e9, 128e9,
+                                                       512e9),
+                    run_kwargs: Optional[Dict[str, object]] = None
+                    ) -> List[SweepPoint]:
+    """Sweep the memory-ReRAM sequential bandwidth feeding the GEs.
+
+    Shows where the node flips from fetch-bound to compute-bound — the
+    pipeline balance the cost model's ``max(fetch, program+compute)``
+    captures.
+    """
+    run_kwargs = run_kwargs or {"max_iterations": 10}
+    points: List[SweepPoint] = []
+    for bandwidth in bandwidths_bps:
+        params = {"mem_bandwidth_bps": float(bandwidth)}
+        stats = _run(graph, algorithm, params, run_kwargs)
+        points.append(SweepPoint.from_stats(params, stats))
+    if not points:
+        raise ConfigError("empty sweep")
+    return points

@@ -1,0 +1,127 @@
+"""Builders for Tables 1-3 of the paper.
+
+Table 1 is qualitative (architecture comparison); Table 2 maps
+applications to vertex-program operations; Table 3 inventories the
+datasets.  Each builder returns structured rows and a text rendering,
+and the matching benchmark asserts consistency with the implementation
+(e.g. Table 2 rows must agree with the registered programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.algorithms.registry import TABLE2_ROWS, Table2Row, get_program
+from repro.algorithms.vertex_program import MappingPattern
+from repro.experiments.report import render_table
+from repro.graph.datasets import PAPER_DATASETS, dataset
+
+__all__ = ["table1", "table2", "table3", "Table1Row"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One architecture column of Table 1 (transposed to rows here)."""
+
+    architecture: str
+    process_edge: str
+    reduce: str
+    processing_model: str
+    memory_access: str
+    generality: str
+
+
+_TABLE1: Tuple[Table1Row, ...] = (
+    Table1Row("CPU", "Instruction", "Instruction", "Sync/Async",
+              "Random vertex, sequential edge list",
+              "All algorithms"),
+    Table1Row("GPU", "Instruction", "Instruction", "Sync",
+              "Random vertex, sequential edge list",
+              "Vertex program"),
+    Table1Row("Tesseract", "Instruction",
+              "Instruction and inter-cube communication", "Sync",
+              "Random vertex, sequential edge list",
+              "Vertex program"),
+    Table1Row("GAA", "Specialized AU", "Specialized APU/SCU", "Async",
+              "Random vertex, sequential edge list",
+              "Vertex program"),
+    Table1Row("Graphicionado", "Specialized unit", "Specialized unit",
+              "Sync", "Reduced random with SPM; pipelined",
+              "Vertex program"),
+    Table1Row("GraphR", "ReRAM crossbar", "ReRAM crossbar or sALU",
+              "Sync", "Sequential edge list (preprocessed)",
+              "Vertex program in SpMV"),
+)
+
+
+def table1() -> Tuple[List[Table1Row], str]:
+    """Table 1: comparison of graph-processing architectures."""
+    rows = list(_TABLE1)
+    text = render_table(
+        ["architecture", "processEdge", "reduce", "model",
+         "memory access", "generality"],
+        [[r.architecture, r.process_edge, r.reduce, r.processing_model,
+          r.memory_access, r.generality] for r in rows],
+    )
+    return rows, "Table 1: architectures for graph processing\n" + text
+
+
+def table2() -> Tuple[List[Table2Row], str]:
+    """Table 2: applications and their vertex-program operations.
+
+    The rows are cross-checked against the registered programs: the
+    reduce operation and active-list requirement printed here are read
+    back from the implementations.
+    """
+    rows = list(TABLE2_ROWS)
+    body = []
+    for row in rows:
+        program = get_program(row.application)
+        pattern = ("parallel MAC"
+                   if program.pattern is MappingPattern.PARALLEL_MAC
+                   else "parallel add-op")
+        body.append([row.application, row.process_edge, row.reduce,
+                     program.reduce_op, pattern,
+                     "yes" if program.needs_active_list else "no"])
+    text = render_table(
+        ["application", "processEdge()", "reduce()", "sALU op",
+         "pattern", "active list"],
+        body,
+    )
+    return rows, "Table 2: applications in GraphR\n" + text
+
+
+def table3(generate: bool = False) -> Tuple[Dict[str, dict], str]:
+    """Table 3: datasets — paper statistics and the generated analogs.
+
+    With ``generate=True`` the analogs are built and their actual
+    vertex/edge counts reported next to the paper's.
+    """
+    rows: Dict[str, dict] = {}
+    body = []
+    for code, spec in PAPER_DATASETS.items():
+        entry = {
+            "name": spec.full_name,
+            "paper_vertices": spec.paper_vertices,
+            "paper_edges": spec.paper_edges,
+        }
+        if generate:
+            graph = dataset(code)
+            entry["generated_vertices"] = graph.num_vertices
+            entry["generated_edges"] = graph.num_edges
+            entry["scale_factor"] = graph.scale_factor
+        rows[code] = entry
+        body.append([
+            code, spec.full_name, f"{spec.paper_vertices:,}",
+            f"{spec.paper_edges:,}",
+            f"{entry.get('generated_vertices', '-'):,}"
+            if generate else "-",
+            f"{entry.get('generated_edges', '-'):,}" if generate else "-",
+        ])
+    text = render_table(
+        ["code", "dataset", "paper |V|", "paper |E|",
+         "generated |V|", "generated |E|"],
+        body,
+    )
+    return rows, "Table 3: graph datasets\n" + text

@@ -1,0 +1,58 @@
+"""Graph substrate: containers, formats, generators, partitioning.
+
+This subpackage provides everything GraphR's evaluation needs below the
+accelerator: sparse-matrix containers mirroring Figure 4 of the paper
+(COO / CSR / CSC), a :class:`~repro.graph.graph.Graph` facade, synthetic
+generators standing in for the SNAP datasets of Table 3, the
+block/subgraph partitioner of Section 3.3, and the Section 3.4
+preprocessing pass that produces GraphR's streaming-apply edge order.
+"""
+
+from repro.graph.coo import COOMatrix
+from repro.graph.csr import CSRMatrix, CSCMatrix
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    erdos_renyi,
+    rmat,
+    bipartite_rating_graph,
+    chain_graph,
+    star_graph,
+    grid_graph,
+    complete_graph,
+)
+from repro.graph.datasets import dataset, list_datasets, DatasetSpec
+from repro.graph.partition import BlockPartition, SubgraphGrid, DualSlidingWindows
+from repro.graph.preprocess import (
+    GraphROrdering,
+    preprocess_edge_list,
+    global_order_id,
+)
+from repro.graph.analysis import GraphSummary, summarize
+from repro.graph.mtx import load_mtx, save_mtx
+
+__all__ = [
+    "GraphSummary",
+    "summarize",
+    "load_mtx",
+    "save_mtx",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "Graph",
+    "erdos_renyi",
+    "rmat",
+    "bipartite_rating_graph",
+    "chain_graph",
+    "star_graph",
+    "grid_graph",
+    "complete_graph",
+    "dataset",
+    "list_datasets",
+    "DatasetSpec",
+    "BlockPartition",
+    "SubgraphGrid",
+    "DualSlidingWindows",
+    "GraphROrdering",
+    "preprocess_edge_list",
+    "global_order_id",
+]

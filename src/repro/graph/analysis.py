@@ -1,0 +1,130 @@
+"""Graph statistics used by examples, reports and workload sanity checks.
+
+Nothing here is GraphR-specific; it is the small analysis toolkit a
+user of the library needs to understand a workload before simulating it
+(degree skew, reachability, tile occupancy under a given accelerator
+geometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+from repro.graph.partition import SubgraphGrid
+
+__all__ = ["GraphSummary", "summarize", "degree_histogram",
+           "reachable_fraction", "tile_occupancy"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Headline statistics of one graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    density: float
+    max_out_degree: int
+    max_in_degree: int
+    mean_degree: float
+    self_loops: int
+    isolated_vertices: int
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        return "\n".join([
+            f"graph {self.name}:",
+            f"  vertices          {self.num_vertices:,}",
+            f"  edges             {self.num_edges:,}",
+            f"  density           {self.density:.3e}",
+            f"  mean out-degree   {self.mean_degree:.2f}",
+            f"  max out-degree    {self.max_out_degree:,}",
+            f"  max in-degree     {self.max_in_degree:,}",
+            f"  self loops        {self.self_loops:,}",
+            f"  isolated vertices {self.isolated_vertices:,}",
+        ])
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for a graph."""
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    src = np.asarray(graph.adjacency.rows)
+    dst = np.asarray(graph.adjacency.cols)
+    mean_degree = (graph.num_edges / graph.num_vertices
+                   if graph.num_vertices else 0.0)
+    return GraphSummary(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        density=graph.density,
+        max_out_degree=int(out_deg.max(initial=0)),
+        max_in_degree=int(in_deg.max(initial=0)),
+        mean_degree=mean_degree,
+        self_loops=int((src == dst).sum()),
+        isolated_vertices=int(((out_deg == 0) & (in_deg == 0)).sum()),
+    )
+
+
+def degree_histogram(graph: Graph, direction: str = "out",
+                     bins: int = 16) -> Dict[str, np.ndarray]:
+    """Log-binned degree histogram (power-law graphs need log bins).
+
+    Returns ``{"edges": bin_edges, "counts": vertices_per_bin}``.
+    """
+    if direction == "out":
+        deg = graph.out_degrees()
+    elif direction == "in":
+        deg = graph.in_degrees()
+    else:
+        raise GraphFormatError("direction must be 'out' or 'in'")
+    if bins <= 0:
+        raise GraphFormatError("bins must be positive")
+    top = max(int(deg.max(initial=0)), 1)
+    edges = np.unique(np.geomspace(1, top + 1, bins + 1).astype(np.int64))
+    counts, _ = np.histogram(deg[deg > 0], bins=edges)
+    return {"edges": edges, "counts": counts}
+
+
+def reachable_fraction(graph: Graph, source: int = 0) -> float:
+    """Fraction of vertices reachable from ``source`` (BFS-based)."""
+    # Imported lazily: repro.algorithms depends on repro.graph, so a
+    # module-level import here would be circular.
+    from repro.algorithms.bfs import UNREACHABLE, bfs_reference
+    result = bfs_reference(graph, source=source)
+    return float((result.values < UNREACHABLE).mean())
+
+
+def tile_occupancy(graph: Graph, grid: SubgraphGrid) -> Dict[str, float]:
+    """How well a graph fills an accelerator geometry's subgraph tiles.
+
+    Returns the non-empty tile fraction and the mean edges per
+    non-empty tile — the two quantities that drive GraphR's
+    sparsity-dependent behaviour (Figure 21).
+    """
+    if graph.num_vertices % grid.block_size:
+        padded = ((graph.num_vertices // grid.block_size) + 1) \
+            * grid.block_size
+    else:
+        padded = graph.num_vertices
+    blocks_per_side = padded // grid.block_size
+    total_tiles = (blocks_per_side ** 2) * grid.subgraphs_per_block
+
+    part_edges = 0
+    nonempty = 0
+    from repro.graph.partition import BlockPartition
+    block_part = BlockPartition(graph.num_vertices, grid.block_size)
+    for bi, bj in block_part.iter_blocks():
+        block = block_part.block_submatrix(graph.adjacency, bi, bj)
+        nonempty += grid.nonempty_subgraph_count(block)
+        part_edges += block.nnz
+    return {
+        "nonempty_fraction": nonempty / total_tiles if total_tiles else 0.0,
+        "edges_per_nonempty_tile": (part_edges / nonempty
+                                    if nonempty else 0.0),
+    }

@@ -1,0 +1,374 @@
+"""Coordinate-list (COO) sparse matrix, the on-disk format GraphR assumes.
+
+The paper (Section 2.4, Figure 4d) stores graphs as a coordinate list of
+``(row, col, value)`` tuples; GraphR's controller converts subgraph-sized
+slices of this list into dense crossbar tiles.  :class:`COOMatrix` is the
+library's canonical edge container: a struct-of-arrays built on numpy
+with explicit validation, deduplication and sorting utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix stored as parallel ``(rows, cols, values)`` arrays.
+
+    Parameters
+    ----------
+    shape:
+        ``(n_rows, n_cols)`` of the logical dense matrix.
+    rows, cols:
+        Integer arrays of equal length holding the coordinates of each
+        non-zero.  Values outside ``shape`` raise
+        :class:`~repro.errors.GraphFormatError`.
+    values:
+        Optional float array of the same length; defaults to all ones
+        (unweighted graph).
+
+    Notes
+    -----
+    The container is append-free by design: graph processing in this
+    library treats edge lists as immutable inputs, matching the paper's
+    preprocessing-once workflow.  Transformations (sorting, slicing,
+    transposing) return new instances.
+    """
+
+    __slots__ = ("_shape", "_rows", "_cols", "_values")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        rows: Sequence[int],
+        cols: Sequence[int],
+        values: Optional[Sequence[float]] = None,
+    ) -> None:
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise GraphFormatError(f"shape must be non-negative, got {shape!r}")
+        self._shape = (n_rows, n_cols)
+
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        if rows_arr.ndim != 1 or cols_arr.ndim != 1:
+            raise GraphFormatError("rows and cols must be one-dimensional")
+        if rows_arr.shape[0] != cols_arr.shape[0]:
+            raise GraphFormatError(
+                f"rows and cols length mismatch: {rows_arr.shape[0]} != {cols_arr.shape[0]}"
+            )
+        if values is None:
+            values_arr = np.ones(rows_arr.shape[0], dtype=np.float64)
+        else:
+            values_arr = np.asarray(values, dtype=np.float64)
+            if values_arr.ndim != 1 or values_arr.shape[0] != rows_arr.shape[0]:
+                raise GraphFormatError(
+                    "values must be one-dimensional and match rows/cols length"
+                )
+
+        if rows_arr.size:
+            if rows_arr.min(initial=0) < 0 or cols_arr.min(initial=0) < 0:
+                raise GraphFormatError("negative coordinates are not allowed")
+            if rows_arr.max(initial=-1) >= n_rows:
+                raise GraphFormatError(
+                    f"row index {int(rows_arr.max())} out of range for {n_rows} rows"
+                )
+            if cols_arr.max(initial=-1) >= n_cols:
+                raise GraphFormatError(
+                    f"col index {int(cols_arr.max())} out of range for {n_cols} cols"
+                )
+
+        self._rows = rows_arr
+        self._cols = cols_arr
+        self._values = values_arr
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """The logical dense shape ``(n_rows, n_cols)``."""
+        return self._shape
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Row coordinate of each non-zero (read-only view)."""
+        view = self._rows.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Column coordinate of each non-zero (read-only view)."""
+        view = self._cols.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def values(self) -> np.ndarray:
+        """Value of each non-zero (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros (duplicates counted separately)."""
+        return int(self._rows.shape[0])
+
+    @property
+    def density(self) -> float:
+        """``nnz / (n_rows * n_cols)`` — the paper's Figure 21 x-axis."""
+        cells = self._shape[0] * self._shape[1]
+        if cells == 0:
+            return 0.0
+        return self.nnz / cells
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __iter__(self) -> Iterator[Tuple[int, int, float]]:
+        for r, c, v in zip(self._rows, self._cols, self._values):
+            yield int(r), int(c), float(v)
+
+    def __repr__(self) -> str:
+        return (
+            f"COOMatrix(shape={self._shape}, nnz={self.nnz}, "
+            f"density={self.density:.3g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        return (
+            self._shape == other._shape
+            and np.array_equal(self._rows, other._rows)
+            and np.array_equal(self._cols, other._cols)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("COOMatrix is mutable-array-backed and unhashable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]] | Iterable[Tuple[int, int, float]],
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> "COOMatrix":
+        """Build from an iterable of ``(src, dst)`` or ``(src, dst, w)``.
+
+        When ``shape`` is omitted it is inferred as the smallest square
+        matrix containing every coordinate.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        values: list[float] = []
+        for edge in edges:
+            if len(edge) == 2:
+                r, c = edge  # type: ignore[misc]
+                w = 1.0
+            elif len(edge) == 3:
+                r, c, w = edge  # type: ignore[misc]
+            else:
+                raise GraphFormatError(
+                    f"edge tuples must have 2 or 3 elements, got {edge!r}"
+                )
+            rows.append(int(r))
+            cols.append(int(c))
+            values.append(float(w))
+        if shape is None:
+            extent = 0
+            if rows:
+                extent = max(max(rows), max(cols)) + 1
+            shape = (extent, extent)
+        return cls(shape, rows, cols, values)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a dense 2-D array, keeping exact non-zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise GraphFormatError("dense input must be two-dimensional")
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols])
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "COOMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(shape, [], [], [])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense matrix (duplicates summed)."""
+        dense = np.zeros(self._shape, dtype=np.float64)
+        np.add.at(dense, (self._rows, self._cols), self._values)
+        return dense
+
+    def transpose(self) -> "COOMatrix":
+        """Swap rows and columns (``A`` → ``A^T``)."""
+        return COOMatrix(
+            (self._shape[1], self._shape[0]),
+            self._cols.copy(),
+            self._rows.copy(),
+            self._values.copy(),
+        )
+
+    def sorted_by(self, order: str = "row") -> "COOMatrix":
+        """Return a copy sorted ``row``-major or ``col``-major.
+
+        ``row`` sorts by (row, col); ``col`` by (col, row) — the paper
+        assumes row-major source order before preprocessing and
+        column-major order inside each subgraph.
+        """
+        if order == "row":
+            perm = np.lexsort((self._cols, self._rows))
+        elif order == "col":
+            perm = np.lexsort((self._rows, self._cols))
+        else:
+            raise GraphFormatError(f"unknown sort order {order!r}")
+        return self.permuted(perm)
+
+    def permuted(self, perm: np.ndarray) -> "COOMatrix":
+        """Reorder entries by an explicit index permutation."""
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.nnz,):
+            raise GraphFormatError(
+                f"permutation length {perm.shape} does not match nnz {self.nnz}"
+            )
+        return COOMatrix(
+            self._shape,
+            self._rows[perm],
+            self._cols[perm],
+            self._values[perm],
+        )
+
+    def take(self, indices: np.ndarray) -> "COOMatrix":
+        """Select a subset of entries by index (order preserved as given)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise GraphFormatError("indices must be one-dimensional")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.nnz):
+            raise GraphFormatError("entry index out of range")
+        return COOMatrix(
+            self._shape,
+            self._rows[indices],
+            self._cols[indices],
+            self._values[indices],
+        )
+
+    def deduplicated(self, combine: str = "sum") -> "COOMatrix":
+        """Merge duplicate coordinates.
+
+        ``combine`` is ``"sum"`` (accumulate weights), ``"min"``,
+        ``"max"`` or ``"last"`` (keep the last occurrence).
+        """
+        if self.nnz == 0:
+            return COOMatrix.empty(self._shape)
+        keys = self._rows * self._shape[1] + self._cols
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        vals_sorted = self._values[order]
+        group_starts = np.flatnonzero(
+            np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
+        )
+        unique_keys = keys_sorted[group_starts]
+        if combine == "sum":
+            merged = np.add.reduceat(vals_sorted, group_starts)
+        elif combine == "min":
+            merged = np.minimum.reduceat(vals_sorted, group_starts)
+        elif combine == "max":
+            merged = np.maximum.reduceat(vals_sorted, group_starts)
+        elif combine == "last":
+            group_ends = np.concatenate((group_starts[1:], [len(keys_sorted)])) - 1
+            merged = vals_sorted[group_ends]
+        else:
+            raise GraphFormatError(f"unknown combine mode {combine!r}")
+        return COOMatrix(
+            self._shape,
+            unique_keys // self._shape[1],
+            unique_keys % self._shape[1],
+            merged,
+        )
+
+    def submatrix(
+        self,
+        row_start: int,
+        row_stop: int,
+        col_start: int,
+        col_stop: int,
+    ) -> "COOMatrix":
+        """Extract the tile ``[row_start:row_stop, col_start:col_stop]``
+        with coordinates re-based to the tile origin."""
+        if not (0 <= row_start <= row_stop <= self._shape[0]):
+            raise GraphFormatError(
+                f"row range [{row_start}, {row_stop}) invalid for {self._shape[0]} rows"
+            )
+        if not (0 <= col_start <= col_stop <= self._shape[1]):
+            raise GraphFormatError(
+                f"col range [{col_start}, {col_stop}) invalid for {self._shape[1]} cols"
+            )
+        mask = (
+            (self._rows >= row_start)
+            & (self._rows < row_stop)
+            & (self._cols >= col_start)
+            & (self._cols < col_stop)
+        )
+        return COOMatrix(
+            (row_stop - row_start, col_stop - col_start),
+            self._rows[mask] - row_start,
+            self._cols[mask] - col_start,
+            self._values[mask],
+        )
+
+    def with_values(self, values: Sequence[float]) -> "COOMatrix":
+        """Same sparsity pattern, different values."""
+        return COOMatrix(self._shape, self._rows.copy(), self._cols.copy(), values)
+
+    def scaled(self, factor: float) -> "COOMatrix":
+        """Multiply every value by ``factor``."""
+        return self.with_values(self._values * float(factor))
+
+    # ------------------------------------------------------------------
+    # Linear algebra helpers
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Exact ``A @ x`` computed on the sparse entries."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._shape[1],):
+            raise GraphFormatError(
+                f"vector length {x.shape} does not match {self._shape[1]} cols"
+            )
+        out = np.zeros(self._shape[0], dtype=np.float64)
+        np.add.at(out, self._rows, self._values * x[self._cols])
+        return out
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Exact ``A^T @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._shape[0],):
+            raise GraphFormatError(
+                f"vector length {x.shape} does not match {self._shape[0]} rows"
+            )
+        out = np.zeros(self._shape[1], dtype=np.float64)
+        np.add.at(out, self._cols, self._values * x[self._rows])
+        return out
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored entries per row (out-degree for adjacency)."""
+        return np.bincount(self._rows, minlength=self._shape[0]).astype(np.int64)
+
+    def col_degrees(self) -> np.ndarray:
+        """Number of stored entries per column (in-degree)."""
+        return np.bincount(self._cols, minlength=self._shape[1]).astype(np.int64)

@@ -1,0 +1,196 @@
+"""Compressed sparse row/column formats (Figure 4 of the paper).
+
+GraphR stores graphs as COO on disk, but the CPU baseline (GridGraph
+style) and the reference algorithm implementations traverse CSR/CSC.
+Both classes convert losslessly to and from :class:`COOMatrix` and offer
+row/column slicing that the vertex-centric reference algorithms use.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOMatrix
+
+__all__ = ["CSRMatrix", "CSCMatrix"]
+
+
+class _CompressedBase:
+    """Shared machinery for CSR and CSC.
+
+    Stores ``indptr`` over the *major* axis and ``indices`` on the
+    *minor* axis.  For CSR major = rows; for CSC major = columns.
+    """
+
+    __slots__ = ("_shape", "_indptr", "_indices", "_values")
+
+    #: Which axis of ``shape`` is the major (compressed) axis.
+    _MAJOR_AXIS = 0
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise GraphFormatError(f"shape must be non-negative, got {shape!r}")
+        self._shape = (n_rows, n_cols)
+        major = self._shape[self._MAJOR_AXIS]
+        minor = self._shape[1 - self._MAJOR_AXIS]
+
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if indptr.shape != (major + 1,):
+            raise GraphFormatError(
+                f"indptr must have length major+1 = {major + 1}, got {indptr.shape}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+            raise GraphFormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if indices.shape != values.shape:
+            raise GraphFormatError("indices and values length mismatch")
+        if indices.size and (indices.min() < 0 or indices.max() >= minor):
+            raise GraphFormatError("minor-axis index out of range")
+        self._indptr = indptr
+        self._indices = indices
+        self._values = values
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Logical dense shape ``(n_rows, n_cols)``."""
+        return self._shape
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Major-axis segment pointers (read-only)."""
+        view = self._indptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Minor-axis indices (read-only)."""
+        view = self._indices.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def values(self) -> np.ndarray:
+        """Non-zero values (read-only)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self._indices.shape[0])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shape={self._shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    def _major_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(minor_indices, values)`` for one major-axis index."""
+        major = self._shape[self._MAJOR_AXIS]
+        if not 0 <= i < major:
+            raise GraphFormatError(f"major index {i} out of range [0, {major})")
+        start, stop = int(self._indptr[i]), int(self._indptr[i + 1])
+        return self._indices[start:stop], self._values[start:stop]
+
+    def _expand_major(self) -> np.ndarray:
+        """Expand indptr into a per-entry major coordinate array."""
+        major = self._shape[self._MAJOR_AXIS]
+        return np.repeat(np.arange(major, dtype=np.int64), np.diff(self._indptr))
+
+    @classmethod
+    def _compress(cls, shape: Tuple[int, int], major: np.ndarray,
+                  minor: np.ndarray, values: np.ndarray) -> "_CompressedBase":
+        """Build from coordinate arrays by stable-sorting on the major axis."""
+        order = np.lexsort((minor, major))
+        major_sorted = major[order]
+        n_major = shape[cls._MAJOR_AXIS]
+        counts = np.bincount(major_sorted, minlength=n_major)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return cls(shape, indptr, minor[order], values[order])
+
+
+class CSRMatrix(_CompressedBase):
+    """Compressed sparse row matrix (Figure 4c)."""
+
+    _MAJOR_AXIS = 0
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Convert from :class:`COOMatrix` (duplicates preserved)."""
+        return cls._compress(coo.shape, np.asarray(coo.rows),
+                             np.asarray(coo.cols), np.asarray(coo.values))
+
+    def to_coo(self) -> COOMatrix:
+        """Convert back to coordinate form (row-major entry order)."""
+        return COOMatrix(self._shape, self._expand_major(), self._indices,
+                         self._values)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(col_indices, values)`` of row ``i`` — a vertex's out-edges."""
+        return self._major_slice(i)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Exact ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._shape[1],):
+            raise GraphFormatError(
+                f"vector length {x.shape} does not match {self._shape[1]} cols"
+            )
+        out = np.zeros(self._shape[0], dtype=np.float64)
+        np.add.at(out, self._expand_major(), self._values * x[self._indices])
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense matrix (duplicates summed)."""
+        return self.to_coo().to_dense()
+
+
+class CSCMatrix(_CompressedBase):
+    """Compressed sparse column matrix (Figure 4b)."""
+
+    _MAJOR_AXIS = 1
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        """Convert from :class:`COOMatrix` (duplicates preserved)."""
+        return cls._compress(coo.shape, np.asarray(coo.cols),
+                             np.asarray(coo.rows), np.asarray(coo.values))
+
+    def to_coo(self) -> COOMatrix:
+        """Convert back to coordinate form (column-major entry order)."""
+        return COOMatrix(self._shape, self._indices, self._expand_major(),
+                         self._values)
+
+    def col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row_indices, values)`` of column ``j`` — a vertex's in-edges."""
+        return self._major_slice(j)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Exact ``A @ x`` (gather along columns)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._shape[1],):
+            raise GraphFormatError(
+                f"vector length {x.shape} does not match {self._shape[1]} cols"
+            )
+        out = np.zeros(self._shape[0], dtype=np.float64)
+        np.add.at(out, self._indices, self._values * x[self._expand_major()])
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense matrix (duplicates summed)."""
+        return self.to_coo().to_dense()

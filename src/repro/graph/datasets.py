@@ -1,0 +1,150 @@
+"""Scaled analogs of the paper's evaluation datasets (Table 3).
+
+The paper evaluates on seven real graphs:
+
+========  ===================  ==========  =========
+Code      Dataset              # Vertices  # Edges
+========  ===================  ==========  =========
+WV        WikiVote             7.0 K       103 K
+SD        Slashdot             82 K        948 K
+AZ        Amazon               262 K       1.2 M
+WG        WebGoogle            0.88 M      5.1 M
+LJ        LiveJournal          4.8 M       69 M
+OK        Orkut                3.0 M       106 M
+NF        Netflix              480K users, 17.8K movies, 99 M ratings
+========  ===================  ==========  =========
+
+Offline we regenerate each as a deterministic R-MAT (or bipartite) graph.
+Graphs above ``MAX_SYNTH_EDGES`` edges are shrunk with density preserved
+and the shrink recorded in :attr:`Graph.scale_factor`; the performance
+models consume event counts, so relative platform ordering is
+scale-stable (DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import DatasetError
+from repro.graph.generators import bipartite_rating_graph, rmat
+from repro.graph.graph import Graph
+
+__all__ = ["DatasetSpec", "dataset", "list_datasets", "PAPER_DATASETS",
+           "MAX_SYNTH_EDGES"]
+
+#: Cap on generated edges: keeps every dataset analog laptop-friendly.
+MAX_SYNTH_EDGES = 2_000_000
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics of one Table 3 dataset.
+
+    ``paper_vertices`` / ``paper_edges`` are the counts in the paper;
+    ``bipartite`` marks Netflix, whose vertex count splits into
+    ``(users, items)``.
+    """
+
+    code: str
+    full_name: str
+    paper_vertices: int
+    paper_edges: int
+    bipartite: bool = False
+    users: int = 0
+    items: int = 0
+
+    def synthetic_size(self) -> Tuple[int, int, float]:
+        """``(vertices, edges, scale_factor)`` of the generated analog.
+
+        Shrinks vertices and edges by the same linear factor (so the
+        average degree, hence density relative to a graph of that size,
+        tracks the original) until the edge count fits under
+        :data:`MAX_SYNTH_EDGES`.
+        """
+        if self.paper_edges <= MAX_SYNTH_EDGES:
+            return self.paper_vertices, self.paper_edges, 1.0
+        factor = self.paper_edges / MAX_SYNTH_EDGES
+        vertices = max(2, int(self.paper_vertices / factor))
+        edges = MAX_SYNTH_EDGES
+        return vertices, edges, factor
+
+
+#: The seven Table 3 datasets, keyed by the paper's short code.
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    "WV": DatasetSpec("WV", "WikiVote", 7_000, 103_000),
+    "SD": DatasetSpec("SD", "Slashdot", 82_000, 948_000),
+    "AZ": DatasetSpec("AZ", "Amazon", 262_000, 1_200_000),
+    "WG": DatasetSpec("WG", "WebGoogle", 880_000, 5_100_000),
+    "LJ": DatasetSpec("LJ", "LiveJournal", 4_800_000, 69_000_000),
+    "OK": DatasetSpec("OK", "Orkut", 3_000_000, 106_000_000),
+    "NF": DatasetSpec("NF", "Netflix", 480_000 + 17_800, 99_000_000,
+                      bipartite=True, users=480_000, items=17_800),
+}
+
+_CACHE: Dict[Tuple[str, bool, int], Graph] = {}
+
+
+def list_datasets() -> Tuple[str, ...]:
+    """Short codes of every available dataset, in Table 3 order."""
+    return tuple(PAPER_DATASETS)
+
+
+def dataset(code: str, weighted: bool = False, seed: int = 7,
+            use_cache: bool = True) -> Graph:
+    """Generate (or fetch from cache) the analog of a Table 3 dataset.
+
+    Parameters
+    ----------
+    code:
+        Paper short code, e.g. ``"WV"`` (case-insensitive).
+    weighted:
+        Attach integer edge weights (needed for SSSP).  Netflix is
+        always weighted (ratings).
+    seed:
+        Generator seed; the default matches the shipped benchmarks.
+    use_cache:
+        Memoise the generated graph for the life of the process.  The
+        benchmark harness hits each dataset many times.
+    """
+    key = code.upper()
+    if key not in PAPER_DATASETS:
+        raise DatasetError(
+            f"unknown dataset {code!r}; available: {', '.join(PAPER_DATASETS)}"
+        )
+    spec = PAPER_DATASETS[key]
+    cache_key = (key, weighted, seed)
+    if use_cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+
+    vertices, edges, factor = spec.synthetic_size()
+    if spec.bipartite:
+        # Shrink the user dimension only: the item side is small in the
+        # original (17.8K movies) and shrinking it too would make the
+        # rating matrix unrealistically dense per crossbar tile.
+        users = max(2, int(spec.users / factor))
+        items = spec.items
+        ratings = min(edges, users * items)
+        graph = bipartite_rating_graph(
+            num_users=users, num_items=items, num_ratings=ratings,
+            seed=seed, name=key,
+        )
+    else:
+        scale = max(1, math.ceil(math.log2(max(2, vertices))))
+        graph = rmat(scale=scale, num_edges=edges, seed=seed,
+                     weighted=weighted, name=key)
+    graph = Graph(
+        adjacency=graph.adjacency,
+        name=key,
+        weighted=graph.weighted,
+        scale_factor=factor,
+    )
+    if use_cache:
+        _CACHE[cache_key] = graph
+    return graph
+
+
+def clear_cache() -> None:
+    """Drop all memoised datasets (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,176 @@
+"""The :class:`Graph` facade used throughout the library.
+
+A ``Graph`` wraps a directed, optionally weighted edge list stored as a
+:class:`~repro.graph.coo.COOMatrix` over a square vertex space, plus a
+little metadata (name, whether weights are meaningful, an optional
+scale factor recording how far a dataset analog was shrunk from the
+paper's original — see DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOMatrix
+from repro.graph.csr import CSCMatrix, CSRMatrix
+
+__all__ = ["Graph"]
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A directed graph over vertices ``0..num_vertices-1``.
+
+    Attributes
+    ----------
+    adjacency:
+        COO matrix whose entry ``(u, v, w)`` is a directed edge
+        ``u -> v`` with weight ``w``.
+    name:
+        Human-readable label (dataset short code for the paper's
+        datasets, e.g. ``"WV"``).
+    weighted:
+        Whether edge weights carry meaning.  Unweighted algorithms such
+        as BFS ignore weights either way; generators set this flag so
+        reports can state what was run.
+    scale_factor:
+        ``original_edges / generated_edges`` when the graph is a scaled
+        stand-in for a larger published dataset; ``1.0`` otherwise.
+    """
+
+    adjacency: COOMatrix
+    name: str = "graph"
+    weighted: bool = False
+    scale_factor: float = 1.0
+    _csr_cache: list = field(default_factory=list, repr=False, compare=False)
+    _csc_cache: list = field(default_factory=list, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.adjacency.shape[0] != self.adjacency.shape[1]:
+            raise GraphFormatError(
+                f"adjacency must be square, got {self.adjacency.shape}"
+            )
+        if self.scale_factor <= 0:
+            raise GraphFormatError("scale_factor must be positive")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]] | Iterable[Tuple[int, int, float]],
+        num_vertices: Optional[int] = None,
+        name: str = "graph",
+        weighted: bool = False,
+    ) -> "Graph":
+        """Build a graph from an edge iterable.
+
+        ``num_vertices`` defaults to one past the largest endpoint.
+        """
+        shape = None if num_vertices is None else (num_vertices, num_vertices)
+        coo = COOMatrix.from_edges(edges, shape=shape)
+        if coo.shape[0] != coo.shape[1]:
+            coo = COOMatrix(
+                (max(coo.shape), max(coo.shape)), coo.rows, coo.cols, coo.values
+            )
+        return cls(adjacency=coo, name=name, weighted=weighted)
+
+    # ------------------------------------------------------------------
+    # Shape and degree queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E|`` (duplicates counted)."""
+        return self.adjacency.nnz
+
+    @property
+    def density(self) -> float:
+        """``|E| / |V|^2`` — the x-axis of the paper's Figure 21."""
+        return self.adjacency.density
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree per vertex."""
+        return self.adjacency.row_degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree per vertex."""
+        return self.adjacency.col_degrees()
+
+    # ------------------------------------------------------------------
+    # Format views (cached)
+    # ------------------------------------------------------------------
+    def csr(self) -> CSRMatrix:
+        """Out-edge (CSR) view, converted on first use then cached."""
+        if not self._csr_cache:
+            self._csr_cache.append(CSRMatrix.from_coo(self.adjacency))
+        return self._csr_cache[0]
+
+    def csc(self) -> CSCMatrix:
+        """In-edge (CSC) view, converted on first use then cached."""
+        if not self._csc_cache:
+            self._csc_cache.append(CSCMatrix.from_coo(self.adjacency))
+        return self._csc_cache[0]
+
+    def reversed(self) -> "Graph":
+        """Graph with every edge direction flipped."""
+        return Graph(
+            adjacency=self.adjacency.transpose(),
+            name=f"{self.name}^T",
+            weighted=self.weighted,
+            scale_factor=self.scale_factor,
+        )
+
+    def deduplicated(self) -> "Graph":
+        """Graph with duplicate edges merged (weights summed)."""
+        return Graph(
+            adjacency=self.adjacency.deduplicated("sum"),
+            name=self.name,
+            weighted=self.weighted,
+            scale_factor=self.scale_factor,
+        )
+
+    def symmetrized(self) -> "Graph":
+        """Graph with every edge mirrored (weights deduplicated by min).
+
+        Used by undirected-semantics algorithms such as weakly connected
+        components.
+        """
+        adj = self.adjacency
+        rows = np.concatenate([np.asarray(adj.rows), np.asarray(adj.cols)])
+        cols = np.concatenate([np.asarray(adj.cols), np.asarray(adj.rows)])
+        values = np.concatenate([np.asarray(adj.values),
+                                 np.asarray(adj.values)])
+        sym = COOMatrix(adj.shape, rows, cols, values).deduplicated("min")
+        return Graph(
+            adjacency=sym,
+            name=f"{self.name}+sym",
+            weighted=self.weighted,
+            scale_factor=self.scale_factor,
+        )
+
+    def with_unit_weights(self) -> "Graph":
+        """Graph with every weight replaced by 1 (for BFS)."""
+        return Graph(
+            adjacency=self.adjacency.with_values(
+                np.ones(self.adjacency.nnz)
+            ),
+            name=self.name,
+            weighted=False,
+            scale_factor=self.scale_factor,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, weighted={self.weighted})"
+        )

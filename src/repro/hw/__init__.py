@@ -1,0 +1,42 @@
+"""Hardware modelling primitives: technology constants, energy ledger,
+latency bookkeeping and merged run statistics.
+
+All device numbers live in :mod:`repro.hw.params` in one auditable
+table; simulators never embed magic constants.
+"""
+
+from repro.hw.params import (
+    TechnologyParams,
+    ReRAMParams,
+    ADCParams,
+    RegisterParams,
+    SALUParams,
+    CPUParams,
+    GPUParams,
+    PIMParams,
+    DiskParams,
+    default_technology,
+)
+from repro.hw.energy import EnergyLedger
+from repro.hw.timing import LatencyModel
+from repro.hw.stats import RunStats
+from repro.hw.area import AreaBreakdown, AreaParams, node_area_mm2
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaParams",
+    "node_area_mm2",
+    "TechnologyParams",
+    "ReRAMParams",
+    "ADCParams",
+    "RegisterParams",
+    "SALUParams",
+    "CPUParams",
+    "GPUParams",
+    "PIMParams",
+    "DiskParams",
+    "default_technology",
+    "EnergyLedger",
+    "LatencyModel",
+    "RunStats",
+]

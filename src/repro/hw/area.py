@@ -1,0 +1,110 @@
+"""First-order silicon area model for one GraphR node.
+
+The paper discusses ADC area pressure qualitatively ("ADCs have
+relatively higher area and power consumption, ADCs are not connected to
+every bitline ... but shared"); this module quantifies the trade with
+survey-class constants so the geometry sweeps can report area next to
+time and energy.
+
+Constants (32 nm class, consistent with the paper's CACTI setting):
+
+* ReRAM cell: 4F^2 crosspoint, F = 32 nm -> ~0.004 um^2/cell; array
+  overhead (drivers/sense) triples it.
+* 8-bit 1 GSps SAR ADC: ~3000 um^2 (Murmann survey mid-range).
+* sALU lane: ~200 um^2; 16-bit register: ~15 um^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # imported lazily: repro.core depends on repro.hw
+    from repro.core.config import GraphRConfig
+
+__all__ = ["AreaParams", "node_area_mm2", "AreaBreakdown"]
+
+_UM2_PER_MM2 = 1e6
+
+
+@dataclass(frozen=True)
+class AreaParams:
+    """Per-component area constants in um^2."""
+
+    cell_um2: float = 0.004
+    array_overhead: float = 3.0         # drivers, mux, sense per array
+    adc_um2: float = 3000.0
+    salu_lane_um2: float = 200.0
+    register_entry_um2: float = 15.0
+    controller_um2: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if min(self.cell_um2, self.array_overhead, self.adc_um2,
+               self.salu_lane_um2, self.register_entry_um2,
+               self.controller_um2) <= 0:
+            raise ConfigError("area constants must be positive")
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas of one node, in mm^2."""
+
+    crossbars_mm2: float
+    adcs_mm2: float
+    salu_mm2: float
+    registers_mm2: float
+    controller_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Sum of all components."""
+        return (self.crossbars_mm2 + self.adcs_mm2 + self.salu_mm2
+                + self.registers_mm2 + self.controller_mm2)
+
+    def describe(self) -> str:
+        """Multi-line text report."""
+        rows = [
+            ("crossbars", self.crossbars_mm2),
+            ("ADCs", self.adcs_mm2),
+            ("sALU", self.salu_mm2),
+            ("registers", self.registers_mm2),
+            ("controller", self.controller_mm2),
+        ]
+        lines = [f"  {name:11s} {area:8.4f} mm^2 "
+                 f"({100 * area / self.total_mm2:5.1f}%)"
+                 for name, area in rows]
+        lines.append(f"  {'total':11s} {self.total_mm2:8.4f} mm^2")
+        return "\n".join(lines)
+
+
+def node_area_mm2(config: "GraphRConfig",
+                  params: AreaParams | None = None) -> AreaBreakdown:
+    """Area of the GE portion of one GraphR node.
+
+    Memory-ReRAM storage is excluded — it replaces DRAM the system
+    would need anyway; the accounted area is the compute overlay the
+    accelerator *adds*.
+    """
+    params = params or AreaParams()
+    s = config.crossbar_size
+    cells_per_array = s * s
+    arrays = config.crossbars_per_ge * config.num_ges
+    crossbars = (arrays * cells_per_array * params.cell_um2
+                 * params.array_overhead)
+
+    adcs = config.adcs_per_ge * config.num_ges * params.adc_um2
+    salu = config.num_ges * config.technology.salu.ops_per_cycle \
+        * params.salu_lane_um2
+    # RegI (tile_rows) + RegO (tile_cols) per node.
+    registers = (config.tile_rows + config.tile_cols) \
+        * params.register_entry_um2
+
+    return AreaBreakdown(
+        crossbars_mm2=crossbars / _UM2_PER_MM2,
+        adcs_mm2=adcs / _UM2_PER_MM2,
+        salu_mm2=salu / _UM2_PER_MM2,
+        registers_mm2=registers / _UM2_PER_MM2,
+        controller_mm2=params.controller_um2 / _UM2_PER_MM2,
+    )

@@ -1,0 +1,95 @@
+"""Energy accounting: a named-counter ledger in joules.
+
+Simulators never add floats ad hoc; they charge named events into an
+:class:`EnergyLedger` so reports can break total energy into
+device-level components (crossbar writes, ADC conversions, register
+traffic, ...), mirroring how the paper's Section 5.4 attributes savings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["EnergyLedger"]
+
+
+class EnergyLedger:
+    """Accumulates ``(component -> joules)`` and ``(component -> count)``.
+
+    Example
+    -------
+    >>> ledger = EnergyLedger()
+    >>> ledger.charge("adc", count=128, energy_per_event_j=16e-12)
+    >>> ledger.total_j
+    2.048e-09
+    """
+
+    __slots__ = ("_energy_j", "_counts")
+
+    def __init__(self) -> None:
+        self._energy_j: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def charge(self, component: str, count: int = 1,
+               energy_per_event_j: float = 0.0) -> None:
+        """Record ``count`` events of ``component``.
+
+        ``energy_per_event_j`` may be zero to count events that are
+        timing-only (the count still shows up in reports).
+        """
+        if count < 0:
+            raise ConfigError("event count must be non-negative")
+        if energy_per_event_j < 0:
+            raise ConfigError("energy per event must be non-negative")
+        self._counts[component] += int(count)
+        self._energy_j[component] += count * energy_per_event_j
+
+    def charge_joules(self, component: str, joules: float) -> None:
+        """Record a lump of energy with no event count (e.g. static power
+        integrated over runtime)."""
+        if joules < 0:
+            raise ConfigError("energy must be non-negative")
+        self._energy_j[component] += joules
+
+    # ------------------------------------------------------------------
+    @property
+    def total_j(self) -> float:
+        """Total joules across every component."""
+        return float(sum(self._energy_j.values()))
+
+    def energy_of(self, component: str) -> float:
+        """Joules charged to one component (0.0 if never charged)."""
+        return self._energy_j.get(component, 0.0)
+
+    def count_of(self, component: str) -> int:
+        """Event count of one component (0 if never charged)."""
+        return self._counts.get(component, 0)
+
+    def components(self) -> Tuple[str, ...]:
+        """All component names, sorted by descending energy."""
+        return tuple(sorted(self._energy_j, key=self._energy_j.get,
+                            reverse=True))
+
+    def breakdown(self) -> Mapping[str, float]:
+        """Copy of the ``component -> joules`` mapping."""
+        return dict(self._energy_j)
+
+    def counts(self) -> Mapping[str, int]:
+        """Copy of the ``component -> event count`` mapping."""
+        return dict(self._counts)
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Fold another ledger into this one."""
+        for component, joules in other._energy_j.items():
+            self._energy_j[component] += joules
+        for component, count in other._counts.items():
+            self._counts[component] += count
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._energy_j.items()))
+
+    def __repr__(self) -> str:
+        return f"EnergyLedger(total={self.total_j:.3e} J, components={len(self._energy_j)})"

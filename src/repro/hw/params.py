@@ -1,0 +1,195 @@
+"""Technology and platform constants, in one auditable table.
+
+Sources (mirroring Section 5.2 of the paper):
+
+* ReRAM cell: HRS/LRS 25 MOhm / 50 kOhm, read 0.7 V, write 2.0 V,
+  read/write latency 29.31 ns / 50.88 ns, read/write energy
+  1.08 pJ / 3.91 nJ — Niu et al., ICCAD 2013 [44], as cited by the paper.
+* 4-bit cells (conservative vs. the 5-bit programming reported in [26]);
+  16-bit fixed-point data via four bit-slices recombined by shift-add.
+* GE cycle 64 ns with one 1.0 GSps ADC shared by eight 8-bitline
+  crossbars per GE (Section 3.2, "Data Format" and "ADC").
+* On-chip registers modelled after CACTI 6.5 at 32 nm [1].
+* ADC energy from the Murmann ADC survey [41].
+* CPU: 2x Intel Xeon E5-2630 v3 (8 cores, 2.40 GHz, 20 MB L3, 85 W TDP
+  each), 128 GB DRAM (Table 4); energy estimated from TDP as the paper
+  does via Intel Product Specifications.
+* GPU: NVIDIA Tesla K40c — 2880 CUDA cores, 745 MHz, 12 GB GDDR5 at
+  288 GB/s, 235 W board power (Table 5; power via nvidia-smi in the
+  paper).
+* PIM: Tesseract [4] — 16 HMC cubes x 32 vaults, one in-order 2 GHz
+  core per vault (512 cores), 8 TB/s aggregate internal bandwidth.
+
+Every dataclass is frozen; experiments derive modified copies with
+:func:`dataclasses.replace` for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ReRAMParams",
+    "ADCParams",
+    "RegisterParams",
+    "SALUParams",
+    "CPUParams",
+    "GPUParams",
+    "PIMParams",
+    "DiskParams",
+    "TechnologyParams",
+    "default_technology",
+]
+
+
+@dataclass(frozen=True)
+class ReRAMParams:
+    """ReRAM cell and array constants ([44] via the paper)."""
+
+    read_latency_s: float = 29.31e-9
+    write_latency_s: float = 50.88e-9
+    read_energy_j: float = 1.08e-12      # per cell read
+    write_energy_j: float = 3.91e-9     # per cell write
+    cell_bits: int = 4                   # conservative multi-level cell
+    hrs_ohm: float = 25e6
+    lrs_ohm: float = 50e3
+    read_voltage_v: float = 0.7
+    write_voltage_v: float = 2.0
+    ge_cycle_s: float = 64e-9            # one streaming-apply GE cycle
+
+    def __post_init__(self) -> None:
+        if self.cell_bits <= 0 or self.cell_bits > 8:
+            raise ConfigError("cell_bits must be in [1, 8]")
+        if min(self.read_latency_s, self.write_latency_s, self.ge_cycle_s) <= 0:
+            raise ConfigError("latencies must be positive")
+
+
+@dataclass(frozen=True)
+class ADCParams:
+    """Shared analog-to-digital converter ([41])."""
+
+    sample_rate_sps: float = 1.0e9       # 1.0 GSps (Section 3.2)
+    resolution_bits: int = 8
+    power_w: float = 16e-3               # ISAAC-class 8-bit 1 GSps ADC
+
+    @property
+    def energy_per_sample_j(self) -> float:
+        """Joules per conversion = power / rate."""
+        return self.power_w / self.sample_rate_sps
+
+
+@dataclass(frozen=True)
+class RegisterParams:
+    """RegI/RegO register file at 32 nm (CACTI 6.5)."""
+
+    read_energy_j: float = 0.3e-12       # per 16-bit entry
+    write_energy_j: float = 0.6e-12
+    access_latency_s: float = 0.5e-9
+
+
+@dataclass(frozen=True)
+class SALUParams:
+    """Simple digital ALU performing reduce (add/min/...)."""
+
+    op_energy_j: float = 0.5e-12
+    op_latency_s: float = 1.0e-9
+    ops_per_cycle: int = 64              # lanes per GE
+
+
+@dataclass(frozen=True)
+class CPUParams:
+    """Dual-socket Xeon E5-2630 v3 platform (Table 4)."""
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+    threads: int = 32
+    frequency_hz: float = 2.4e9
+    ipc: float = 1.6                     # sustained on pointer-heavy code
+    tdp_w_per_socket: float = 85.0
+    dram_power_w: float = 25.0           # 128 GB DDR4, active
+    dram_bandwidth_bps: float = 59e9     # 4-channel DDR4-1866, ~59 GB/s
+    cache_line_bytes: int = 64
+    l3_bytes: int = 20 * 1024 * 1024
+
+    @property
+    def total_power_w(self) -> float:
+        """Package + DRAM power, the paper's TDP-based estimate."""
+        return self.sockets * self.tdp_w_per_socket + self.dram_power_w
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across sockets."""
+        return self.sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class GPUParams:
+    """NVIDIA Tesla K40c platform (Table 5)."""
+
+    cuda_cores: int = 2880
+    frequency_hz: float = 745e6
+    memory_bandwidth_bps: float = 288e9
+    memory_bytes: int = 12 * 1024**3
+    board_power_w: float = 235.0
+    pcie_bandwidth_bps: float = 12e9     # PCIe 3.0 x16 effective
+    kernel_launch_s: float = 8e-6
+    simt_efficiency: float = 0.25        # divergence/irregularity derate
+
+
+@dataclass(frozen=True)
+class PIMParams:
+    """Tesseract-style HMC processing-in-memory platform [4]."""
+
+    cubes: int = 16
+    vaults_per_cube: int = 32
+    core_frequency_hz: float = 2.0e9
+    core_ipc: float = 1.0                # single-issue in-order
+    internal_bandwidth_bps: float = 8e12  # aggregate across cubes
+    intercube_bandwidth_bps: float = 120e9
+    message_overhead_cycles: int = 40    # put() injection + interrupt
+    #: 16 HMC cubes at ~11 W each (DRAM + logic + SerDes links) plus 512
+    #: in-order cores — consistent with Tesseract's reported budget.
+    power_w: float = 220.0
+    remote_edge_fraction: float = 0.75   # edges crossing vault boundaries
+
+    @property
+    def total_cores(self) -> int:
+        """One in-order core per vault."""
+        return self.cubes * self.vaults_per_cube
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Sequential-only disk, per the out-of-core workflow.
+
+    Execution-time comparisons exclude disk I/O (Section 5.2), but the
+    model exists so examples can report end-to-end numbers.
+    """
+
+    sequential_bandwidth_bps: float = 500e6
+    power_w: float = 5.0
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Bundle of every platform's constants used in one experiment."""
+
+    reram: ReRAMParams = field(default_factory=ReRAMParams)
+    adc: ADCParams = field(default_factory=ADCParams)
+    registers: RegisterParams = field(default_factory=RegisterParams)
+    salu: SALUParams = field(default_factory=SALUParams)
+    cpu: CPUParams = field(default_factory=CPUParams)
+    gpu: GPUParams = field(default_factory=GPUParams)
+    pim: PIMParams = field(default_factory=PIMParams)
+    disk: DiskParams = field(default_factory=DiskParams)
+
+    def with_reram(self, **kwargs) -> "TechnologyParams":
+        """Copy with ReRAM constants overridden (ablation helper)."""
+        return replace(self, reram=replace(self.reram, **kwargs))
+
+
+def default_technology() -> TechnologyParams:
+    """The constants used by every shipped benchmark."""
+    return TechnologyParams()

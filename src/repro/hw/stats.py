@@ -1,0 +1,70 @@
+"""Merged run statistics returned by every platform's ``run`` method."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.hw.energy import EnergyLedger
+from repro.hw.timing import LatencyModel
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """What one simulated execution cost and how it went.
+
+    Attributes
+    ----------
+    platform:
+        ``"graphr"``, ``"cpu"``, ``"gpu"`` or ``"pim"``.
+    algorithm:
+        Algorithm name (``"pagerank"`` ...).
+    dataset:
+        Graph name the run used.
+    seconds:
+        Simulated execution time (excludes disk I/O, per Section 5.2).
+    energy:
+        Component-level energy ledger.
+    latency:
+        Phase-level latency breakdown summing to ``seconds``.
+    iterations:
+        Algorithm iterations executed.
+    extra:
+        Model-specific counters (non-empty subgraphs, cache hit rate...).
+    """
+
+    platform: str
+    algorithm: str
+    dataset: str
+    seconds: float = 0.0
+    energy: EnergyLedger = field(default_factory=EnergyLedger)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    iterations: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def joules(self) -> float:
+        """Total simulated energy."""
+        return self.energy.total_j
+
+    def speedup_over(self, baseline: "RunStats") -> float:
+        """``baseline.seconds / self.seconds`` (Figure 17/19/20 metric)."""
+        if self.seconds <= 0:
+            raise ZeroDivisionError("run has zero simulated time")
+        return baseline.seconds / self.seconds
+
+    def energy_saving_over(self, baseline: "RunStats") -> float:
+        """``baseline.joules / self.joules`` (Figure 18/19/20 metric)."""
+        if self.joules <= 0:
+            raise ZeroDivisionError("run has zero simulated energy")
+        return baseline.joules / self.joules
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"[{self.platform}] {self.algorithm} on {self.dataset}: "
+            f"{self.seconds:.4g} s, {self.joules:.4g} J, "
+            f"{self.iterations} iterations"
+        )

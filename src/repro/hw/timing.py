@@ -1,0 +1,57 @@
+"""Latency accounting mirroring :class:`~repro.hw.energy.EnergyLedger`.
+
+Simulated time is accumulated per named phase (``crossbar_program``,
+``ge_compute``, ``reduce`` ...) so reports can show where cycles go.
+Phases on parallel hardware should be charged with the *critical path*
+duration, not the sum over parallel units — callers decide.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Accumulates ``(phase -> seconds)``."""
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = defaultdict(float)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Charge wall-clock seconds to a phase."""
+        if seconds < 0:
+            raise ConfigError("latency must be non-negative")
+        self._seconds[phase] += seconds
+
+    @property
+    def total_s(self) -> float:
+        """Total simulated seconds across phases."""
+        return float(sum(self._seconds.values()))
+
+    def seconds_of(self, phase: str) -> float:
+        """Seconds charged to one phase (0.0 if never charged)."""
+        return self._seconds.get(phase, 0.0)
+
+    def phases(self) -> Tuple[str, ...]:
+        """Phase names sorted by descending time."""
+        return tuple(sorted(self._seconds, key=self._seconds.get,
+                            reverse=True))
+
+    def breakdown(self) -> Mapping[str, float]:
+        """Copy of the ``phase -> seconds`` mapping."""
+        return dict(self._seconds)
+
+    def merge(self, other: "LatencyModel") -> None:
+        """Fold another latency model into this one."""
+        for phase, seconds in other._seconds.items():
+            self._seconds[phase] += seconds
+
+    def __repr__(self) -> str:
+        return f"LatencyModel(total={self.total_s:.3e} s, phases={len(self._seconds)})"

@@ -1,0 +1,37 @@
+"""ReRAM device substrate: cells, crossbars and GE peripherals.
+
+This subpackage models the analog hardware of Figure 8 functionally:
+fixed-point values are quantised to multi-level-cell conductances,
+matrix-vector products happen per bit-slice, and the peripheral chain
+(driver -> crossbar -> sample/hold -> ADC -> shift/add -> sALU)
+reconstructs digital results.  Timing/energy live in
+:mod:`repro.hw.params`; these classes count the events.
+"""
+
+from repro.reram.fixed_point import FixedPointFormat, quantize, bit_slices, combine_slices
+from repro.reram.cell import ReRAMCell
+from repro.reram.crossbar import Crossbar
+from repro.reram.driver import WordlineDriver
+from repro.reram.sample_hold import SampleHoldArray
+from repro.reram.adc import SharedADC
+from repro.reram.shift_add import ShiftAddUnit
+from repro.reram.salu import SALU, REDUCE_OPS
+from repro.reram.ge_assembly import DeviceGraphEngine
+from repro.reram.variation import VariationModel
+
+__all__ = [
+    "DeviceGraphEngine",
+    "VariationModel",
+    "FixedPointFormat",
+    "quantize",
+    "bit_slices",
+    "combine_slices",
+    "ReRAMCell",
+    "Crossbar",
+    "WordlineDriver",
+    "SampleHoldArray",
+    "SharedADC",
+    "ShiftAddUnit",
+    "SALU",
+    "REDUCE_OPS",
+]

@@ -1,0 +1,84 @@
+"""Shared analog-to-digital converter (Section 3.2).
+
+ADCs are expensive, so one ADC is time-multiplexed across the bitlines
+of all crossbars in a GE: "If the GE cycle is 64ns, we can have one ADC
+working at 1.0GSps to convert all data from eight 8-bitline crossbars
+within one GE."  The model quantises analog sums to the ADC resolution
+and counts conversions for time/energy charging.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.hw.params import ADCParams
+
+__all__ = ["SharedADC"]
+
+
+class SharedADC:
+    """One ADC shared by many bitlines.
+
+    Parameters
+    ----------
+    params:
+        Rate / resolution / power constants.
+    full_scale:
+        Largest analog value the ADC can represent; inputs are clipped
+        (hardware saturation).  For a bit-slice crossbar the natural
+        full scale is ``rows * max_level * max_input_code``.
+    """
+
+    def __init__(self, params: ADCParams | None = None,
+                 full_scale: float = float((1 << 8) - 1)) -> None:
+        if full_scale <= 0:
+            raise DeviceError("full_scale must be positive")
+        self.params = params or ADCParams()
+        self.full_scale = float(full_scale)
+        self.conversions = 0
+
+    @property
+    def levels(self) -> int:
+        """Distinct output codes."""
+        return 1 << self.params.resolution_bits
+
+    def convert(self, analog_values: np.ndarray) -> np.ndarray:
+        """Quantise a vector of analog sums to ADC codes (as values).
+
+        Returns values snapped to the ADC grid over ``[0, full_scale]``.
+        """
+        values = np.asarray(analog_values, dtype=np.float64)
+        if values.ndim != 1:
+            raise DeviceError("ADC input must be a vector")
+        clipped = np.clip(values, 0.0, self.full_scale)
+        step = self.full_scale / (self.levels - 1)
+        codes = np.rint(clipped / step)
+        self.conversions += int(values.shape[0])
+        return codes * step
+
+    def conversion_time_s(self, num_values: int) -> float:
+        """Seconds to serially convert ``num_values`` samples."""
+        if num_values < 0:
+            raise DeviceError("num_values must be non-negative")
+        return num_values / self.params.sample_rate_sps
+
+    def conversion_energy_j(self, num_values: int) -> float:
+        """Joules to convert ``num_values`` samples."""
+        if num_values < 0:
+            raise DeviceError("num_values must be non-negative")
+        return num_values * self.params.energy_per_sample_j
+
+    def fits_in_cycle(self, num_values: int, cycle_s: float) -> bool:
+        """Whether a conversion batch fits in one GE cycle — the paper's
+        8-crossbar x 8-bitline / 64 ns sizing check."""
+        return self.conversion_time_s(num_values) <= cycle_s + 1e-18
+
+    @staticmethod
+    def required_rate_sps(num_values: int, cycle_s: float) -> float:
+        """Minimum sample rate to drain ``num_values`` per cycle."""
+        if cycle_s <= 0:
+            raise DeviceError("cycle_s must be positive")
+        return math.ceil(num_values / cycle_s)

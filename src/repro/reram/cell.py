@@ -1,0 +1,85 @@
+"""Single ReRAM cell model (Section 2.2, Figure 3a/b).
+
+A metal-insulator-metal cell switches between a high-resistance state
+(HRS, logical 0) and a low-resistance state (LRS, logical 1); multi-level
+cells interpolate conductance between the two extremes to store
+``cell_bits`` bits.  This class keeps the mapping between stored level,
+conductance and read current explicit so the crossbar's analog
+dot-product is physically interpretable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+from repro.hw.params import ReRAMParams
+
+__all__ = ["ReRAMCell"]
+
+
+@dataclass
+class ReRAMCell:
+    """One multi-level ReRAM cell.
+
+    The stored *level* is an integer in ``[0, 2**cell_bits - 1]``;
+    level 0 maps to HRS conductance (~0) and the maximum level to LRS
+    conductance, linearly in between — the standard linear-conductance
+    MLC idealisation used by ISAAC/PRIME-class models.
+    """
+
+    params: ReRAMParams = field(default_factory=ReRAMParams)
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        self._check_level(self.level)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Distinct programmable levels (``2**cell_bits``)."""
+        return 1 << self.params.cell_bits
+
+    @property
+    def g_min(self) -> float:
+        """HRS conductance in siemens."""
+        return 1.0 / self.params.hrs_ohm
+
+    @property
+    def g_max(self) -> float:
+        """LRS conductance in siemens."""
+        return 1.0 / self.params.lrs_ohm
+
+    @property
+    def conductance(self) -> float:
+        """Conductance of the current level (linear MLC map)."""
+        span = self.g_max - self.g_min
+        return self.g_min + span * self.level / (self.num_levels - 1)
+
+    # ------------------------------------------------------------------
+    def program(self, level: int) -> float:
+        """Set the stored level; returns the write energy in joules.
+
+        Programming cost is charged per write regardless of the level
+        delta — the paper argues the High->Low full swing is the worst
+        case and uses one conservative constant.
+        """
+        self._check_level(level)
+        self.level = int(level)
+        return self.params.write_energy_j
+
+    def read_current(self, voltage: float | None = None) -> float:
+        """Bitline current contribution ``I = V * G`` in amperes."""
+        v = self.params.read_voltage_v if voltage is None else voltage
+        if v < 0:
+            raise DeviceError("read voltage must be non-negative")
+        return v * self.conductance
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= int(level) < self.num_levels:
+            raise DeviceError(
+                f"level {level} outside [0, {self.num_levels})"
+            )
+
+    def __repr__(self) -> str:
+        return f"ReRAMCell(level={self.level}/{self.num_levels - 1})"

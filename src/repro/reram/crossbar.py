@@ -1,0 +1,224 @@
+"""ReRAM crossbar: in-situ matrix-vector multiplication (Figure 3c).
+
+A ``C x C`` crossbar stores a matrix as cell conductances and computes
+``b_j = sum_i a_i * w_ij`` in one read cycle by summing bitline
+currents.  This model is *functional*: values are 4-bit slice integers,
+arithmetic is exact integer math (with optional Gaussian read noise to
+exercise the paper's error-resilience argument), and event counts are
+returned so callers can charge time/energy.
+
+Design notes
+------------
+* The crossbar stores a single bit-slice; a full 16-bit matrix occupies
+  ``total_bits / cell_bits`` slice crossbars whose outputs are
+  recombined by :class:`~repro.reram.shift_add.ShiftAddUnit`.
+* Inputs are applied as multi-cycle 1-bit (or small-step) DAC pulses in
+  real hardware; we present the input vector numerically and count one
+  GE cycle, matching the paper's 64 ns GE-cycle abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.hw.params import ReRAMParams
+
+__all__ = ["Crossbar", "CrossbarOpCounts"]
+
+
+@dataclass
+class CrossbarOpCounts:
+    """Events produced by one crossbar operation."""
+
+    cells_written: int = 0
+    row_writes: int = 0
+    mvm_ops: int = 0
+    cells_activated: int = 0
+
+    def merge(self, other: "CrossbarOpCounts") -> None:
+        """Accumulate another operation's counts."""
+        self.cells_written += other.cells_written
+        self.row_writes += other.row_writes
+        self.mvm_ops += other.mvm_ops
+        self.cells_activated += other.cells_activated
+
+
+class Crossbar:
+    """A ``rows x cols`` array of multi-level cells storing one bit-slice.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions (the paper's ``C``; 8 in the evaluation,
+        plus callers may allocate an extra bias row as Figure 16 does).
+    params:
+        Device constants; ``params.cell_bits`` bounds storable levels.
+    noise_sigma:
+        Standard deviation of additive Gaussian noise applied to each
+        analog bitline sum, in units of one cell level.  0 disables
+        noise (default).
+    seed:
+        RNG seed for the noise source.
+    """
+
+    def __init__(self, rows: int, cols: int,
+                 params: Optional[ReRAMParams] = None,
+                 noise_sigma: float = 0.0, seed: int = 0) -> None:
+        if rows <= 0 or cols <= 0:
+            raise DeviceError("crossbar dimensions must be positive")
+        if noise_sigma < 0:
+            raise DeviceError("noise_sigma must be non-negative")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.params = params or ReRAMParams()
+        self.noise_sigma = float(noise_sigma)
+        self._rng = np.random.default_rng(seed)
+        self._levels = np.zeros((rows, cols), dtype=np.int64)
+        self._max_level = (1 << self.params.cell_bits) - 1
+        self._stuck_mask: np.ndarray | None = None
+        self._stuck_values: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> np.ndarray:
+        """Stored cell levels (read-only view)."""
+        view = self._levels.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def max_level(self) -> int:
+        """Largest programmable level (``2**cell_bits - 1``)."""
+        return self._max_level
+
+    # ------------------------------------------------------------------
+    def inject_stuck_faults(self, fraction: float,
+                            stuck_at: str = "off",
+                            seed: int | None = None) -> int:
+        """Mark a random fraction of cells as permanently stuck.
+
+        ``stuck_at`` is ``"off"`` (stuck at HRS, level 0 — the common
+        ReRAM endurance failure) or ``"on"`` (stuck at LRS, max level).
+        Stuck cells ignore all subsequent programming.  Returns the
+        number of faulty cells.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise DeviceError("fault fraction must be in [0, 1]")
+        if stuck_at not in ("off", "on"):
+            raise DeviceError("stuck_at must be 'off' or 'on'")
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        mask = rng.random((self.rows, self.cols)) < fraction
+        value = 0 if stuck_at == "off" else self._max_level
+        self._stuck_mask = mask
+        self._stuck_values = np.full((self.rows, self.cols), value,
+                                     dtype=np.int64)
+        self._apply_faults()
+        return int(mask.sum())
+
+    @property
+    def faulty_cells(self) -> int:
+        """Number of stuck cells (0 when no faults injected)."""
+        if self._stuck_mask is None:
+            return 0
+        return int(self._stuck_mask.sum())
+
+    def _apply_faults(self) -> None:
+        if self._stuck_mask is not None:
+            self._levels = np.where(self._stuck_mask, self._stuck_values,
+                                    self._levels)
+
+    def program(self, tile: np.ndarray) -> CrossbarOpCounts:
+        """Write a whole tile of levels (row by row, as the driver does).
+
+        ``tile`` must be ``rows x cols`` integers within the cell range.
+        Returns the op counts; the caller charges
+        ``row_writes * write_latency`` (rows are written one wordline at
+        a time, all columns in parallel) and
+        ``cells_written * write_energy``.
+        """
+        tile = np.asarray(tile, dtype=np.int64)
+        if tile.shape != (self.rows, self.cols):
+            raise DeviceError(
+                f"tile shape {tile.shape} != crossbar {self.rows}x{self.cols}"
+            )
+        if tile.size and (tile.min() < 0 or tile.max() > self._max_level):
+            raise DeviceError(
+                f"tile levels outside [0, {self._max_level}]"
+            )
+        self._levels = tile.copy()
+        self._apply_faults()
+        return CrossbarOpCounts(
+            cells_written=int(tile.size),
+            row_writes=self.rows,
+        )
+
+    def program_sparse(self, rows: np.ndarray, cols: np.ndarray,
+                       levels: np.ndarray) -> CrossbarOpCounts:
+        """Clear the array and write only the listed cells.
+
+        Models the controller converting a COO subgraph slice directly:
+        untouched cells stay at level 0, and only touched *rows* incur a
+        write pulse.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        levels = np.asarray(levels, dtype=np.int64)
+        if not (rows.shape == cols.shape == levels.shape):
+            raise DeviceError("rows, cols, levels must have equal length")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= self.rows:
+                raise DeviceError("row index out of range")
+            if cols.min() < 0 or cols.max() >= self.cols:
+                raise DeviceError("col index out of range")
+            if levels.min() < 0 or levels.max() > self._max_level:
+                raise DeviceError(f"levels outside [0, {self._max_level}]")
+        self._levels = np.zeros((self.rows, self.cols), dtype=np.int64)
+        self._levels[rows, cols] = levels
+        self._apply_faults()
+        touched_rows = int(np.unique(rows).size)
+        return CrossbarOpCounts(
+            cells_written=int(rows.size),
+            row_writes=touched_rows,
+        )
+
+    # ------------------------------------------------------------------
+    def mvm(self, inputs: np.ndarray) -> tuple[np.ndarray, CrossbarOpCounts]:
+        """Analog MVM: ``out[j] = sum_i inputs[i] * levels[i, j]``.
+
+        ``inputs`` is a length-``rows`` non-negative integer (or small
+        fixed-point) vector presented by the driver.  Returns the raw
+        bitline sums (before shift-add) and the op counts.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape != (self.rows,):
+            raise DeviceError(
+                f"input length {inputs.shape} != {self.rows} wordlines"
+            )
+        if inputs.size and inputs.min() < 0:
+            raise DeviceError("driver inputs must be non-negative")
+        sums = inputs @ self._levels
+        if self.noise_sigma > 0:
+            sums = sums + self._rng.normal(0.0, self.noise_sigma,
+                                           size=sums.shape)
+            sums = np.maximum(sums, 0.0)
+        active = int(np.count_nonzero(inputs)) * self.cols
+        counts = CrossbarOpCounts(mvm_ops=1, cells_activated=active)
+        return sums, counts
+
+    def select_row(self, row: int) -> tuple[np.ndarray, CrossbarOpCounts]:
+        """Read one stored row via a one-hot MVM (the SSSP row select:
+        "SpMV is only used to select a row in CB by multiplying with an
+        one-hot vector")."""
+        if not 0 <= row < self.rows:
+            raise DeviceError(f"row {row} out of range")
+        one_hot = np.zeros(self.rows)
+        one_hot[row] = 1.0
+        return self.mvm(one_hot)
+
+    def __repr__(self) -> str:
+        return (f"Crossbar({self.rows}x{self.cols}, cell_bits="
+                f"{self.params.cell_bits}, noise={self.noise_sigma})")

@@ -1,0 +1,74 @@
+"""Wordline driver (DRV in Figure 8).
+
+The driver has two jobs in the paper: loading edge data into crossbars
+for processing, and presenting input vectors for matrix-vector
+multiplication.  Functionally it validates and quantises the input
+vector; its event counts let the node charge register reads and drive
+energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.reram.fixed_point import FixedPointFormat
+
+__all__ = ["WordlineDriver", "DriveCounts"]
+
+
+@dataclass
+class DriveCounts:
+    """Events from one drive operation."""
+
+    wordlines_driven: int = 0
+    input_bits: int = 0
+
+
+class WordlineDriver:
+    """Quantises and presents input vectors to a crossbar.
+
+    Parameters
+    ----------
+    lanes:
+        Number of wordlines this driver feeds (= crossbar rows).
+    fmt:
+        Fixed-point format of presented values.
+    """
+
+    def __init__(self, lanes: int, fmt: FixedPointFormat | None = None) -> None:
+        if lanes <= 0:
+            raise DeviceError("driver lanes must be positive")
+        self.lanes = int(lanes)
+        self.fmt = fmt or FixedPointFormat()
+
+    def present(self, values: np.ndarray) -> tuple[np.ndarray, DriveCounts]:
+        """Quantise ``values`` to driver codes.
+
+        Returns ``(codes, counts)`` where ``codes`` is the integer
+        vector actually applied to the wordlines.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.lanes,):
+            raise DeviceError(
+                f"input length {values.shape} != {self.lanes} lanes"
+            )
+        if values.size and values.min() < 0:
+            raise DeviceError("driver values must be non-negative")
+        codes = self.fmt.encode(values)
+        driven = int(np.count_nonzero(codes))
+        counts = DriveCounts(
+            wordlines_driven=driven,
+            input_bits=driven * self.fmt.total_bits,
+        )
+        return codes, counts
+
+    def one_hot(self, row: int) -> tuple[np.ndarray, DriveCounts]:
+        """A unit pulse on one wordline (row select)."""
+        if not 0 <= row < self.lanes:
+            raise DeviceError(f"row {row} out of range for {self.lanes} lanes")
+        codes = np.zeros(self.lanes, dtype=np.int64)
+        codes[row] = 1
+        return codes, DriveCounts(wordlines_driven=1, input_bits=1)

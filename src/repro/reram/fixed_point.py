@@ -1,0 +1,110 @@
+"""16-bit fixed-point helpers and bit-slicing (Section 3.2, "Data Format").
+
+A 16-bit value ``M`` is split into four 4-bit segments
+``M = [M3, M2, M1, M0]``; each segment is programmed into a separate
+4-bit ReRAM crossbar slice and the shift-add unit recombines partial
+results as ``D3 << 12 | D2 << 8 | D1 << 4 | D0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+__all__ = ["FixedPointFormat", "quantize", "bit_slices", "combine_slices"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Unsigned fixed-point format ``total_bits`` wide with
+    ``frac_bits`` fractional bits.
+
+    The paper computes on 16-bit fixed point; probability-valued
+    algorithms (PageRank) use a large fractional part, integer
+    algorithms (SSSP distances) use none.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.total_bits <= 32:
+            raise DeviceError("total_bits must be in [1, 32]")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise DeviceError("frac_bits must be in [0, total_bits)")
+
+    @property
+    def scale(self) -> float:
+        """Real-value step per integer code."""
+        return 1.0 / (1 << self.frac_bits)
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable integer code."""
+        return (1 << self.total_bits) - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code * self.scale
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> integer codes, clamping to the format range.
+
+        Clamping (not raising) reflects hardware saturation; the paper's
+        algorithms tolerate this imprecision (Section 1).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.rint(values / self.scale)
+        return np.clip(codes, 0, self.max_code).astype(np.int64)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> real values."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Round-trip real values through the fixed-point format."""
+    return fmt.decode(fmt.encode(values))
+
+
+def bit_slices(codes: np.ndarray, cell_bits: int, total_bits: int) -> List[np.ndarray]:
+    """Split integer codes into ``total_bits / cell_bits`` cell-sized
+    slices, least-significant first.
+
+    Each slice holds ``cell_bits`` bits, i.e. one programmable ReRAM
+    cell level.
+    """
+    if cell_bits <= 0 or total_bits <= 0:
+        raise DeviceError("cell_bits and total_bits must be positive")
+    if total_bits % cell_bits != 0:
+        raise DeviceError(
+            f"total_bits {total_bits} must be a multiple of cell_bits {cell_bits}"
+        )
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.size and (codes.min() < 0 or codes.max() >= (1 << total_bits)):
+        raise DeviceError("code out of range for the slicing width")
+    mask = (1 << cell_bits) - 1
+    return [
+        (codes >> (i * cell_bits)) & mask
+        for i in range(total_bits // cell_bits)
+    ]
+
+
+def combine_slices(slices: List[np.ndarray], cell_bits: int) -> np.ndarray:
+    """Shift-and-add recombination, least-significant slice first.
+
+    Inputs may be *sums* of slice values (partial dot products), so
+    individual entries can exceed ``2**cell_bits - 1``; the weighted sum
+    is still exact.
+    """
+    if not slices:
+        raise DeviceError("need at least one slice")
+    total = np.zeros_like(np.asarray(slices[0], dtype=np.int64))
+    for i, part in enumerate(slices):
+        total = total + (np.asarray(part, dtype=np.int64) << (i * cell_bits))
+    return total

@@ -1,0 +1,158 @@
+"""A literal Figure 8 graph engine, assembled from device objects.
+
+:class:`DeviceGraphEngine` wires ``N`` bit-sliced
+:class:`~repro.reram.crossbar.Crossbar` arrays to a
+:class:`~repro.reram.driver.WordlineDriver`, per-crossbar
+:class:`~repro.reram.sample_hold.SampleHoldArray` banks, shared
+:class:`~repro.reram.adc.SharedADC` converters, a
+:class:`~repro.reram.shift_add.ShiftAddUnit` and a
+:class:`~repro.reram.salu.SALU` — and executes one subgraph tile the
+slow, faithful way.
+
+The production simulator uses the vectorised
+:class:`~repro.core.engine.GraphEngine` shortcut; tests assert this
+assembly produces identical numbers, which is what licenses the
+shortcut.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.hw.params import ADCParams, ReRAMParams
+from repro.reram.adc import SharedADC
+from repro.reram.crossbar import Crossbar, CrossbarOpCounts
+from repro.reram.driver import WordlineDriver
+from repro.reram.fixed_point import FixedPointFormat, bit_slices
+from repro.reram.salu import SALU
+from repro.reram.sample_hold import SampleHoldArray
+from repro.reram.shift_add import ShiftAddUnit
+
+__all__ = ["DeviceGraphEngine"]
+
+
+class DeviceGraphEngine:
+    """One graph engine built entirely from device-level components.
+
+    Parameters
+    ----------
+    crossbar_size:
+        ``S`` — rows/columns of each crossbar.
+    logical_crossbars:
+        Full-precision ``S x S`` tiles this GE holds; each consumes
+        ``slices`` physical crossbars.
+    fmt:
+        Fixed-point format of coefficients and inputs.
+    reram / adc:
+        Device constants.
+    """
+
+    def __init__(self, crossbar_size: int = 8,
+                 logical_crossbars: int = 8,
+                 fmt: FixedPointFormat | None = None,
+                 reram: ReRAMParams | None = None,
+                 adc: ADCParams | None = None) -> None:
+        if crossbar_size <= 0 or logical_crossbars <= 0:
+            raise DeviceError("geometry must be positive")
+        self.s = int(crossbar_size)
+        self.logical = int(logical_crossbars)
+        self.fmt = fmt or FixedPointFormat(16, 8)
+        self.reram = reram or ReRAMParams()
+        self.slices = self.fmt.total_bits // self.reram.cell_bits
+        if self.fmt.total_bits % self.reram.cell_bits:
+            raise DeviceError("data width must be a multiple of cell bits")
+
+        self.driver = WordlineDriver(self.s, self.fmt)
+        # slice-major physical layout: crossbars[logical][slice]
+        self.crossbars: List[List[Crossbar]] = [
+            [Crossbar(self.s, self.s, params=self.reram)
+             for _ in range(self.slices)]
+            for _ in range(self.logical)
+        ]
+        self.sample_hold = [
+            SampleHoldArray(self.s * self.slices)
+            for _ in range(self.logical)
+        ]
+        full_scale = float(self.s) * ((1 << self.reram.cell_bits) - 1) \
+            * self.fmt.max_code
+        self.adc = SharedADC(adc or ADCParams(), full_scale=full_scale)
+        self.shift_add = ShiftAddUnit(self.reram.cell_bits, self.slices)
+        self.salu = SALU("add")
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Destination columns this GE covers (``S * logical``)."""
+        return self.s * self.logical
+
+    def program_tile(self, dense_tile: np.ndarray) -> CrossbarOpCounts:
+        """Load an ``S x width`` coefficient tile into the crossbars.
+
+        Coefficients are quantised to the GE's format and split into
+        per-cell bit slices, one physical crossbar per slice.
+        """
+        tile = np.asarray(dense_tile, dtype=np.float64)
+        if tile.shape != (self.s, self.width):
+            raise DeviceError(
+                f"tile shape {tile.shape} != ({self.s}, {self.width})"
+            )
+        codes = self.fmt.encode(tile)
+        totals = CrossbarOpCounts()
+        for logical_idx in range(self.logical):
+            chunk = codes[:, logical_idx * self.s:(logical_idx + 1) * self.s]
+            payloads = bit_slices(chunk.ravel(), self.reram.cell_bits,
+                                  self.fmt.total_bits)
+            for slice_idx, payload in enumerate(payloads):
+                xb = self.crossbars[logical_idx][slice_idx]
+                counts = xb.program(payload.reshape(self.s, self.s))
+                totals.merge(counts)
+        return totals
+
+    def present(self, inputs: np.ndarray,
+                exact: bool = True) -> Tuple[np.ndarray, CrossbarOpCounts]:
+        """One MAC presentation: drive ``inputs`` and read all bitlines.
+
+        With ``exact`` the ADC stage is bypassed (full-resolution
+        readout, matching the production engine's assumption that the
+        bit-sliced conversion chain preserves precision); without it
+        every bitline sum is quantised by the shared ADC.
+        """
+        codes, _ = self.driver.present(np.asarray(inputs, dtype=np.float64))
+        driven = codes.astype(np.float64)
+        outputs = np.zeros(self.width)
+        totals = CrossbarOpCounts()
+        for logical_idx in range(self.logical):
+            slice_sums = []
+            for slice_idx in range(self.slices):
+                xb = self.crossbars[logical_idx][slice_idx]
+                sums, counts = xb.mvm(driven)
+                totals.merge(counts)
+                slice_sums.append(sums)
+            # Latch all slice bitlines, then convert.
+            bank = self.sample_hold[logical_idx]
+            bank.sample(np.concatenate(slice_sums))
+            held = bank.drain()
+            if not exact:
+                held = self.adc.convert(held)
+            parts = np.split(held, self.slices)
+            combined = self.shift_add.combine(parts)
+            span = slice(logical_idx * self.s, (logical_idx + 1) * self.s)
+            outputs[span] = combined * self.fmt.scale * self.fmt.scale
+        return outputs, totals
+
+    def mac_subgraph(self, dense_tile: np.ndarray, inputs: np.ndarray,
+                     accumulator: np.ndarray) -> np.ndarray:
+        """Program + present + sALU-add into ``accumulator`` — one
+        streaming-apply step of the parallel-MAC pattern."""
+        self.program_tile(dense_tile)
+        outputs, _ = self.present(inputs)
+        self.salu.configure("add")
+        return self.salu.reduce(np.asarray(accumulator, dtype=np.float64),
+                                outputs)
+
+    def __repr__(self) -> str:
+        return (f"DeviceGraphEngine(S={self.s}, logical={self.logical}, "
+                f"slices={self.slices})")

@@ -1,0 +1,71 @@
+"""Simple ALU (sALU in Figure 8, configured per Figure 15).
+
+The sALU performs the reduce operations a crossbar cannot: elementwise
+``add`` for PageRank/SpMV accumulation, ``min`` for BFS/SSSP
+relaxation, plus ``max`` and arbitrary registered binary ops.  It is
+the only digital compute in the GE datapath.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["SALU", "REDUCE_OPS"]
+
+#: Built-in reduce operations, keyed by the names Table 2 uses.
+REDUCE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "add": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+class SALU:
+    """An elementwise binary reducer with a configurable operation.
+
+    >>> salu = SALU("min")
+    >>> salu.reduce(np.array([3., 9., 4., 2.]), np.array([5., 6., 4., 7.]))
+    array([3., 6., 4., 2.])
+    """
+
+    def __init__(self, op: str = "add") -> None:
+        self.configure(op)
+        self.ops_performed = 0
+
+    def configure(self, op: str) -> None:
+        """Select the reduce operation (``add``, ``min``, ``max`` or any
+        name previously added with :meth:`register`)."""
+        if op not in REDUCE_OPS:
+            raise ConfigError(
+                f"unknown sALU op {op!r}; known: {sorted(REDUCE_OPS)}"
+            )
+        self.op_name = op
+        self._fn = REDUCE_OPS[op]
+
+    @staticmethod
+    def register(name: str,
+                 fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> None:
+        """Add a custom reduce operation usable by any sALU."""
+        if not name or not callable(fn):
+            raise ConfigError("need a non-empty name and a callable")
+        REDUCE_OPS[name] = fn
+
+    def reduce(self, accumulator: np.ndarray,
+               incoming: np.ndarray) -> np.ndarray:
+        """``op(accumulator, incoming)`` elementwise.
+
+        Matches Figure 15: the register's old contents combine with the
+        new crossbar outputs, producing the register's new contents.
+        """
+        acc = np.asarray(accumulator, dtype=np.float64)
+        inc = np.asarray(incoming, dtype=np.float64)
+        if acc.shape != inc.shape:
+            raise ConfigError(
+                f"operand shapes differ: {acc.shape} vs {inc.shape}"
+            )
+        self.ops_performed += int(acc.size)
+        return self._fn(acc, inc)

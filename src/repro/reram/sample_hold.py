@@ -1,0 +1,55 @@
+"""Sample-and-hold array (S/H in Figure 8).
+
+Holds analog bitline values until the shared ADC converts them.  The
+functional model is a latch with capacity checking; its purpose in the
+simulator is to enforce the GE pipeline contract (every bitline sampled
+exactly once per GE cycle) and to count events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+__all__ = ["SampleHoldArray"]
+
+
+class SampleHoldArray:
+    """A bank of ``capacity`` sample-and-hold circuits."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise DeviceError("S/H capacity must be positive")
+        self.capacity = int(capacity)
+        self._held: np.ndarray | None = None
+        self.samples_taken = 0
+
+    @property
+    def holding(self) -> bool:
+        """Whether values are currently latched."""
+        return self._held is not None
+
+    def sample(self, analog_values: np.ndarray) -> None:
+        """Latch a vector of analog values.
+
+        Raises if a previous sample was never drained — that would be a
+        pipeline hazard in the real GE.
+        """
+        values = np.asarray(analog_values, dtype=np.float64)
+        if values.ndim != 1 or values.shape[0] > self.capacity:
+            raise DeviceError(
+                f"cannot hold {values.shape} values in {self.capacity} circuits"
+            )
+        if self._held is not None:
+            raise DeviceError("sample-and-hold overwritten before drain")
+        self._held = values.copy()
+        self.samples_taken += int(values.shape[0])
+
+    def drain(self) -> np.ndarray:
+        """Release the held values to the ADC."""
+        if self._held is None:
+            raise DeviceError("nothing held to drain")
+        values = self._held
+        self._held = None
+        return values

@@ -1,0 +1,62 @@
+"""Shift-and-add unit (S/A in Figure 8).
+
+Recombines per-slice crossbar outputs into full-width results:
+``D3 << 12 + D2 << 8 + D1 << 4 + D0`` for 16-bit data on 4-bit cells
+(Section 3.2, "Data Format").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+__all__ = ["ShiftAddUnit"]
+
+
+class ShiftAddUnit:
+    """Combines bit-slice partial sums.
+
+    Parameters
+    ----------
+    cell_bits:
+        Bits per slice (= bits per ReRAM cell).
+    num_slices:
+        Number of slices per full-width value.
+    """
+
+    def __init__(self, cell_bits: int, num_slices: int) -> None:
+        if cell_bits <= 0 or num_slices <= 0:
+            raise DeviceError("cell_bits and num_slices must be positive")
+        self.cell_bits = int(cell_bits)
+        self.num_slices = int(num_slices)
+        self.combines = 0
+
+    @property
+    def total_bits(self) -> int:
+        """Width of the recombined value."""
+        return self.cell_bits * self.num_slices
+
+    def combine(self, slice_outputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Weight slice ``i`` by ``2**(i * cell_bits)`` and sum.
+
+        ``slice_outputs`` is least-significant slice first, matching
+        :func:`repro.reram.fixed_point.bit_slices`.
+        """
+        if len(slice_outputs) != self.num_slices:
+            raise DeviceError(
+                f"expected {self.num_slices} slices, got {len(slice_outputs)}"
+            )
+        arrays: List[np.ndarray] = [np.asarray(s, dtype=np.float64)
+                                    for s in slice_outputs]
+        shape = arrays[0].shape
+        for arr in arrays:
+            if arr.shape != shape:
+                raise DeviceError("slice outputs must share one shape")
+        total = np.zeros(shape, dtype=np.float64)
+        for i, arr in enumerate(arrays):
+            total += arr * float(1 << (i * self.cell_bits))
+        self.combines += int(np.prod(shape)) if shape else 1
+        return total

@@ -1,0 +1,103 @@
+"""Tests for the public GraphR facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_program
+from repro.algorithms.sssp import sssp_reference
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.errors import ConfigError
+from repro.graph.generators import rmat
+
+
+@pytest.fixture
+def accel():
+    return GraphR(GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                               num_ges=2, max_iterations=60))
+
+
+class TestRun:
+    def test_run_by_name(self, accel, small_graph):
+        result, stats = accel.run("pagerank", small_graph)
+        assert result.algorithm == "pagerank"
+        assert stats.platform == "graphr"
+        assert stats.dataset == small_graph.name
+
+    def test_run_with_program_instance(self, accel, small_weighted_graph):
+        program = get_program("sssp", source=0)
+        result, _ = accel.run(program, small_weighted_graph, source=0)
+        reference = sssp_reference(small_weighted_graph, source=0)
+        assert np.array_equal(result.values, reference.values)
+
+    def test_source_kwarg_routed(self, accel, small_weighted_graph):
+        r0, _ = accel.run("sssp", small_weighted_graph, source=0)
+        r1, _ = accel.run("sssp", small_weighted_graph, source=1)
+        assert not np.array_equal(r0.values, r1.values)
+
+    def test_damping_kwarg_routed(self, accel, small_graph):
+        high, _ = accel.run("pagerank", small_graph, damping=0.95,
+                            mode="analytic")
+        low, _ = accel.run("pagerank", small_graph, damping=0.5,
+                           mode="analytic")
+        assert not np.allclose(high.values, low.values)
+
+    def test_unknown_algorithm(self, accel, small_graph):
+        with pytest.raises(ConfigError):
+            accel.run("pagerankk", small_graph)
+
+    def test_default_config(self):
+        assert GraphR().config.crossbar_size == 8
+
+    def test_repr(self, accel):
+        assert "GraphR(" in repr(accel)
+
+    def test_stats_include_config(self, accel, small_graph):
+        _, stats = accel.run("spmv", small_graph)
+        assert stats.extra["config"]["crossbar_size"] == 4
+
+
+class TestModeSelection:
+    def test_small_graph_runs_functional(self, accel, small_graph):
+        _, stats = accel.run("spmv", small_graph)
+        assert stats.extra["mode"] == "functional"
+
+    def test_large_graph_falls_back_to_analytic(self):
+        accel = GraphR(GraphRConfig(functional_tile_budget=10))
+        graph = rmat(8, 2000, seed=2)
+        _, stats = accel.run("spmv", graph)
+        assert stats.extra["mode"] == "analytic"
+
+    def test_cf_always_analytic(self, accel):
+        from repro.graph.generators import bipartite_rating_graph
+        ratings = bipartite_rating_graph(30, 10, 120, seed=1)
+        _, stats = accel.run("cf", ratings, epochs=2, features=4)
+        assert stats.extra["mode"] == "analytic"
+
+    def test_explicit_mode_override(self, accel, small_graph):
+        _, stats = accel.run("spmv", small_graph, mode="analytic")
+        assert stats.extra["mode"] == "analytic"
+
+    def test_config_mode_respected(self, small_graph):
+        accel = GraphR(GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                                    num_ges=2, mode="analytic"))
+        _, stats = accel.run("spmv", small_graph)
+        assert stats.extra["mode"] == "analytic"
+
+
+class TestMapperEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_functional_and_analytic_agree_on_sssp(self, seed):
+        graph = rmat(5, 90, seed=seed, weighted=True)
+        cfg = GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                           num_ges=2, max_iterations=60)
+        accel = GraphR(cfg)
+        functional, f_stats = accel.run("sssp", graph, source=0,
+                                        mode="functional")
+        analytic, a_stats = accel.run("sssp", graph, source=0,
+                                      mode="analytic")
+        assert np.array_equal(functional.values, analytic.values)
+        assert f_stats.iterations == a_stats.iterations
+        assert f_stats.seconds == pytest.approx(a_stats.seconds, rel=0.05)

@@ -1,0 +1,125 @@
+"""Tests for the graph analysis utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.analysis import (
+    degree_histogram,
+    reachable_fraction,
+    summarize,
+    tile_occupancy,
+)
+from repro.graph.generators import chain_graph, complete_graph, rmat
+from repro.graph.graph import Graph
+from repro.graph.partition import SubgraphGrid
+
+
+class TestSummary:
+    def test_basic_counts(self, tiny_graph):
+        summary = summarize(tiny_graph)
+        assert summary.num_vertices == 8
+        assert summary.num_edges == 25
+        assert summary.self_loops == 1  # (7, 7)
+        assert summary.isolated_vertices == 0
+        assert summary.mean_degree == pytest.approx(25 / 8)
+
+    def test_isolated_vertices(self):
+        graph = Graph.from_edges([(0, 1)], num_vertices=4)
+        assert summarize(graph).isolated_vertices == 2
+
+    def test_describe_renders(self, tiny_graph):
+        text = summarize(tiny_graph).describe()
+        assert "vertices" in text and "figure5" in text
+
+
+class TestDegreeHistogram:
+    def test_counts_cover_all_nonzero_vertices(self, small_graph):
+        hist = degree_histogram(small_graph, "out")
+        nonzero = int((small_graph.out_degrees() > 0).sum())
+        assert hist["counts"].sum() == nonzero
+
+    def test_in_direction(self, small_graph):
+        hist = degree_histogram(small_graph, "in")
+        nonzero = int((small_graph.in_degrees() > 0).sum())
+        assert hist["counts"].sum() == nonzero
+
+    def test_bad_direction(self, small_graph):
+        with pytest.raises(GraphFormatError):
+            degree_histogram(small_graph, "sideways")
+
+    def test_bad_bins(self, small_graph):
+        with pytest.raises(GraphFormatError):
+            degree_histogram(small_graph, bins=0)
+
+
+class TestReachability:
+    def test_chain_fully_reachable(self):
+        assert reachable_fraction(chain_graph(10), source=0) == 1.0
+
+    def test_chain_from_middle(self):
+        assert reachable_fraction(chain_graph(10), source=5) == 0.5
+
+    def test_complete(self):
+        assert reachable_fraction(complete_graph(6)) == 1.0
+
+
+class TestTileOccupancy:
+    def test_dense_graph_fills_tiles(self):
+        graph = complete_graph(16)
+        grid = SubgraphGrid(block_size=16, crossbar_size=4,
+                            crossbars_per_ge=2, num_ges=2)
+        occ = tile_occupancy(graph, grid)
+        assert occ["nonempty_fraction"] == 1.0
+        assert occ["edges_per_nonempty_tile"] > 10
+
+    def test_sparser_graph_lower_occupancy(self):
+        grid = SubgraphGrid(block_size=32, crossbar_size=4,
+                            crossbars_per_ge=2, num_ges=1)
+        dense = rmat(5, 600, seed=1)
+        sparse = rmat(5, 60, seed=1)
+        occ_dense = tile_occupancy(dense, grid)
+        occ_sparse = tile_occupancy(sparse, grid)
+        assert occ_sparse["nonempty_fraction"] \
+            < occ_dense["nonempty_fraction"]
+
+
+class TestCrossbarFaults:
+    def test_inject_and_count(self):
+        from repro.reram.crossbar import Crossbar
+        xb = Crossbar(8, 8, seed=2)
+        faulty = xb.inject_stuck_faults(0.25, seed=3)
+        assert faulty == xb.faulty_cells
+        assert 0 < faulty < 64
+
+    def test_stuck_off_ignores_programming(self):
+        from repro.reram.crossbar import Crossbar
+        xb = Crossbar(4, 4, seed=2)
+        xb.inject_stuck_faults(1.0, stuck_at="off", seed=1)
+        xb.program(np.full((4, 4), 7))
+        assert np.all(xb.levels == 0)
+
+    def test_stuck_on_reads_max(self):
+        from repro.reram.crossbar import Crossbar
+        xb = Crossbar(4, 4, seed=2)
+        xb.inject_stuck_faults(1.0, stuck_at="on", seed=1)
+        xb.program(np.zeros((4, 4), dtype=int))
+        assert np.all(xb.levels == xb.max_level)
+
+    def test_partial_faults_partially_programmable(self):
+        from repro.reram.crossbar import Crossbar
+        xb = Crossbar(8, 8, seed=5)
+        xb.inject_stuck_faults(0.3, seed=7)
+        xb.program(np.full((8, 8), 9))
+        healthy = 64 - xb.faulty_cells
+        assert int((xb.levels == 9).sum()) == healthy
+
+    def test_invalid_fraction(self):
+        from repro.errors import DeviceError
+        from repro.reram.crossbar import Crossbar
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4).inject_stuck_faults(1.5)
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4).inject_stuck_faults(0.5, stuck_at="sideways")

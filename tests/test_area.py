@@ -1,0 +1,44 @@
+"""Tests for the node area model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GraphRConfig
+from repro.errors import ConfigError
+from repro.hw.area import AreaParams, node_area_mm2
+
+
+class TestAreaModel:
+    def test_breakdown_sums(self):
+        breakdown = node_area_mm2(GraphRConfig())
+        parts = (breakdown.crossbars_mm2 + breakdown.adcs_mm2
+                 + breakdown.salu_mm2 + breakdown.registers_mm2
+                 + breakdown.controller_mm2)
+        assert breakdown.total_mm2 == pytest.approx(parts)
+        assert breakdown.total_mm2 > 0
+
+    def test_adcs_dominate_crossbars(self):
+        """The paper's motivation for sharing ADCs: they cost far more
+        silicon than the crossbars they serve."""
+        breakdown = node_area_mm2(GraphRConfig())
+        assert breakdown.adcs_mm2 > breakdown.crossbars_mm2
+
+    def test_area_scales_with_ges(self):
+        small = node_area_mm2(GraphRConfig(num_ges=16))
+        large = node_area_mm2(GraphRConfig(num_ges=64))
+        assert large.total_mm2 > small.total_mm2
+        assert large.adcs_mm2 == pytest.approx(4 * small.adcs_mm2)
+
+    def test_crossbar_area_scales_quadratically(self):
+        s8 = node_area_mm2(GraphRConfig(crossbar_size=8))
+        s16 = node_area_mm2(GraphRConfig(crossbar_size=16))
+        assert s16.crossbars_mm2 == pytest.approx(4 * s8.crossbars_mm2)
+
+    def test_describe(self):
+        text = node_area_mm2(GraphRConfig()).describe()
+        assert "total" in text and "mm^2" in text
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            AreaParams(cell_um2=0.0)

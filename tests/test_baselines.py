@@ -1,0 +1,189 @@
+"""Unit tests for the CPU, GPU and PIM baseline models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CacheModel,
+    CPUPlatform,
+    GPUPlatform,
+    PIMPlatform,
+    cache_miss_rate,
+)
+from repro.errors import ConfigError
+from repro.graph.coo import COOMatrix
+from repro.graph.generators import rmat
+from repro.graph.graph import Graph
+
+
+class TestCacheModel:
+    def test_resident_working_set_never_misses(self):
+        assert cache_miss_rate(1000, 10_000) == 0.0
+
+    def test_miss_rate_grows_with_working_set(self):
+        small = cache_miss_rate(30e6, 20e6)
+        large = cache_miss_rate(300e6, 20e6)
+        assert 0 < small < large <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            cache_miss_rate(-1, 10)
+        with pytest.raises(ConfigError):
+            cache_miss_rate(10, 0)
+        with pytest.raises(ConfigError):
+            cache_miss_rate(10, 10, locality=1.5)
+
+    def test_vertex_traffic_scale_factor(self):
+        """Scaled analogs must inherit the *original* working set."""
+        cache = CacheModel(cache_bytes=20 * 1024 * 1024)
+        small = cache.vertex_traffic_per_edge(100_000, scale_factor=1.0)
+        scaled = cache.vertex_traffic_per_edge(100_000, scale_factor=50.0)
+        assert small == 0.0
+        assert scaled > 0.0
+
+    def test_traffic_bad_inputs(self):
+        cache = CacheModel(cache_bytes=1024)
+        with pytest.raises(ConfigError):
+            cache.vertex_traffic_per_edge(0)
+        with pytest.raises(ConfigError):
+            cache.vertex_traffic_per_edge(10, scale_factor=0)
+
+
+@pytest.fixture
+def graph():
+    return rmat(8, 2000, seed=4, weighted=True, name="bench")
+
+
+class TestCPUPlatform:
+    def test_run_produces_values_and_costs(self, graph):
+        cpu = CPUPlatform()
+        result, stats = cpu.run("pagerank", graph, max_iterations=5)
+        assert stats.platform == "cpu"
+        assert stats.seconds > 0
+        assert stats.joules > 0
+        assert result.iterations == 5
+
+    def test_energy_is_power_times_time(self, graph):
+        cpu = CPUPlatform()
+        _, stats = cpu.run("pagerank", graph, max_iterations=5)
+        assert stats.joules == pytest.approx(
+            cpu.params.total_power_w * stats.seconds)
+
+    def test_more_iterations_cost_more(self, graph):
+        cpu = CPUPlatform()
+        _, short = cpu.run("pagerank", graph, max_iterations=2)
+        _, long = cpu.run("pagerank", graph, max_iterations=10)
+        assert long.seconds > short.seconds
+
+    def test_bigger_graph_costs_more(self):
+        cpu = CPUPlatform()
+        _, small = cpu.run("spmv", rmat(8, 500, seed=1))
+        _, large = cpu.run("spmv", rmat(8, 5000, seed=1))
+        assert large.seconds > small.seconds
+
+    def test_frontier_algorithms_stream_full_grid(self):
+        """GridGraph scans the edge grid per pass: SSSP iteration time
+        cannot drop below the full stream."""
+        cpu = CPUPlatform()
+        chain = Graph.from_edges([(i, i + 1, 1.0) for i in range(50)],
+                                 num_vertices=51, weighted=True)
+        _, stats = cpu.run("sssp", chain, source=0)
+        per_iter_floor = (chain.num_edges * 12
+                          / cpu.params.dram_bandwidth_bps)
+        body = stats.seconds - cpu.knobs.fixed_overhead_s
+        assert body >= stats.iterations * per_iter_floor
+
+    def test_cf_work_factor_recorded(self):
+        from repro.graph.generators import bipartite_rating_graph
+        ratings = bipartite_rating_graph(40, 12, 200, seed=2)
+        cpu = CPUPlatform()
+        _, stats = cpu.run("cf", ratings, epochs=2, features=8)
+        assert stats.extra["work_factor"] == pytest.approx(
+            8 * cpu.knobs.cf_work_factor)
+
+    def test_miss_rate_in_extra(self, graph):
+        cpu = CPUPlatform()
+        _, stats = cpu.run("spmv", graph)
+        assert 0.0 <= stats.extra["miss_rate"] <= 1.0
+
+
+class TestGPUPlatform:
+    def test_run_basics(self, graph):
+        gpu = GPUPlatform()
+        _, stats = gpu.run("pagerank", graph, max_iterations=5)
+        assert stats.platform == "gpu"
+        assert stats.seconds > 0
+        assert stats.joules == pytest.approx(
+            gpu.params.board_power_w * stats.seconds)
+
+    def test_pcie_transfer_charged_once(self, graph):
+        gpu = GPUPlatform()
+        _, stats = gpu.run("pagerank", graph, max_iterations=5)
+        transfer = stats.extra["transfer_s"]
+        assert transfer > 0
+        assert stats.latency.seconds_of("pcie_transfer") \
+            == pytest.approx(transfer)
+
+    def test_transfer_scales_with_graph(self):
+        gpu = GPUPlatform()
+        _, small = gpu.run("spmv", rmat(8, 500, seed=1))
+        _, large = gpu.run("spmv", rmat(8, 5000, seed=1))
+        assert large.extra["transfer_s"] > small.extra["transfer_s"]
+
+    def test_kernel_launch_overhead_per_iteration(self, graph):
+        gpu = GPUPlatform()
+        _, stats = gpu.run("pagerank", graph, max_iterations=5)
+        expected = (5 * gpu.knobs.kernels_per_iteration
+                    * gpu.params.kernel_launch_s)
+        assert stats.latency.seconds_of("kernel_launch") \
+            == pytest.approx(expected)
+
+
+class TestPIMPlatform:
+    def test_run_basics(self, graph):
+        pim = PIMPlatform()
+        _, stats = pim.run("pagerank", graph, max_iterations=5)
+        assert stats.platform == "pim"
+        assert stats.seconds > 0
+        assert stats.joules == pytest.approx(
+            pim.params.power_w * stats.seconds)
+
+    def test_barrier_per_iteration(self, graph):
+        pim = PIMPlatform()
+        _, stats = pim.run("pagerank", graph, max_iterations=5)
+        assert stats.latency.seconds_of("barrier") \
+            == pytest.approx(5 * pim.knobs.barrier_s)
+
+    def test_frontier_imbalance_applied(self, graph):
+        """SSSP (frontier-driven) pays the vault-imbalance factor;
+        PageRank does not."""
+        pim = PIMPlatform()
+        _, sssp = pim.run("sssp", graph, source=0)
+        sssp_edges = sum(sssp.extra.get("trace_edges", [0])) or None
+        # Direct check: same platform, synthetic traces.
+        from repro.algorithms.vertex_program import (AlgorithmResult,
+                                                     IterationTrace)
+        from repro.hw.stats import RunStats
+
+        trace_plain = IterationTrace()
+        trace_plain.record(10, 1000)
+        trace_frontier = IterationTrace(frontiers=[])
+        trace_frontier.record(10, 1000,
+                              frontier=np.ones(graph.num_vertices,
+                                               dtype=bool))
+        plain = AlgorithmResult("pagerank", np.zeros(1), 1, True,
+                                trace_plain)
+        frontier = AlgorithmResult("sssp", np.zeros(1), 1, True,
+                                   trace_frontier)
+        s_plain = RunStats("pim", "pagerank", "x")
+        s_front = RunStats("pim", "sssp", "x")
+        pim._charge(plain, graph, s_plain)
+        pim._charge(frontier, graph, s_front)
+        assert s_front.seconds > s_plain.seconds
+
+    def test_message_traffic_dominates_large_iterations(self, graph):
+        pim = PIMPlatform()
+        _, stats = pim.run("pagerank", graph, max_iterations=5)
+        assert stats.latency.seconds_of("links") > 0

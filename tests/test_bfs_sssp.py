@@ -1,0 +1,175 @@
+"""Unit + property tests for BFS and SSSP, with networkx oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import UNREACHABLE, BFSProgram, bfs_reference
+from repro.algorithms.sssp import (
+    INFINITY,
+    SSSPProgram,
+    dijkstra_reference,
+    sssp_reference,
+)
+from repro.algorithms.vertex_program import MappingPattern
+from repro.errors import GraphFormatError
+from repro.graph.generators import chain_graph, rmat, star_graph
+from repro.graph.graph import Graph
+
+
+def _to_networkx(graph, weighted):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for src, dst, w in graph.adjacency:
+        g.add_edge(src, dst, weight=w if weighted else 1.0)
+    return g
+
+
+class TestBFSReference:
+    def test_chain_levels(self, path_graph):
+        result = bfs_reference(path_graph, source=0)
+        assert np.array_equal(result.values, np.arange(10.0))
+
+    def test_star_levels(self):
+        result = bfs_reference(star_graph(6, center=0), source=0)
+        assert result.values[0] == 0
+        assert np.all(result.values[1:] == 1)
+
+    def test_unreachable(self):
+        graph = Graph.from_edges([(0, 1)], num_vertices=3)
+        result = bfs_reference(graph, source=0)
+        assert result.values[2] == UNREACHABLE
+
+    def test_matches_networkx(self, small_graph):
+        result = bfs_reference(small_graph, source=0)
+        lengths = nx.single_source_shortest_path_length(
+            _to_networkx(small_graph, weighted=False), 0)
+        for v in range(small_graph.num_vertices):
+            expected = lengths.get(v, UNREACHABLE)
+            assert result.values[v] == expected
+
+    def test_frontier_trace(self, path_graph):
+        result = bfs_reference(path_graph, source=0)
+        assert result.trace.frontiers is not None
+        # 9 productive levels plus the final sink-only frontier.
+        assert result.trace.iterations == 10
+        # Each chain frontier holds exactly one vertex.
+        assert all(f.sum() == 1 for f in result.trace.frontiers)
+        assert result.trace.active_edges[-1] == 0
+
+    def test_source_out_of_range(self, path_graph):
+        with pytest.raises(GraphFormatError):
+            bfs_reference(path_graph, source=99)
+
+    def test_iteration_cap(self, path_graph):
+        result = bfs_reference(path_graph, source=0, max_iterations=3)
+        assert result.iterations == 3
+        assert not result.converged
+
+
+class TestBFSProgram:
+    def test_descriptor(self):
+        program = BFSProgram()
+        assert program.pattern is MappingPattern.PARALLEL_ADD_OP
+        assert program.reduce_op == "min"
+        assert program.needs_active_list
+        assert program.reduce_identity == UNREACHABLE
+
+    def test_initial_properties(self, path_graph):
+        props = BFSProgram(source=3).initial_properties(path_graph)
+        assert props[3] == 0.0
+        assert np.all(np.delete(props, 3) == UNREACHABLE)
+
+    def test_coefficients_all_one(self, small_graph):
+        coeffs = BFSProgram().crossbar_coefficient(small_graph)
+        assert np.all(coeffs == 1.0)
+
+    def test_bad_source(self):
+        with pytest.raises(GraphFormatError):
+            BFSProgram(source=-1)
+
+
+class TestSSSPReference:
+    def test_chain_distances(self, path_graph):
+        result = sssp_reference(path_graph, source=0)
+        assert np.array_equal(result.values, np.arange(10.0))
+
+    def test_matches_dijkstra(self, small_weighted_graph):
+        bf = sssp_reference(small_weighted_graph, source=0)
+        dj = dijkstra_reference(small_weighted_graph, source=0)
+        assert np.array_equal(bf.values, dj.values)
+
+    def test_matches_networkx(self, small_weighted_graph):
+        result = sssp_reference(small_weighted_graph, source=0)
+        lengths = nx.single_source_dijkstra_path_length(
+            _to_networkx(small_weighted_graph, weighted=True), 0)
+        for v in range(small_weighted_graph.num_vertices):
+            assert result.values[v] == lengths.get(v, INFINITY)
+
+    def test_negative_weight_rejected(self):
+        graph = Graph.from_edges([(0, 1, -1.0)], num_vertices=2)
+        with pytest.raises(GraphFormatError):
+            sssp_reference(graph, source=0)
+        with pytest.raises(GraphFormatError):
+            dijkstra_reference(graph, source=0)
+
+    def test_frontier_shrinks_to_empty(self, small_weighted_graph):
+        result = sssp_reference(small_weighted_graph, source=0)
+        assert result.converged
+        assert result.trace.frontiers[0].sum() == 1
+
+    def test_relaxation_invariant(self, small_weighted_graph):
+        """No edge can further relax a converged distance vector."""
+        result = sssp_reference(small_weighted_graph, source=0)
+        dist = result.values
+        for src, dst, w in small_weighted_graph.adjacency:
+            if dist[src] < INFINITY:
+                assert dist[dst] <= dist[src] + w + 1e-9
+
+
+class TestSSSPProgram:
+    def test_descriptor(self):
+        program = SSSPProgram()
+        assert program.pattern is MappingPattern.PARALLEL_ADD_OP
+        assert program.reduce_op == "min"
+        assert program.parallelism_degree_exponent == 1
+
+    def test_coefficients_are_weights(self, small_weighted_graph):
+        coeffs = SSSPProgram().crossbar_coefficient(small_weighted_graph)
+        assert np.array_equal(
+            coeffs, np.asarray(small_weighted_graph.adjacency.values))
+
+    def test_negative_weights_rejected(self):
+        graph = Graph.from_edges([(0, 1, -2.0)], num_vertices=2)
+        with pytest.raises(GraphFormatError):
+            SSSPProgram().crossbar_coefficient(graph)
+
+    def test_initial_via_kwargs(self, path_graph):
+        props = SSSPProgram().initial_properties(path_graph, source=4)
+        assert props[4] == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       edges=st.integers(min_value=5, max_value=150))
+def test_property_bellman_ford_equals_dijkstra(seed, edges):
+    """Frontier Bellman-Ford and Dijkstra agree on random graphs."""
+    graph = rmat(5, edges, seed=seed, weighted=True)
+    bf = sssp_reference(graph, source=0)
+    dj = dijkstra_reference(graph, source=0)
+    assert np.array_equal(bf.values, dj.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_bfs_is_unit_weight_sssp(seed):
+    """BFS equals SSSP with unit weights (the paper's observation)."""
+    graph = rmat(5, 80, seed=seed, weighted=False)
+    bfs = bfs_reference(graph, source=0)
+    sssp = sssp_reference(graph.with_unit_weights(), source=0)
+    reachable = bfs.values < UNREACHABLE
+    assert np.array_equal(bfs.values[reachable], sssp.values[reachable])

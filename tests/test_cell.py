@@ -1,0 +1,67 @@
+"""Unit tests for the ReRAM cell model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hw.params import ReRAMParams
+from repro.reram.cell import ReRAMCell
+
+
+class TestLevels:
+    def test_default_4bit(self):
+        cell = ReRAMCell()
+        assert cell.num_levels == 16
+        assert cell.level == 0
+
+    def test_program_and_energy(self):
+        cell = ReRAMCell()
+        energy = cell.program(7)
+        assert cell.level == 7
+        assert energy == pytest.approx(3.91e-9)
+
+    def test_program_out_of_range(self):
+        cell = ReRAMCell()
+        with pytest.raises(DeviceError):
+            cell.program(16)
+        with pytest.raises(DeviceError):
+            cell.program(-1)
+
+    def test_construct_out_of_range(self):
+        with pytest.raises(DeviceError):
+            ReRAMCell(level=99)
+
+
+class TestConductance:
+    def test_endpoints(self):
+        cell = ReRAMCell()
+        assert cell.conductance == pytest.approx(1 / 25e6)
+        cell.program(cell.num_levels - 1)
+        assert cell.conductance == pytest.approx(1 / 50e3)
+
+    def test_monotonic_in_level(self):
+        cell = ReRAMCell()
+        conductances = []
+        for level in range(cell.num_levels):
+            cell.program(level)
+            conductances.append(cell.conductance)
+        assert conductances == sorted(conductances)
+
+    def test_read_current_ohms_law(self):
+        cell = ReRAMCell()
+        cell.program(15)
+        assert cell.read_current() == pytest.approx(0.7 / 50e3)
+        assert cell.read_current(0.35) == pytest.approx(0.35 / 50e3)
+
+    def test_negative_voltage_rejected(self):
+        with pytest.raises(DeviceError):
+            ReRAMCell().read_current(-0.1)
+
+    def test_custom_cell_bits(self):
+        params = ReRAMParams(cell_bits=2)
+        cell = ReRAMCell(params=params)
+        assert cell.num_levels == 4
+
+    def test_repr(self):
+        assert "ReRAMCell" in repr(ReRAMCell())

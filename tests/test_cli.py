@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "pagerank", "WV"])
+        assert args.platform == "graphr"
+        assert args.iterations == 20
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "sssp", "AZ", "--platform", "cpu", "--source", "5"])
+        assert args.platform == "cpu"
+        assert args.source == 5
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "dfs", "WV"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "WikiVote" in out and "Netflix" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "processEdge" in out
+
+    def test_run_graphr(self, capsys):
+        assert main(["run", "spmv", "WV"]) == 0
+        out = capsys.readouterr().out
+        assert "[graphr] spmv on WV" in out
+        assert "crossbar_write" in out
+
+    def test_run_cpu_platform(self, capsys):
+        assert main(["run", "bfs", "WV", "--platform", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "[cpu] bfs on WV" in out
+
+    def test_run_pagerank_iterations(self, capsys):
+        assert main(["run", "pagerank", "WV", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 iterations" in out

@@ -1,0 +1,101 @@
+"""Unit tests for GraphRConfig validation and derived geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GraphRConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_configuration(self):
+        """Section 5.2: S=8, C=32, G=64, 16-bit data on 4-bit cells."""
+        cfg = GraphRConfig()
+        assert cfg.crossbar_size == 8
+        assert cfg.crossbars_per_ge == 32
+        assert cfg.num_ges == 64
+        assert cfg.slices == 4
+        assert cfg.logical_crossbars_per_ge == 8
+        assert cfg.logical_crossbars == 512
+
+    def test_tile_geometry(self):
+        cfg = GraphRConfig()
+        assert cfg.tile_rows == 8
+        assert cfg.tile_cols == 8 * 512
+
+    def test_adc_sizing_matches_paper(self):
+        """8 x 32 = 256 bitlines per GE at 1 GSps over 64 ns -> 4 ADCs
+        (one per eight 8-bitline crossbars, as Section 3.2 sizes)."""
+        cfg = GraphRConfig()
+        assert cfg.adcs_per_ge == 4
+
+    def test_effective_block_size(self):
+        assert GraphRConfig().effective_block_size(1000) == 1000
+        assert GraphRConfig(block_size=64).effective_block_size(1000) == 64
+        assert GraphRConfig(block_size=2000).effective_block_size(1000) \
+            == 1000
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(crossbar_size=0)
+        with pytest.raises(ConfigError):
+            GraphRConfig(num_ges=-1)
+
+    def test_data_bits_must_divide(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(data_bits=10)
+
+    def test_crossbars_must_cover_slices(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(crossbars_per_ge=2)  # 4 slices need >= 4
+
+    def test_bad_frac_bits(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(frac_bits=16)
+
+    def test_bad_streaming_order(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(streaming_order="diagonal")
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(mode="hybrid")
+
+    def test_bad_block_size(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(block_size=0)
+
+    def test_bad_noise(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(noise_sigma=-0.5)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(max_iterations=0)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(tolerance=-1.0)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(mem_bandwidth_bps=0)
+
+    def test_with_overrides(self):
+        cfg = GraphRConfig().with_overrides(num_ges=8)
+        assert cfg.num_ges == 8
+        assert GraphRConfig().num_ges == 64
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GraphRConfig().num_ges = 7
+
+    def test_cell_bits_interaction(self):
+        from repro.hw.params import default_technology
+        tech = default_technology().with_reram(cell_bits=2)
+        cfg = GraphRConfig(technology=tech, crossbars_per_ge=32)
+        assert cfg.slices == 8
+        assert cfg.logical_crossbars_per_ge == 4

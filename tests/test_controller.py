@@ -1,0 +1,132 @@
+"""Controller tests: functional execution must reproduce the reference
+algorithms through the simulated device chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs_reference
+from repro.algorithms.pagerank import pagerank_reference
+from repro.algorithms.registry import get_program
+from repro.algorithms.spmv import spmv_reference
+from repro.algorithms.sssp import sssp_reference
+from repro.core.config import GraphRConfig
+from repro.core.controller import Controller
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def cfg():
+    return GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2,
+                        mode="functional", max_iterations=80)
+
+
+class TestFunctionalCorrectness:
+    def test_sssp_exact(self, small_weighted_graph, cfg):
+        controller = Controller(cfg, small_weighted_graph,
+                                get_program("sssp", source=0))
+        result, stats = controller.run_functional(source=0)
+        reference = sssp_reference(small_weighted_graph, source=0)
+        assert np.array_equal(result.values, reference.values)
+        assert result.iterations == reference.iterations
+        assert result.converged
+
+    def test_bfs_exact(self, small_graph, cfg):
+        controller = Controller(cfg, small_graph,
+                                get_program("bfs", source=0))
+        result, _ = controller.run_functional(source=0)
+        reference = bfs_reference(small_graph, source=0)
+        assert np.array_equal(result.values, reference.values)
+
+    def test_pagerank_close(self, small_graph, cfg):
+        controller = Controller(cfg, small_graph, get_program("pagerank"))
+        result, _ = controller.run_functional()
+        reference = pagerank_reference(small_graph)
+        assert np.allclose(result.values, reference.values, atol=2e-3)
+
+    def test_spmv_close(self, small_graph, cfg):
+        controller = Controller(cfg, small_graph, get_program("spmv"))
+        result, _ = controller.run_functional()
+        reference = spmv_reference(small_graph)
+        assert np.allclose(result.values, reference.values, atol=5e-2)
+
+    def test_cf_functional_rejected(self, small_graph, cfg):
+        controller = Controller(cfg, small_graph, get_program("cf"))
+        with pytest.raises(MappingError):
+            controller.run_functional()
+
+
+class TestFunctionalStats:
+    def test_stats_populated(self, small_weighted_graph, cfg):
+        controller = Controller(cfg, small_weighted_graph,
+                                get_program("sssp", source=0))
+        _, stats = controller.run_functional(source=0)
+        assert stats.platform == "graphr"
+        assert stats.seconds > 0
+        assert stats.joules > 0
+        assert stats.iterations > 0
+        assert stats.extra["mode"] == "functional"
+        assert stats.energy.energy_of("crossbar_write") > 0
+
+    def test_time_includes_setup(self, small_weighted_graph, cfg):
+        controller = Controller(cfg, small_weighted_graph,
+                                get_program("sssp", source=0))
+        _, stats = controller.run_functional(source=0)
+        assert stats.latency.seconds_of("setup") \
+            == pytest.approx(cfg.setup_overhead_s)
+
+    def test_trace_recorded(self, small_graph, cfg):
+        controller = Controller(cfg, small_graph,
+                                get_program("bfs", source=0))
+        result, _ = controller.run_functional(source=0)
+        assert result.trace.iterations == result.iterations
+        assert result.trace.frontiers is not None
+
+
+class TestAnalyticMode:
+    def test_values_are_reference_values(self, small_weighted_graph):
+        cfg = GraphRConfig(mode="analytic")
+        controller = Controller(cfg, small_weighted_graph,
+                                get_program("sssp", source=0))
+        result, stats = controller.run_analytic(source=0)
+        reference = sssp_reference(small_weighted_graph, source=0)
+        assert np.array_equal(result.values, reference.values)
+        assert stats.extra["mode"] == "analytic"
+        assert stats.seconds > 0
+
+    def test_frontier_iterations_charged_individually(
+            self, small_weighted_graph):
+        cfg = GraphRConfig(mode="analytic")
+        controller = Controller(cfg, small_weighted_graph,
+                                get_program("sssp", source=0))
+        _, stats = controller.run_analytic(source=0)
+        reference = sssp_reference(small_weighted_graph, source=0)
+        assert stats.iterations == reference.iterations
+
+    def test_mac_iterations_charged_uniformly(self, small_graph):
+        cfg = GraphRConfig(mode="analytic")
+        controller = Controller(cfg, small_graph, get_program("pagerank"))
+        _, short = controller.run_analytic(max_iterations=2)
+        controller2 = Controller(cfg, small_graph,
+                                 get_program("pagerank"))
+        _, long = controller2.run_analytic(max_iterations=8)
+        ratio = ((long.seconds - cfg.setup_overhead_s)
+                 / (short.seconds - cfg.setup_overhead_s))
+        assert ratio == pytest.approx(4.0, rel=0.01)
+
+
+class TestFunctionalVsAnalyticCosts:
+    def test_same_energy_for_mac_run(self, small_graph):
+        """For a fixed iteration count, functional and analytic modes
+        must charge (nearly) identical energy: same events, same cost
+        model.  Tiny deviations come from coefficient codes that
+        quantise to zero in the functional engine."""
+        cfg = GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                           num_ges=2, max_iterations=3, tolerance=1e-12)
+        func = Controller(cfg, small_graph, get_program("spmv"))
+        _, f_stats = func.run_functional()
+        ana = Controller(cfg, small_graph, get_program("spmv"))
+        _, a_stats = ana.run_analytic()
+        assert f_stats.joules == pytest.approx(a_stats.joules, rel=0.05)
+        assert f_stats.seconds == pytest.approx(a_stats.seconds, rel=0.05)

@@ -1,0 +1,257 @@
+"""Unit tests for the COO sparse matrix container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_basic(self, sparse_matrix):
+        assert sparse_matrix.shape == (4, 4)
+        assert sparse_matrix.nnz == 6
+
+    def test_default_values_are_ones(self):
+        coo = COOMatrix((3, 3), [0, 1], [1, 2])
+        assert np.array_equal(coo.values, [1.0, 1.0])
+
+    def test_empty(self):
+        coo = COOMatrix.empty((5, 7))
+        assert coo.nnz == 0
+        assert coo.shape == (5, 7)
+        assert coo.density == 0.0
+
+    def test_zero_shape_density(self):
+        assert COOMatrix.empty((0, 0)).density == 0.0
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix((-1, 3), [], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix((3, 3), [0, 1], [1])
+
+    def test_values_length_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix((3, 3), [0], [1], [1.0, 2.0])
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix((3, 3), [3], [0])
+
+    def test_col_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix((3, 3), [0], [3])
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix((3, 3), [-1], [0])
+
+    def test_two_dimensional_rows_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix((3, 3), [[0, 1]], [[1, 2]])
+
+
+class TestFromEdges:
+    def test_pairs(self):
+        coo = COOMatrix.from_edges([(0, 1), (2, 0)])
+        assert coo.shape == (3, 3)
+        assert coo.nnz == 2
+
+    def test_triples(self):
+        coo = COOMatrix.from_edges([(0, 1, 2.5)])
+        assert coo.values[0] == 2.5
+
+    def test_explicit_shape(self):
+        coo = COOMatrix.from_edges([(0, 1)], shape=(10, 10))
+        assert coo.shape == (10, 10)
+
+    def test_bad_tuple_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix.from_edges([(0, 1, 2, 3)])
+
+    def test_empty_iterable(self):
+        coo = COOMatrix.from_edges([])
+        assert coo.shape == (0, 0)
+
+
+class TestDense:
+    def test_round_trip(self, sparse_matrix):
+        dense = sparse_matrix.to_dense()
+        expected = np.array([
+            [0, 0, 3, 8],
+            [0, 0, 7, 0],
+            [1, 0, 0, 0],
+            [0, 4, 0, 2],
+        ], dtype=float)
+        assert np.array_equal(dense, expected)
+        back = COOMatrix.from_dense(dense)
+        assert np.array_equal(back.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix.from_dense(np.ones(4))
+
+    def test_duplicates_summed_in_dense(self):
+        coo = COOMatrix((2, 2), [0, 0], [1, 1], [2.0, 3.0])
+        assert coo.to_dense()[0, 1] == 5.0
+
+
+class TestTransforms:
+    def test_transpose(self, sparse_matrix):
+        t = sparse_matrix.transpose()
+        assert np.array_equal(t.to_dense(), sparse_matrix.to_dense().T)
+
+    def test_transpose_rectangular(self):
+        coo = COOMatrix((2, 5), [0, 1], [4, 2], [1.0, 2.0])
+        assert coo.transpose().shape == (5, 2)
+
+    def test_sorted_by_row(self, sparse_matrix):
+        s = sparse_matrix.sorted_by("row")
+        keys = list(zip(s.rows, s.cols))
+        assert keys == sorted(keys)
+
+    def test_sorted_by_col(self, sparse_matrix):
+        s = sparse_matrix.sorted_by("col")
+        keys = list(zip(s.cols, s.rows))
+        assert keys == sorted(keys)
+
+    def test_sorted_bad_order(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            sparse_matrix.sorted_by("diagonal")
+
+    def test_permuted_identity(self, sparse_matrix):
+        p = sparse_matrix.permuted(np.arange(sparse_matrix.nnz))
+        assert p == sparse_matrix
+
+    def test_permuted_bad_length(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            sparse_matrix.permuted(np.arange(3))
+
+    def test_take_subset(self, sparse_matrix):
+        sub = sparse_matrix.take(np.array([0, 2]))
+        assert sub.nnz == 2
+        assert sub.values[1] == 7.0
+
+    def test_take_out_of_range(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            sparse_matrix.take(np.array([99]))
+
+    def test_scaled(self, sparse_matrix):
+        assert np.array_equal(sparse_matrix.scaled(2.0).values,
+                              np.asarray(sparse_matrix.values) * 2)
+
+    def test_with_values(self, sparse_matrix):
+        new = sparse_matrix.with_values(np.zeros(6))
+        assert new.nnz == 6
+        assert np.all(np.asarray(new.values) == 0)
+
+
+class TestDeduplicate:
+    @pytest.fixture
+    def dupes(self):
+        return COOMatrix((3, 3), [0, 0, 1, 0], [1, 1, 2, 1],
+                         [1.0, 2.0, 5.0, 4.0])
+
+    def test_sum(self, dupes):
+        d = dupes.deduplicated("sum")
+        assert d.nnz == 2
+        assert d.to_dense()[0, 1] == 7.0
+
+    def test_min(self, dupes):
+        assert dupes.deduplicated("min").to_dense()[0, 1] == 1.0
+
+    def test_max(self, dupes):
+        assert dupes.deduplicated("max").to_dense()[0, 1] == 4.0
+
+    def test_last(self, dupes):
+        assert dupes.deduplicated("last").to_dense()[0, 1] == 4.0
+
+    def test_bad_mode(self, dupes):
+        with pytest.raises(GraphFormatError):
+            dupes.deduplicated("mean")
+
+    def test_empty_input(self):
+        d = COOMatrix.empty((3, 3)).deduplicated()
+        assert d.nnz == 0
+
+    def test_idempotent(self, dupes):
+        once = dupes.deduplicated("sum")
+        twice = once.deduplicated("sum")
+        assert once == twice
+
+
+class TestSubmatrix:
+    def test_basic(self, sparse_matrix):
+        sub = sparse_matrix.submatrix(0, 2, 2, 4)
+        assert sub.shape == (2, 2)
+        assert np.array_equal(sub.to_dense(), [[3, 8], [7, 0]])
+
+    def test_rebased_coordinates(self, sparse_matrix):
+        sub = sparse_matrix.submatrix(2, 4, 0, 2)
+        assert set(zip(sub.rows, sub.cols)) == {(0, 0), (1, 1)}
+
+    def test_empty_region(self, sparse_matrix):
+        sub = sparse_matrix.submatrix(1, 2, 0, 2)
+        assert sub.nnz == 0
+
+    def test_bad_row_range(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            sparse_matrix.submatrix(2, 1, 0, 4)
+
+    def test_bad_col_range(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            sparse_matrix.submatrix(0, 4, 0, 9)
+
+
+class TestLinearAlgebra:
+    def test_matvec_matches_dense(self, sparse_matrix, rng):
+        x = rng.random(4)
+        assert np.allclose(sparse_matrix.matvec(x),
+                           sparse_matrix.to_dense() @ x)
+
+    def test_rmatvec_matches_dense(self, sparse_matrix, rng):
+        x = rng.random(4)
+        assert np.allclose(sparse_matrix.rmatvec(x),
+                           sparse_matrix.to_dense().T @ x)
+
+    def test_matvec_bad_length(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            sparse_matrix.matvec(np.ones(5))
+
+    def test_rmatvec_bad_length(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            sparse_matrix.rmatvec(np.ones(5))
+
+    def test_matvec_with_duplicates(self):
+        coo = COOMatrix((2, 2), [0, 0], [0, 0], [1.0, 2.0])
+        assert coo.matvec(np.array([1.0, 0.0]))[0] == 3.0
+
+    def test_degrees(self, sparse_matrix):
+        assert np.array_equal(sparse_matrix.row_degrees(), [2, 1, 1, 2])
+        assert np.array_equal(sparse_matrix.col_degrees(), [1, 1, 2, 2])
+
+
+class TestDunder:
+    def test_len_and_iter(self, sparse_matrix):
+        assert len(sparse_matrix) == 6
+        entries = list(sparse_matrix)
+        assert entries[0] == (0, 2, 3.0)
+
+    def test_repr(self, sparse_matrix):
+        assert "nnz=6" in repr(sparse_matrix)
+
+    def test_eq_other_type(self, sparse_matrix):
+        assert sparse_matrix != 42
+
+    def test_unhashable(self, sparse_matrix):
+        with pytest.raises(TypeError):
+            hash(sparse_matrix)
+
+    def test_views_are_readonly(self, sparse_matrix):
+        with pytest.raises(ValueError):
+            sparse_matrix.rows[0] = 3

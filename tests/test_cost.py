@@ -1,0 +1,132 @@
+"""Unit tests for the GraphR cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GraphRConfig
+from repro.core.cost import EDGE_BYTES, CostModel, IterationEvents
+from repro.hw.energy import EnergyLedger
+from repro.hw.timing import LatencyModel
+
+
+@pytest.fixture
+def cfg():
+    return GraphRConfig(mode="analytic")
+
+
+@pytest.fixture
+def model(cfg):
+    return CostModel(cfg)
+
+
+class TestParallelism:
+    def test_mac_uses_all_logical_crossbars(self, model, cfg):
+        assert model.presentation_parallelism(addop=False) \
+            == cfg.logical_crossbars
+
+    def test_addop_has_one_over_s_parallelism(self, model, cfg):
+        """Section 4: C*N*G vs C*C*N*G parallel degrees."""
+        assert model.presentation_parallelism(addop=True) \
+            == cfg.logical_crossbars // cfg.crossbar_size
+
+
+class TestIterationTime:
+    def test_zero_events_cost_only_overhead(self, model, cfg):
+        assert model.iteration_time_s(IterationEvents()) \
+            == pytest.approx(cfg.iteration_overhead_s)
+
+    def test_compute_bound_iteration(self, model, cfg):
+        events = IterationEvents(edges=10, scanned_edges=10,
+                                 tiles=cfg.logical_crossbars * 4,
+                                 presentations=cfg.logical_crossbars * 4)
+        reram = cfg.technology.reram
+        expected = (4 * reram.write_latency_s + 4 * reram.ge_cycle_s
+                    + cfg.iteration_overhead_s)
+        assert model.iteration_time_s(events) == pytest.approx(expected)
+
+    def test_fetch_bound_iteration(self, model, cfg):
+        events = IterationEvents(edges=1, scanned_edges=100_000_000,
+                                 tiles=1, presentations=1)
+        expected = (100_000_000 * EDGE_BYTES / cfg.mem_bandwidth_bps
+                    + cfg.iteration_overhead_s)
+        assert model.iteration_time_s(events) == pytest.approx(expected)
+
+    def test_addop_slower_than_mac_for_same_presentations(self, model):
+        mac = IterationEvents(tiles=1000, presentations=1000)
+        addop = IterationEvents(tiles=1000, presentations=1000,
+                                addop=True)
+        assert model.iteration_time_s(addop) > model.iteration_time_s(mac)
+
+    def test_more_tiles_cost_more(self, model):
+        few = IterationEvents(tiles=100, presentations=100)
+        many = IterationEvents(tiles=10_000, presentations=10_000)
+        assert model.iteration_time_s(many) > model.iteration_time_s(few)
+
+
+class TestCharging:
+    def test_charge_populates_ledgers(self, model):
+        events = IterationEvents(edges=50, scanned_edges=100, subgraphs=3,
+                                 tiles=10, presentations=10,
+                                 touched_rows=20, reduce_ops=80,
+                                 apply_ops=16)
+        energy, latency = EnergyLedger(), LatencyModel()
+        seconds = model.charge_iteration(events, energy, latency)
+        assert seconds == pytest.approx(model.iteration_time_s(events))
+        assert energy.energy_of("crossbar_write") > 0
+        assert energy.energy_of("crossbar_read") > 0
+        assert energy.energy_of("adc") > 0
+        assert energy.energy_of("salu") > 0
+        assert energy.energy_of("mem_reram_read") > 0
+
+    def test_mac_writes_charge_nonzero_cells(self, model, cfg):
+        events = IterationEvents(edges=100, tiles=10, presentations=10,
+                                 touched_rows=40)
+        energy = EnergyLedger()
+        model.charge_iteration(events, energy, LatencyModel())
+        expected = (100 * cfg.slices
+                    * cfg.technology.reram.write_energy_j)
+        assert energy.energy_of("crossbar_write") == pytest.approx(expected)
+
+    def test_addop_writes_charge_full_rows(self, model, cfg):
+        events = IterationEvents(edges=100, tiles=10, presentations=40,
+                                 touched_rows=40, addop=True)
+        energy = EnergyLedger()
+        model.charge_iteration(events, energy, LatencyModel())
+        expected = (40 * cfg.crossbar_size * cfg.slices
+                    * cfg.technology.reram.write_energy_j)
+        assert energy.energy_of("crossbar_write") == pytest.approx(expected)
+
+    def test_explicit_programmed_cells_override(self, model, cfg):
+        events = IterationEvents(edges=100, tiles=10, presentations=10,
+                                 touched_rows=40, programmed_cells=7)
+        energy = EnergyLedger()
+        model.charge_iteration(events, energy, LatencyModel())
+        expected = 7 * cfg.slices * cfg.technology.reram.write_energy_j
+        assert energy.energy_of("crossbar_write") == pytest.approx(expected)
+
+    def test_latency_breakdown_sums_to_total(self, model):
+        events = IterationEvents(edges=50, scanned_edges=50, tiles=10,
+                                 presentations=10, touched_rows=20,
+                                 reduce_ops=80)
+        latency = LatencyModel()
+        seconds = model.charge_iteration(events, EnergyLedger(), latency)
+        assert latency.total_s == pytest.approx(seconds)
+
+
+class TestEventsMerge:
+    def test_merge_accumulates(self):
+        a = IterationEvents(edges=1, tiles=2, presentations=3,
+                            touched_rows=4, reduce_ops=5, apply_ops=6,
+                            subgraphs=7, scanned_edges=8,
+                            programmed_cells=9)
+        b = IterationEvents(edges=10, tiles=20, presentations=30,
+                            touched_rows=40, reduce_ops=50, apply_ops=60,
+                            subgraphs=70, scanned_edges=80,
+                            programmed_cells=90, addop=True)
+        a.merge(b)
+        assert (a.edges, a.tiles, a.presentations) == (11, 22, 33)
+        assert (a.touched_rows, a.reduce_ops, a.apply_ops) == (44, 55, 66)
+        assert (a.subgraphs, a.scanned_edges) == (77, 88)
+        assert a.programmed_cells == 99
+        assert a.addop

@@ -1,0 +1,145 @@
+"""Unit + property tests for the ReRAM crossbar MVM model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError
+from repro.reram.crossbar import Crossbar
+
+
+class TestProgram:
+    def test_program_tile(self, rng):
+        xb = Crossbar(4, 4)
+        tile = rng.integers(0, 16, (4, 4))
+        counts = xb.program(tile)
+        assert np.array_equal(xb.levels, tile)
+        assert counts.cells_written == 16
+        assert counts.row_writes == 4
+
+    def test_program_wrong_shape(self):
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4).program(np.zeros((3, 4), dtype=int))
+
+    def test_program_level_out_of_range(self):
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4).program(np.full((4, 4), 16))
+
+    def test_program_sparse(self):
+        xb = Crossbar(4, 4)
+        counts = xb.program_sparse(np.array([0, 2]), np.array([1, 3]),
+                                   np.array([5, 9]))
+        assert xb.levels[0, 1] == 5
+        assert xb.levels[2, 3] == 9
+        assert xb.levels.sum() == 14
+        assert counts.cells_written == 2
+        assert counts.row_writes == 2
+
+    def test_program_sparse_clears_previous(self):
+        xb = Crossbar(2, 2)
+        xb.program(np.full((2, 2), 3))
+        xb.program_sparse(np.array([0]), np.array([0]), np.array([1]))
+        assert xb.levels.sum() == 1
+
+    def test_program_sparse_duplicate_rows_counted_once(self):
+        xb = Crossbar(4, 4)
+        counts = xb.program_sparse(np.array([1, 1]), np.array([0, 2]),
+                                   np.array([3, 4]))
+        assert counts.row_writes == 1
+
+    def test_program_sparse_bad_inputs(self):
+        xb = Crossbar(4, 4)
+        with pytest.raises(DeviceError):
+            xb.program_sparse(np.array([9]), np.array([0]), np.array([1]))
+        with pytest.raises(DeviceError):
+            xb.program_sparse(np.array([0]), np.array([9]), np.array([1]))
+        with pytest.raises(DeviceError):
+            xb.program_sparse(np.array([0]), np.array([0]), np.array([99]))
+        with pytest.raises(DeviceError):
+            xb.program_sparse(np.array([0, 1]), np.array([0]),
+                              np.array([1]))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(DeviceError):
+            Crossbar(0, 4)
+
+    def test_negative_noise(self):
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4, noise_sigma=-1.0)
+
+
+class TestMVM:
+    def test_figure3_dot_product(self):
+        """b_j = sum_i a_i * w_ij — the Figure 3c semantics."""
+        xb = Crossbar(3, 3)
+        w = np.array([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        xb.program(w)
+        a = np.array([1.0, 0.0, 2.0])
+        out, counts = xb.mvm(a)
+        assert np.array_equal(out, a @ w)
+        assert counts.mvm_ops == 1
+        assert counts.cells_activated == 2 * 3  # two active wordlines
+
+    def test_mvm_wrong_length(self):
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4).mvm(np.ones(3))
+
+    def test_mvm_negative_input_rejected(self):
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4).mvm(np.array([1.0, -1.0, 0.0, 0.0]))
+
+    def test_select_row(self):
+        xb = Crossbar(4, 4)
+        tile = np.arange(16).reshape(4, 4) % 16
+        xb.program(tile)
+        out, _ = xb.select_row(2)
+        assert np.array_equal(out, tile[2])
+
+    def test_select_row_out_of_range(self):
+        with pytest.raises(DeviceError):
+            Crossbar(4, 4).select_row(4)
+
+    def test_noise_perturbs_but_preserves_scale(self):
+        xb = Crossbar(4, 4, noise_sigma=0.1, seed=3)
+        xb.program(np.full((4, 4), 8))
+        out, _ = xb.mvm(np.ones(4))
+        exact = np.full(4, 32.0)
+        assert not np.array_equal(out, exact)
+        assert np.allclose(out, exact, atol=2.0)
+
+    def test_noise_never_negative(self):
+        xb = Crossbar(4, 4, noise_sigma=5.0, seed=1)
+        xb.program(np.zeros((4, 4), dtype=int))
+        out, _ = xb.mvm(np.ones(4))
+        assert np.all(out >= 0)
+
+    def test_counts_merge(self):
+        xb = Crossbar(2, 2)
+        total = xb.program(np.zeros((2, 2), dtype=int))
+        _, more = xb.mvm(np.ones(2))
+        total.merge(more)
+        assert total.mvm_ops == 1
+        assert total.cells_written == 4
+
+    def test_repr(self):
+        assert "8x8" in repr(Crossbar(8, 8))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_mvm_linearity(rows, cols, seed):
+    """MVM is linear: xb(a + b) == xb(a) + xb(b)."""
+    rng = np.random.default_rng(seed)
+    xb = Crossbar(rows, cols)
+    xb.program(rng.integers(0, 16, (rows, cols)))
+    a = rng.integers(0, 4, rows).astype(float)
+    b = rng.integers(0, 4, rows).astype(float)
+    out_a, _ = xb.mvm(a)
+    out_b, _ = xb.mvm(b)
+    out_ab, _ = xb.mvm(a + b)
+    assert np.allclose(out_ab, out_a + out_b)

@@ -1,0 +1,145 @@
+"""Unit tests for the CSR/CSC compressed formats (Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOMatrix
+from repro.graph.csr import CSCMatrix, CSRMatrix
+
+
+class TestCSRConversion:
+    def test_figure4_example(self, sparse_matrix):
+        csr = CSRMatrix.from_coo(sparse_matrix)
+        # Figure 4c: rowptr = [0, 2, 3, 4, 6]
+        assert np.array_equal(csr.indptr, [0, 2, 3, 4, 6])
+        assert np.array_equal(csr.indices, [2, 3, 2, 0, 1, 3])
+        assert np.array_equal(csr.values, [3, 8, 7, 1, 4, 2])
+
+    def test_round_trip(self, sparse_matrix):
+        back = CSRMatrix.from_coo(sparse_matrix).to_coo()
+        assert np.array_equal(back.to_dense(), sparse_matrix.to_dense())
+
+    def test_dense_matches(self, sparse_matrix):
+        csr = CSRMatrix.from_coo(sparse_matrix)
+        assert np.array_equal(csr.to_dense(), sparse_matrix.to_dense())
+
+    def test_row_access(self, sparse_matrix):
+        csr = CSRMatrix.from_coo(sparse_matrix)
+        cols, vals = csr.row(0)
+        assert np.array_equal(cols, [2, 3])
+        assert np.array_equal(vals, [3, 8])
+
+    def test_empty_row(self):
+        coo = COOMatrix((3, 3), [0], [1], [5.0])
+        csr = CSRMatrix.from_coo(coo)
+        cols, vals = csr.row(1)
+        assert cols.size == 0 and vals.size == 0
+
+    def test_row_out_of_range(self, sparse_matrix):
+        csr = CSRMatrix.from_coo(sparse_matrix)
+        with pytest.raises(GraphFormatError):
+            csr.row(4)
+
+    def test_matvec(self, sparse_matrix, rng):
+        csr = CSRMatrix.from_coo(sparse_matrix)
+        x = rng.random(4)
+        assert np.allclose(csr.matvec(x), sparse_matrix.to_dense() @ x)
+
+    def test_matvec_bad_length(self, sparse_matrix):
+        csr = CSRMatrix.from_coo(sparse_matrix)
+        with pytest.raises(GraphFormatError):
+            csr.matvec(np.ones(3))
+
+    def test_nnz(self, sparse_matrix):
+        assert CSRMatrix.from_coo(sparse_matrix).nnz == 6
+
+    def test_repr(self, sparse_matrix):
+        assert "CSRMatrix" in repr(CSRMatrix.from_coo(sparse_matrix))
+
+
+class TestCSCConversion:
+    def test_figure4_example(self, sparse_matrix):
+        csc = CSCMatrix.from_coo(sparse_matrix)
+        # Figure 4b: colptr = [0, 1, 2, 4, 6]
+        assert np.array_equal(csc.indptr, [0, 1, 2, 4, 6])
+        assert np.array_equal(csc.indices, [2, 3, 0, 1, 0, 3])
+        assert np.array_equal(csc.values, [1, 4, 3, 7, 8, 2])
+
+    def test_round_trip(self, sparse_matrix):
+        back = CSCMatrix.from_coo(sparse_matrix).to_coo()
+        assert np.array_equal(back.to_dense(), sparse_matrix.to_dense())
+
+    def test_col_access(self, sparse_matrix):
+        csc = CSCMatrix.from_coo(sparse_matrix)
+        rows, vals = csc.col(2)
+        assert np.array_equal(rows, [0, 1])
+        assert np.array_equal(vals, [3, 7])
+
+    def test_matvec(self, sparse_matrix, rng):
+        csc = CSCMatrix.from_coo(sparse_matrix)
+        x = rng.random(4)
+        assert np.allclose(csc.matvec(x), sparse_matrix.to_dense() @ x)
+
+    def test_dense_matches(self, sparse_matrix):
+        csc = CSCMatrix.from_coo(sparse_matrix)
+        assert np.array_equal(csc.to_dense(), sparse_matrix.to_dense())
+
+    def test_col_out_of_range(self, sparse_matrix):
+        with pytest.raises(GraphFormatError):
+            CSCMatrix.from_coo(sparse_matrix).col(-1)
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_indptr_not_starting_at_zero(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix((2, 2), np.array([1, 1, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_indptr_decreasing(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_indices_values_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix((2, 2), np.array([0, 1, 1]), np.array([0]),
+                      np.array([1.0, 2.0]))
+
+    def test_minor_index_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix((2, 2), np.array([0, 1, 1]), np.array([5]),
+                      np.array([1.0]))
+
+    def test_negative_shape(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix((-2, 2), np.array([0]), np.array([]), np.array([]))
+
+    def test_readonly_views(self, sparse_matrix):
+        csr = CSRMatrix.from_coo(sparse_matrix)
+        with pytest.raises(ValueError):
+            csr.indptr[0] = 7
+        with pytest.raises(ValueError):
+            csr.values[0] = 7.0
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_csr_csc_agree_on_random_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m, nnz = 17, 23, 60
+        rows = rng.integers(0, n, nnz)
+        cols = rng.integers(0, m, nnz)
+        vals = rng.random(nnz)
+        coo = COOMatrix((n, m), rows, cols, vals)
+        x = rng.random(m)
+        expected = coo.to_dense() @ x
+        assert np.allclose(CSRMatrix.from_coo(coo).matvec(x), expected)
+        assert np.allclose(CSCMatrix.from_coo(coo).matvec(x), expected)

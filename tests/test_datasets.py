@@ -1,0 +1,86 @@
+"""Unit tests for the Table 3 dataset analogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import datasets
+from repro.graph.datasets import (
+    MAX_SYNTH_EDGES,
+    PAPER_DATASETS,
+    DatasetSpec,
+    dataset,
+    list_datasets,
+)
+
+
+class TestRegistry:
+    def test_all_seven_present(self):
+        assert list_datasets() == ("WV", "SD", "AZ", "WG", "LJ", "OK", "NF")
+
+    def test_unknown_code(self):
+        with pytest.raises(DatasetError):
+            dataset("XX")
+
+    def test_case_insensitive(self):
+        assert dataset("wv") is dataset("WV")
+
+    def test_paper_statistics(self):
+        assert PAPER_DATASETS["WV"].paper_edges == 103_000
+        assert PAPER_DATASETS["LJ"].paper_vertices == 4_800_000
+        assert PAPER_DATASETS["NF"].bipartite
+
+
+class TestScalePolicy:
+    def test_small_dataset_unscaled(self):
+        vertices, edges, factor = PAPER_DATASETS["WV"].synthetic_size()
+        assert (vertices, edges, factor) == (7_000, 103_000, 1.0)
+
+    def test_large_dataset_scaled(self):
+        vertices, edges, factor = PAPER_DATASETS["OK"].synthetic_size()
+        assert edges == MAX_SYNTH_EDGES
+        assert factor == pytest.approx(106_000_000 / MAX_SYNTH_EDGES)
+        assert vertices < PAPER_DATASETS["OK"].paper_vertices
+
+    def test_generated_scale_factor_recorded(self):
+        assert dataset("LJ").scale_factor > 1.0
+        assert dataset("WV").scale_factor == 1.0
+
+    def test_density_ordering_preserved(self):
+        # WV is by far the densest of the paper's directed graphs.
+        wv = dataset("WV")
+        lj = dataset("LJ")
+        assert wv.density > lj.density
+
+
+class TestCaching:
+    def test_cache_hit(self):
+        assert dataset("WV") is dataset("WV")
+
+    def test_cache_bypass(self):
+        fresh = dataset("WV", use_cache=False)
+        assert fresh is not dataset("WV")
+        assert fresh.adjacency == dataset("WV").adjacency
+
+    def test_weighted_variant_cached_separately(self):
+        assert dataset("WV") is not dataset("WV", weighted=True)
+
+    def test_clear_cache(self):
+        before = dataset("WV")
+        datasets.clear_cache()
+        after = dataset("WV")
+        assert before is not after
+        assert before.adjacency == after.adjacency
+
+
+class TestNetflix:
+    def test_bipartite_shape(self):
+        nf = dataset("NF")
+        # Item count is preserved, users scaled (DESIGN.md note).
+        assert nf.num_vertices > PAPER_DATASETS["NF"].items
+        assert nf.weighted
+
+    def test_spec_helper(self):
+        spec = DatasetSpec("ZZ", "Test", 10, 20)
+        assert spec.synthetic_size() == (10, 20, 1.0)

@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+The CF example trains for ~30 s and is exercised manually; everything
+else executes here so a broken example fails CI, not a user.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "shortest_paths",
+    "components",
+    "validate_and_size",
+    "design_space",
+]
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_platform_comparison_with_args(monkeypatch, capsys):
+    module = _load("platform_comparison")
+    monkeypatch.setattr(sys, "argv",
+                        ["platform_comparison.py", "WV", "spmv"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "graphr" in out
+    assert "speedup vs CPU" in out
+
+
+def test_every_example_has_docstring_and_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        assert '"""' in source.split("\n", 3)[-1] or \
+            source.lstrip().startswith(('"""', "#!")), path
+        assert "def main()" in source, f"{path} lacks main()"
+        assert '__name__ == "__main__"' in source, path

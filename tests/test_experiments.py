@@ -1,0 +1,131 @@
+"""Unit tests for the experiment harness, report and table builders.
+
+Figure builders hit the full dataset analogs and are exercised by the
+benchmark suite; here we test the machinery on cheap inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.figures import FigureResult
+from repro.experiments.harness import (
+    ComparisonRow,
+    ExperimentRunner,
+    geometric_mean,
+)
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1, table2, table3
+from repro.hw.stats import RunStats
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbb"], [["11", "2"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  | bbb")
+        assert lines[2].startswith("11 | 2")
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_header_required(self):
+        with pytest.raises(ConfigError):
+            render_table([], [])
+
+    def test_row_width_checked(self):
+        with pytest.raises(ConfigError):
+            render_table(["a", "b"], [["1"]])
+
+
+class TestTables:
+    def test_table1_structure(self):
+        rows, text = table1()
+        assert len(rows) == 6
+        assert "GraphR" in text
+
+    def test_table2_consistency(self):
+        rows, text = table2()
+        assert len(rows) == 4
+        assert "parallel MAC" in text and "parallel add-op" in text
+
+    def test_table3_without_generation(self):
+        rows, text = table3(generate=False)
+        assert len(rows) == 7
+        assert "LiveJournal" in text
+
+
+class TestComparisonRow:
+    def test_as_tuple(self):
+        row = ComparisonRow("pagerank", "WV", 2.0, 3.0,
+                            RunStats("graphr", "pagerank", "WV"),
+                            RunStats("cpu", "pagerank", "WV"))
+        assert row.as_tuple() == ("pagerank", "WV", 2.0, 3.0)
+
+
+class TestFigureResult:
+    @pytest.fixture
+    def result(self):
+        rows = [ComparisonRow("pagerank", "WV", 2.0, 3.0,
+                              RunStats("graphr", "pagerank", "WV"),
+                              RunStats("cpu", "pagerank", "WV"))]
+        return FigureResult("Figure X", "test", rows,
+                            geomean_speedup=2.0, geomean_energy=3.0)
+
+    def test_describe(self, result):
+        text = result.describe()
+        assert "Figure X" in text
+        assert "2.00" in text and "3.00" in text
+
+    def test_cell_lookup(self, result):
+        assert result.cell("pagerank", "WV").speedup == 2.0
+        with pytest.raises(KeyError):
+            result.cell("bfs", "WV")
+
+
+class TestRunner:
+    def test_unknown_platform(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ConfigError):
+            runner.stats("tpu", "pagerank", "WV")
+
+    def test_cache_returns_same_object(self):
+        runner = ExperimentRunner(
+            run_kwargs={"spmv": {}})
+        first = runner.stats("graphr", "spmv", "WV")
+        second = runner.stats("graphr", "spmv", "WV")
+        assert first is second
+
+    def test_compare_row_fields(self):
+        runner = ExperimentRunner()
+        row = runner.compare("cpu", "spmv", "WV")
+        assert row.algorithm == "spmv"
+        assert row.dataset == "WV"
+        assert row.speedup > 0
+        assert row.energy_saving > 0
+        assert row.graphr.platform == "graphr"
+        assert row.baseline.platform == "cpu"
+
+    def test_weighted_graph_for_sssp(self):
+        runner = ExperimentRunner()
+        graph = runner.graph_for("sssp", "WV")
+        assert graph.weighted
+        assert not runner.graph_for("pagerank", "WV").weighted

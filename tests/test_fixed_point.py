@@ -1,0 +1,127 @@
+"""Unit + property tests for fixed-point encoding and bit slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError
+from repro.reram.fixed_point import (
+    FixedPointFormat,
+    bit_slices,
+    combine_slices,
+    quantize,
+)
+
+
+class TestFormat:
+    def test_defaults(self):
+        fmt = FixedPointFormat()
+        assert fmt.total_bits == 16
+        assert fmt.scale == 1 / 256
+        assert fmt.max_code == 65535
+
+    def test_integer_format(self):
+        fmt = FixedPointFormat(16, 0)
+        assert fmt.scale == 1.0
+        assert fmt.max_value == 65535.0
+
+    def test_encode_decode_round_trip(self):
+        fmt = FixedPointFormat(16, 8)
+        values = np.array([0.0, 1.0, 3.5, 255.99])
+        assert np.allclose(fmt.decode(fmt.encode(values)), values,
+                           atol=fmt.scale)
+
+    def test_encode_clamps_high(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.encode(np.array([999.0]))[0] == 255
+
+    def test_encode_clamps_negative(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.encode(np.array([-5.0]))[0] == 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(DeviceError):
+            FixedPointFormat(0, 0)
+        with pytest.raises(DeviceError):
+            FixedPointFormat(8, 8)
+        with pytest.raises(DeviceError):
+            FixedPointFormat(64, 2)
+
+    def test_quantize_helper(self):
+        fmt = FixedPointFormat(16, 8)
+        q = quantize(np.array([1.2345]), fmt)
+        assert abs(q[0] - 1.2345) <= fmt.scale
+
+
+class TestBitSlices:
+    def test_paper_example_shape(self):
+        """16-bit value -> four 4-bit segments M = [M3, M2, M1, M0]."""
+        slices = bit_slices(np.array([0xABCD]), cell_bits=4, total_bits=16)
+        assert len(slices) == 4
+        assert slices[0][0] == 0xD
+        assert slices[1][0] == 0xC
+        assert slices[2][0] == 0xB
+        assert slices[3][0] == 0xA
+
+    def test_round_trip(self):
+        codes = np.array([0, 1, 4095, 65535, 256])
+        slices = bit_slices(codes, 4, 16)
+        assert np.array_equal(combine_slices(slices, 4), codes)
+
+    def test_shift_add_of_sums_is_exact(self, rng):
+        """The paper's D3<<12 + D2<<8 + D1<<4 + D0 recombination works
+        on *summed* slice outputs, not just individual codes."""
+        a = rng.integers(0, 65536, size=8)
+        b = rng.integers(0, 65536, size=8)
+        sa = bit_slices(a, 4, 16)
+        sb = bit_slices(b, 4, 16)
+        summed = [x + y for x, y in zip(sa, sb)]
+        assert np.array_equal(combine_slices(summed, 4), a + b)
+
+    def test_indivisible_width_rejected(self):
+        with pytest.raises(DeviceError):
+            bit_slices(np.array([1]), 5, 16)
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(DeviceError):
+            bit_slices(np.array([1 << 16]), 4, 16)
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(DeviceError):
+            bit_slices(np.array([-1]), 4, 16)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(DeviceError):
+            combine_slices([], 4)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=65535),
+                min_size=1, max_size=32),
+       st.sampled_from([2, 4, 8]))
+def test_property_slice_combine_identity(codes, cell_bits):
+    """combine(slice(x)) == x for every cell width dividing 16."""
+    arr = np.array(codes, dtype=np.int64)
+    slices = bit_slices(arr, cell_bits, 16)
+    assert np.array_equal(combine_slices(slices, cell_bits), arr)
+    for s in slices:
+        assert s.min() >= 0
+        assert s.max() < (1 << cell_bits)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=200.0,
+                          allow_nan=False), min_size=1, max_size=16),
+       st.integers(min_value=1, max_value=15))
+def test_property_quantization_error_bounded(values, frac_bits):
+    """|quantize(x) - x| <= scale/2 within range, monotone clamping."""
+    fmt = FixedPointFormat(16, frac_bits)
+    arr = np.array(values)
+    q = quantize(arr, fmt)
+    in_range = arr <= fmt.max_value
+    assert np.all(np.abs(q[in_range] - arr[in_range])
+                  <= fmt.scale / 2 + 1e-12)
+    assert np.all(q[~in_range] == pytest.approx(fmt.max_value))

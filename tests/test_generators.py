@@ -1,0 +1,166 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import (
+    bipartite_rating_graph,
+    chain_graph,
+    complete_graph,
+    erdos_renyi,
+    grid_graph,
+    rmat,
+    star_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 200, seed=1)
+        assert g.num_edges == 200
+        assert g.num_vertices == 50
+
+    def test_deterministic(self):
+        a = erdos_renyi(40, 100, seed=7)
+        b = erdos_renyi(40, 100, seed=7)
+        assert a.adjacency == b.adjacency
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(40, 100, seed=7)
+        b = erdos_renyi(40, 100, seed=8)
+        assert a.adjacency != b.adjacency
+
+    def test_no_self_loops_by_default(self):
+        g = erdos_renyi(20, 100, seed=3)
+        assert not np.any(np.asarray(g.adjacency.rows)
+                          == np.asarray(g.adjacency.cols))
+
+    def test_no_duplicate_edges(self):
+        g = erdos_renyi(20, 150, seed=3)
+        keys = (np.asarray(g.adjacency.rows) * 20
+                + np.asarray(g.adjacency.cols))
+        assert np.unique(keys).size == g.num_edges
+
+    def test_weighted(self):
+        g = erdos_renyi(20, 50, seed=3, weighted=True, max_weight=15)
+        vals = np.asarray(g.adjacency.values)
+        assert vals.min() >= 1 and vals.max() <= 15
+        assert g.weighted
+
+    def test_capacity_exceeded(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi(3, 100, seed=0)
+
+    def test_bad_vertices(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi(0, 0)
+
+
+class TestRMAT:
+    def test_edge_count_hit_exactly(self):
+        g = rmat(8, 900, seed=2)
+        assert g.num_edges == 900
+        assert g.num_vertices == 256
+
+    def test_deterministic(self):
+        assert rmat(7, 300, seed=4).adjacency == rmat(7, 300, seed=4).adjacency
+
+    def test_power_law_skew(self):
+        g = rmat(10, 8000, seed=6)
+        deg = g.out_degrees()
+        # Heavy tail: the max degree dwarfs the mean.
+        assert deg.max() > 8 * deg.mean()
+
+    def test_weighted_range(self):
+        g = rmat(6, 100, seed=1, weighted=True, max_weight=7)
+        vals = np.asarray(g.adjacency.values)
+        assert vals.min() >= 1 and vals.max() <= 7
+
+    def test_no_duplicates_after_dedup(self):
+        g = rmat(6, 200, seed=1)
+        n = g.num_vertices
+        keys = (np.asarray(g.adjacency.rows) * n
+                + np.asarray(g.adjacency.cols))
+        assert np.unique(keys).size == g.num_edges
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphFormatError):
+            rmat(0, 10)
+        with pytest.raises(GraphFormatError):
+            rmat(31, 10)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(GraphFormatError):
+            rmat(4, 10, a=0.5, b=0.3, c=0.3)
+
+
+class TestBipartite:
+    def test_structure(self):
+        g = bipartite_rating_graph(30, 10, 100, seed=5)
+        src = np.asarray(g.adjacency.rows)
+        dst = np.asarray(g.adjacency.cols)
+        assert src.max() < 30          # users on the left
+        assert dst.min() >= 30         # items shifted past users
+        assert g.num_vertices == 40
+        assert g.weighted
+
+    def test_rating_levels(self):
+        g = bipartite_rating_graph(30, 10, 100, seed=5, rating_levels=5)
+        vals = np.asarray(g.adjacency.values)
+        assert vals.min() >= 1 and vals.max() <= 5
+
+    def test_popularity_skew(self):
+        g = bipartite_rating_graph(200, 50, 2000, seed=5)
+        item_deg = g.in_degrees()[200:]
+        assert item_deg[0] > item_deg[item_deg > 0].mean()
+
+    def test_too_many_ratings(self):
+        with pytest.raises(GraphFormatError):
+            bipartite_rating_graph(2, 2, 100)
+
+    def test_bad_sizes(self):
+        with pytest.raises(GraphFormatError):
+            bipartite_rating_graph(0, 2, 1)
+
+
+class TestStructured:
+    def test_chain(self):
+        g = chain_graph(5)
+        assert g.num_edges == 4
+        assert g.adjacency.to_dense()[0, 1] == 1.0
+
+    def test_chain_bad(self):
+        with pytest.raises(GraphFormatError):
+            chain_graph(0)
+
+    def test_star(self):
+        g = star_graph(6, center=2)
+        assert g.num_edges == 5
+        assert g.out_degrees()[2] == 5
+
+    def test_star_bad_center(self):
+        with pytest.raises(GraphFormatError):
+            star_graph(4, center=9)
+
+    def test_grid(self):
+        g = grid_graph(3)
+        assert g.num_vertices == 9
+        # Interior corner has right+down edges: 2 * side * (side-1) total.
+        assert g.num_edges == 12
+
+    def test_grid_bad(self):
+        with pytest.raises(GraphFormatError):
+            grid_graph(0)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 20
+        dense = g.adjacency.to_dense()
+        assert np.all(np.diag(dense) == 0)
+
+    def test_complete_bad(self):
+        with pytest.raises(GraphFormatError):
+            complete_graph(-1)

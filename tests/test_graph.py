@@ -1,0 +1,83 @@
+"""Unit tests for the Graph facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOMatrix
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges(self, tiny_graph):
+        assert tiny_graph.num_vertices == 8
+        assert tiny_graph.num_edges == 25
+
+    def test_rectangular_rejected(self):
+        coo = COOMatrix((2, 3), [0], [2], [1.0])
+        with pytest.raises(GraphFormatError):
+            Graph(adjacency=coo)
+
+    def test_bad_scale_factor(self):
+        coo = COOMatrix.empty((2, 2))
+        with pytest.raises(GraphFormatError):
+            Graph(adjacency=coo, scale_factor=0.0)
+
+    def test_from_edges_infers_square(self):
+        g = Graph.from_edges([(0, 5)])
+        assert g.num_vertices == 6
+
+    def test_density(self, tiny_graph):
+        assert tiny_graph.density == pytest.approx(25 / 64)
+
+
+class TestDegrees:
+    def test_out_degrees(self, tiny_graph):
+        deg = tiny_graph.out_degrees()
+        assert deg.sum() == tiny_graph.num_edges
+        assert deg[0] == 2
+
+    def test_in_degrees(self, tiny_graph):
+        deg = tiny_graph.in_degrees()
+        assert deg.sum() == tiny_graph.num_edges
+
+    def test_degrees_of_reversed(self, tiny_graph):
+        rev = tiny_graph.reversed()
+        assert np.array_equal(rev.out_degrees(), tiny_graph.in_degrees())
+        assert np.array_equal(rev.in_degrees(), tiny_graph.out_degrees())
+
+
+class TestViews:
+    def test_csr_cached(self, tiny_graph):
+        assert tiny_graph.csr() is tiny_graph.csr()
+
+    def test_csc_cached(self, tiny_graph):
+        assert tiny_graph.csc() is tiny_graph.csc()
+
+    def test_csr_matches_adjacency(self, tiny_graph, rng):
+        x = rng.random(8)
+        assert np.allclose(tiny_graph.csr().matvec(x),
+                           tiny_graph.adjacency.matvec(x))
+
+    def test_reversed_round_trip(self, tiny_graph):
+        double = tiny_graph.reversed().reversed()
+        assert np.array_equal(double.adjacency.to_dense(),
+                              tiny_graph.adjacency.to_dense())
+
+    def test_unit_weights(self, small_weighted_graph):
+        unit = small_weighted_graph.with_unit_weights()
+        assert not unit.weighted
+        assert np.all(np.asarray(unit.adjacency.values) == 1.0)
+        assert unit.num_edges == small_weighted_graph.num_edges
+
+    def test_deduplicated(self):
+        g = Graph.from_edges([(0, 1), (0, 1), (1, 0)], num_vertices=2)
+        d = g.deduplicated()
+        assert d.num_edges == 2
+        assert d.adjacency.to_dense()[0, 1] == 2.0
+
+    def test_repr(self, tiny_graph):
+        text = repr(tiny_graph)
+        assert "figure5" in text and "|V|=8" in text

@@ -1,0 +1,173 @@
+"""Unit tests for technology parameters, ledgers and run stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.energy import EnergyLedger
+from repro.hw.params import (
+    ADCParams,
+    CPUParams,
+    PIMParams,
+    ReRAMParams,
+    TechnologyParams,
+    default_technology,
+)
+from repro.hw.stats import RunStats
+from repro.hw.timing import LatencyModel
+
+
+class TestParams:
+    def test_paper_constants(self):
+        """The Section 5.2 device numbers must be the defaults."""
+        reram = ReRAMParams()
+        assert reram.read_latency_s == pytest.approx(29.31e-9)
+        assert reram.write_latency_s == pytest.approx(50.88e-9)
+        assert reram.read_energy_j == pytest.approx(1.08e-12)
+        assert reram.write_energy_j == pytest.approx(3.91e-9)
+        assert reram.cell_bits == 4
+        assert reram.ge_cycle_s == pytest.approx(64e-9)
+        assert reram.hrs_ohm == pytest.approx(25e6)
+        assert reram.lrs_ohm == pytest.approx(50e3)
+
+    def test_adc_energy_per_sample(self):
+        adc = ADCParams(sample_rate_sps=1e9, power_w=16e-3)
+        assert adc.energy_per_sample_j == pytest.approx(16e-12)
+
+    def test_cpu_table4(self):
+        cpu = CPUParams()
+        assert cpu.total_cores == 16
+        assert cpu.frequency_hz == pytest.approx(2.4e9)
+        assert cpu.l3_bytes == 20 * 1024 * 1024
+        assert cpu.total_power_w == pytest.approx(2 * 85 + 25)
+
+    def test_pim_tesseract_geometry(self):
+        pim = PIMParams()
+        assert pim.total_cores == 512
+        assert pim.cubes == 16
+
+    def test_invalid_cell_bits(self):
+        with pytest.raises(ConfigError):
+            ReRAMParams(cell_bits=0)
+        with pytest.raises(ConfigError):
+            ReRAMParams(cell_bits=9)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ConfigError):
+            ReRAMParams(read_latency_s=-1.0)
+
+    def test_with_reram_override(self):
+        tech = default_technology().with_reram(cell_bits=2)
+        assert tech.reram.cell_bits == 2
+        assert default_technology().reram.cell_bits == 4
+
+    def test_bundle_is_frozen(self):
+        tech = TechnologyParams()
+        with pytest.raises(AttributeError):
+            tech.reram = ReRAMParams()
+
+
+class TestEnergyLedger:
+    def test_charge_and_total(self):
+        ledger = EnergyLedger()
+        ledger.charge("adc", count=128, energy_per_event_j=16e-12)
+        assert ledger.total_j == pytest.approx(2.048e-9)
+        assert ledger.count_of("adc") == 128
+        assert ledger.energy_of("adc") == pytest.approx(2.048e-9)
+
+    def test_unknown_component_zero(self):
+        ledger = EnergyLedger()
+        assert ledger.energy_of("nothing") == 0.0
+        assert ledger.count_of("nothing") == 0
+
+    def test_charge_joules(self):
+        ledger = EnergyLedger()
+        ledger.charge_joules("static", 0.5)
+        assert ledger.total_j == 0.5
+
+    def test_components_sorted_by_energy(self):
+        ledger = EnergyLedger()
+        ledger.charge("small", 1, 1e-12)
+        ledger.charge("big", 1, 1e-9)
+        assert ledger.components() == ("big", "small")
+
+    def test_merge(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.charge("x", 1, 1.0)
+        b.charge("x", 2, 1.0)
+        b.charge("y", 1, 3.0)
+        a.merge(b)
+        assert a.energy_of("x") == 3.0
+        assert a.count_of("x") == 3
+        assert a.energy_of("y") == 3.0
+
+    def test_negative_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ConfigError):
+            ledger.charge("x", count=-1)
+        with pytest.raises(ConfigError):
+            ledger.charge("x", count=1, energy_per_event_j=-1.0)
+        with pytest.raises(ConfigError):
+            ledger.charge_joules("x", -1.0)
+
+    def test_iter_and_repr(self):
+        ledger = EnergyLedger()
+        ledger.charge("x", 1, 2.0)
+        assert list(ledger) == [("x", 2.0)]
+        assert "EnergyLedger" in repr(ledger)
+
+    def test_breakdown_is_copy(self):
+        ledger = EnergyLedger()
+        ledger.charge("x", 1, 2.0)
+        ledger.breakdown()["x"] = 99.0
+        assert ledger.energy_of("x") == 2.0
+
+
+class TestLatencyModel:
+    def test_add_and_total(self):
+        lat = LatencyModel()
+        lat.add("compute", 1.5)
+        lat.add("compute", 0.5)
+        lat.add("io", 1.0)
+        assert lat.total_s == 3.0
+        assert lat.seconds_of("compute") == 2.0
+        assert lat.phases()[0] == "compute"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel().add("x", -1.0)
+
+    def test_merge(self):
+        a, b = LatencyModel(), LatencyModel()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        a.merge(b)
+        assert a.seconds_of("x") == 3.0
+
+    def test_breakdown_copy(self):
+        lat = LatencyModel()
+        lat.add("x", 1.0)
+        lat.breakdown()["x"] = 9.0
+        assert lat.seconds_of("x") == 1.0
+
+
+class TestRunStats:
+    def test_speedup_and_energy_saving(self):
+        fast = RunStats("graphr", "pagerank", "WV", seconds=1.0)
+        slow = RunStats("cpu", "pagerank", "WV", seconds=10.0)
+        fast.energy.charge_joules("x", 1.0)
+        slow.energy.charge_joules("x", 30.0)
+        assert fast.speedup_over(slow) == 10.0
+        assert fast.energy_saving_over(slow) == 30.0
+
+    def test_zero_time_rejected(self):
+        zero = RunStats("graphr", "pagerank", "WV", seconds=0.0)
+        other = RunStats("cpu", "pagerank", "WV", seconds=1.0)
+        with pytest.raises(ZeroDivisionError):
+            zero.speedup_over(other)
+
+    def test_summary(self):
+        stats = RunStats("cpu", "bfs", "AZ", seconds=0.5, iterations=7)
+        text = stats.summary()
+        assert "cpu" in text and "bfs" in text and "AZ" in text

@@ -1,0 +1,154 @@
+"""End-to-end integration tests across the whole stack.
+
+These walk the full pipeline — generator -> preprocessing ->
+streaming-apply on functional GEs -> results + costs — and cross-check
+against the references and across platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    bfs_reference,
+    pagerank_reference,
+    spmv_reference,
+    sssp_reference,
+)
+from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.graph.generators import erdos_renyi, rmat
+from repro.graph.io import load_binary, save_binary
+
+
+@pytest.fixture
+def cfg():
+    return GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2,
+                        max_iterations=80)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("algorithm,kwargs", [
+        ("pagerank", {}),
+        ("bfs", {"source": 0}),
+        ("sssp", {"source": 0}),
+        ("spmv", {}),
+    ])
+    def test_all_algorithms_on_functional_node(self, cfg, algorithm,
+                                               kwargs):
+        graph = rmat(6, 200, seed=12, weighted=True)
+        accel = GraphR(cfg)
+        result, stats = accel.run(algorithm, graph, mode="functional",
+                                  **kwargs)
+        assert stats.seconds > 0
+        assert stats.joules > 0
+        references = {
+            "pagerank": pagerank_reference,
+            "bfs": bfs_reference,
+            "sssp": sssp_reference,
+            "spmv": spmv_reference,
+        }
+        reference = references[algorithm](graph, **kwargs)
+        if algorithm in ("bfs", "sssp"):
+            assert np.array_equal(result.values, reference.values)
+        else:
+            assert np.allclose(result.values, reference.values,
+                               rtol=1e-2, atol=0.1)
+
+    def test_persistence_round_trip_preserves_results(self, cfg,
+                                                      tmp_path):
+        graph = rmat(6, 150, seed=3, weighted=True)
+        path = tmp_path / "graph.bin"
+        save_binary(graph, path)
+        reloaded = load_binary(path)
+        accel = GraphR(cfg)
+        a, _ = accel.run("sssp", graph, source=0, mode="functional")
+        b, _ = accel.run("sssp", reloaded, source=0, mode="functional")
+        assert np.array_equal(a.values, b.values)
+
+    def test_block_partitioned_run_matches_single_block(self):
+        """Out-of-core blocking must not change results (Section 3.3)."""
+        graph = rmat(6, 200, seed=7, weighted=True)
+        single = GraphR(GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                                     num_ges=2, max_iterations=80))
+        blocked = GraphR(GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                                      num_ges=2, block_size=16,
+                                      max_iterations=80))
+        a, _ = single.run("sssp", graph, source=0, mode="functional")
+        b, _ = blocked.run("sssp", graph, source=0, mode="functional")
+        assert np.array_equal(a.values, b.values)
+
+    def test_blocked_pagerank_matches(self):
+        graph = erdos_renyi(48, 300, seed=2)
+        single = GraphR(GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                                     num_ges=2, max_iterations=60))
+        blocked = GraphR(GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                                      num_ges=2, block_size=20,
+                                      max_iterations=60))
+        a, _ = single.run("pagerank", graph, mode="functional")
+        b, _ = blocked.run("pagerank", graph, mode="functional")
+        assert np.allclose(a.values, b.values, atol=1e-6)
+
+
+class TestCrossPlatformConsistency:
+    def test_all_platforms_compute_identical_values(self):
+        """Simulated platforms differ in cost, never in answers."""
+        graph = rmat(7, 600, seed=5, weighted=True, name="xplat")
+        kwargs = {"source": 0}
+        accel = GraphR(GraphRConfig(mode="analytic"))
+        g_result, _ = accel.run("sssp", graph, **kwargs)
+        for platform in (CPUPlatform(), GPUPlatform(), PIMPlatform()):
+            result, stats = platform.run("sssp", graph, **kwargs)
+            assert np.array_equal(result.values, g_result.values)
+            assert stats.seconds > 0
+
+    def test_graphr_beats_cpu_on_dense_small_graph(self):
+        graph = erdos_renyi(128, 4000, seed=8, name="dense")
+        accel = GraphR(GraphRConfig(mode="analytic"))
+        cpu = CPUPlatform()
+        _, g = accel.run("pagerank", graph, max_iterations=10)
+        _, c = cpu.run("pagerank", graph, max_iterations=10)
+        assert g.seconds < c.seconds
+        assert g.joules < c.joules
+
+
+class TestEnergyAccounting:
+    def test_component_breakdown_sums_to_total(self, cfg):
+        graph = rmat(6, 200, seed=1, weighted=True)
+        accel = GraphR(cfg)
+        _, stats = accel.run("sssp", graph, source=0, mode="functional")
+        assert sum(stats.energy.breakdown().values()) \
+            == pytest.approx(stats.joules)
+
+    def test_latency_breakdown_sums_to_total(self, cfg):
+        graph = rmat(6, 200, seed=1, weighted=True)
+        accel = GraphR(cfg)
+        _, stats = accel.run("sssp", graph, source=0, mode="functional")
+        assert stats.latency.total_s == pytest.approx(stats.seconds)
+
+    def test_write_energy_dominates_reads(self, cfg):
+        """ReRAM writes are ~3600x costlier than reads per cell; for
+        MAC workloads write energy must exceed crossbar read energy."""
+        graph = rmat(6, 300, seed=2)
+        accel = GraphR(cfg)
+        _, stats = accel.run("pagerank", graph, mode="functional")
+        assert stats.energy.energy_of("crossbar_write") \
+            > stats.energy.energy_of("crossbar_read")
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000),
+       edges=st.integers(min_value=10, max_value=150))
+def test_property_functional_sssp_equals_reference(seed, edges):
+    """Device-level SSSP is exact for any random weighted graph."""
+    graph = rmat(5, edges, seed=seed, weighted=True)
+    cfg = GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2,
+                       max_iterations=100)
+    result, _ = GraphR(cfg).run("sssp", graph, source=0,
+                                mode="functional")
+    reference = sssp_reference(graph, source=0)
+    assert np.array_equal(result.values, reference.values)

@@ -1,0 +1,95 @@
+"""Unit tests for edge-list persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import rmat
+from repro.graph.io import (
+    load_binary,
+    load_edge_list,
+    save_binary,
+    save_edge_list,
+)
+
+
+class TestTextFormat:
+    def test_round_trip_unweighted(self, tmp_path, small_graph):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == small_graph.num_vertices
+        assert np.array_equal(loaded.adjacency.to_dense(),
+                              small_graph.adjacency.to_dense())
+        assert loaded.name == small_graph.name
+
+    def test_round_trip_weighted(self, tmp_path, small_weighted_graph):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_weighted_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.weighted
+        assert np.array_equal(loaded.adjacency.to_dense(),
+                              small_weighted_graph.adjacency.to_dense())
+
+    def test_plain_file_without_header(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n1 2 3.5\n\n# comment\n2 0\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.adjacency.to_dense()[1, 2] == 3.5
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        g = load_edge_list(path)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path):
+        graph = rmat(6, 200, seed=8, weighted=True)
+        path = tmp_path / "g.bin"
+        save_binary(graph, path)
+        loaded = load_binary(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.weighted == graph.weighted
+        assert np.array_equal(np.asarray(loaded.adjacency.rows),
+                              np.asarray(graph.adjacency.rows))
+        assert np.array_equal(np.asarray(loaded.adjacency.values),
+                              np.asarray(graph.adjacency.values))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"JUNK" + b"\x00" * 32)
+        with pytest.raises(GraphFormatError):
+            load_binary(path)
+
+    def test_name_override(self, tmp_path, small_graph):
+        path = tmp_path / "g.bin"
+        save_binary(small_graph, path)
+        assert load_binary(path, name="custom").name == "custom"
+
+    def test_binary_preserves_order(self, tmp_path):
+        """Binary persistence must keep the (preprocessed) edge order."""
+        graph = rmat(5, 60, seed=2)
+        path = tmp_path / "g.bin"
+        save_binary(graph, path)
+        loaded = load_binary(path)
+        assert np.array_equal(np.asarray(loaded.adjacency.cols),
+                              np.asarray(graph.adjacency.cols))

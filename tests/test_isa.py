@@ -1,0 +1,90 @@
+"""Tests for the controller instruction-trace layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.vertex_program import MappingPattern
+from repro.core.config import GraphRConfig
+from repro.core.isa import (
+    Instruction,
+    Opcode,
+    events_from_trace,
+    trace_iteration,
+    trace_summary,
+)
+from repro.core.streaming import SubgraphStreamer
+from repro.graph.generators import rmat
+
+
+@pytest.fixture
+def streamer(small_weighted_graph):
+    cfg = GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2)
+    return SubgraphStreamer(small_weighted_graph, cfg)
+
+
+class TestTraceStructure:
+    def test_starts_with_load_ends_with_convergence(self, streamer):
+        trace = trace_iteration(streamer, MappingPattern.PARALLEL_MAC)
+        assert trace[0].opcode is Opcode.LOAD_BLOCK
+        assert trace[-1].opcode is Opcode.CHECK_CONVERGENCE
+        assert trace[-2].opcode is Opcode.APPLY
+
+    def test_one_program_per_nonempty_subgraph(self, streamer):
+        trace = trace_iteration(streamer, MappingPattern.PARALLEL_MAC)
+        summary = trace_summary(trace)
+        assert summary["program_subgraph"] \
+            == streamer.num_nonempty_subgraphs
+        assert summary["present"] == summary["program_subgraph"]
+        assert summary["reduce"] == summary["program_subgraph"]
+        assert summary["load_block"] == 1
+
+    def test_instruction_repr(self):
+        ins = Instruction(Opcode.PRESENT, {"count": 3})
+        assert "present" in repr(ins)
+        assert "count=3" in repr(ins)
+
+
+class TestEventsRoundTrip:
+    @pytest.mark.parametrize("pattern", [MappingPattern.PARALLEL_MAC,
+                                         MappingPattern.PARALLEL_ADD_OP])
+    def test_full_iteration_matches_analytic_events(self, streamer,
+                                                    pattern):
+        """The instruction-level count must equal the vectorised one."""
+        trace = trace_iteration(streamer, pattern)
+        from_trace = events_from_trace(trace, pattern)
+        analytic = streamer.iteration_events(pattern)
+        assert from_trace.edges == analytic.edges
+        assert from_trace.scanned_edges == analytic.scanned_edges
+        assert from_trace.subgraphs == analytic.subgraphs
+        assert from_trace.tiles == analytic.tiles
+        assert from_trace.touched_rows == analytic.touched_rows
+        assert from_trace.presentations == analytic.presentations
+        assert from_trace.apply_ops == analytic.apply_ops
+        assert from_trace.addop == analytic.addop
+
+    def test_frontier_iteration_matches(self, streamer,
+                                        small_weighted_graph):
+        n = small_weighted_graph.num_vertices
+        frontier = np.zeros(n, dtype=bool)
+        frontier[:5] = True
+        pattern = MappingPattern.PARALLEL_ADD_OP
+        trace = trace_iteration(streamer, pattern, frontier=frontier)
+        from_trace = events_from_trace(trace, pattern)
+        analytic = streamer.iteration_events(pattern, frontier=frontier)
+        assert from_trace.edges == analytic.edges
+        assert from_trace.tiles == analytic.tiles
+        assert from_trace.presentations == analytic.presentations
+
+    def test_larger_graph_round_trip(self):
+        graph = rmat(7, 800, seed=5)
+        cfg = GraphRConfig(crossbar_size=8, crossbars_per_ge=32,
+                           num_ges=4)
+        streamer = SubgraphStreamer(graph, cfg)
+        pattern = MappingPattern.PARALLEL_MAC
+        from_trace = events_from_trace(
+            trace_iteration(streamer, pattern), pattern)
+        analytic = streamer.iteration_events(pattern)
+        assert from_trace.tiles == analytic.tiles
+        assert from_trace.touched_rows == analytic.touched_rows

@@ -1,0 +1,139 @@
+"""Direct unit tests for the MAC and add-op iteration mappers, with
+hand-computed expectations on tiny graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRankProgram
+from repro.algorithms.spmv import SpMVProgram
+from repro.algorithms.sssp import INFINITY, SSSPProgram
+from repro.core.addop_mapper import run_addop_iteration
+from repro.core.config import GraphRConfig
+from repro.core.engine import GraphEngine
+from repro.core.mac_mapper import run_mac_iteration
+from repro.core.streaming import SubgraphStreamer
+from repro.graph.graph import Graph
+from repro.reram.fixed_point import FixedPointFormat
+
+
+@pytest.fixture
+def cfg():
+    return GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=1)
+
+
+def _mac_engine(cfg, frac=15):
+    fmt = FixedPointFormat(16, frac)
+    return GraphEngine(cfg, coeff_fmt=fmt, input_fmt=fmt)
+
+
+def _min_engine(cfg):
+    fmt = FixedPointFormat(16, 0)
+    return GraphEngine(cfg, coeff_fmt=fmt, input_fmt=fmt)
+
+
+class TestMACMapper:
+    def test_single_edge_propagation(self, cfg):
+        # 0 -> 1 with outdeg(0)=1: rank flows damped to vertex 1.
+        graph = Graph.from_edges([(0, 1)], num_vertices=4)
+        program = PageRankProgram(damping=0.8)
+        streamer = SubgraphStreamer(graph, cfg)
+        props = program.initial_properties(graph)      # 0.25 each
+        coeffs = program.crossbar_coefficient(graph)   # [0.8]
+        new_props, changed, events = run_mac_iteration(
+            streamer, _mac_engine(cfg), program, graph, props, coeffs)
+        teleport = 0.2 / 4
+        assert new_props[1] == pytest.approx(teleport + 0.8 * 0.25,
+                                             abs=1e-3)
+        assert new_props[0] == pytest.approx(teleport, abs=1e-3)
+        assert events.edges == 1
+        assert events.subgraphs == 1
+
+    def test_spmv_star(self, cfg):
+        # Star 0 -> {1,2,3}: each gets x0 * (1/3).
+        graph = Graph.from_edges([(0, 1), (0, 2), (0, 3)],
+                                 num_vertices=4)
+        program = SpMVProgram()
+        streamer = SubgraphStreamer(graph, cfg)
+        props = np.array([3.0, 0.0, 0.0, 0.0])
+        coeffs = program.crossbar_coefficient(graph)
+        engine = _mac_engine(cfg, frac=8)
+        new_props, _, _ = run_mac_iteration(
+            streamer, engine, program, graph, props, coeffs)
+        assert np.allclose(new_props[1:], 1.0, atol=1e-2)
+
+    def test_events_scanned_edges_set(self, cfg, small_graph):
+        program = SpMVProgram()
+        streamer = SubgraphStreamer(small_graph, cfg)
+        props = program.initial_properties(small_graph)
+        coeffs = program.crossbar_coefficient(small_graph)
+        _, _, events = run_mac_iteration(
+            streamer, _mac_engine(cfg, frac=8), program, small_graph,
+            props, coeffs)
+        assert events.scanned_edges == small_graph.num_edges
+        assert events.edges == small_graph.num_edges
+
+
+class TestAddOpMapper:
+    def test_single_relaxation(self, cfg):
+        # 0 -> 1 weight 5, dist(0)=0: one iteration gives dist(1)=5.
+        graph = Graph.from_edges([(0, 1, 5.0)], num_vertices=4,
+                                 weighted=True)
+        program = SSSPProgram(source=0)
+        streamer = SubgraphStreamer(graph, cfg)
+        props = program.initial_properties(graph)
+        coeffs = program.crossbar_coefficient(graph)
+        frontier = props != INFINITY
+        new_props, changed, events = run_addop_iteration(
+            streamer, _min_engine(cfg), program, graph, props, coeffs,
+            frontier=frontier)
+        assert new_props[1] == 5.0
+        assert changed[1]
+        assert not changed[0]
+        assert events.addop
+
+    def test_two_paths_take_minimum(self, cfg):
+        # 0 -> 2 direct (10) vs precomputed shorter label at 2.
+        graph = Graph.from_edges([(0, 2, 10.0)], num_vertices=4,
+                                 weighted=True)
+        program = SSSPProgram(source=0)
+        streamer = SubgraphStreamer(graph, cfg)
+        props = np.array([0.0, INFINITY, 4.0, INFINITY])
+        coeffs = program.crossbar_coefficient(graph)
+        frontier = np.array([True, False, False, False])
+        new_props, changed, _ = run_addop_iteration(
+            streamer, _min_engine(cfg), program, graph, props, coeffs,
+            frontier=frontier)
+        # 0 + 10 = 10 loses against the existing 4.
+        assert new_props[2] == 4.0
+        assert not changed[2]
+
+    def test_inactive_sources_do_nothing(self, cfg):
+        graph = Graph.from_edges([(0, 1, 2.0), (2, 3, 1.0)],
+                                 num_vertices=4, weighted=True)
+        program = SSSPProgram(source=0)
+        streamer = SubgraphStreamer(graph, cfg)
+        props = np.array([0.0, INFINITY, 0.0, INFINITY])
+        coeffs = program.crossbar_coefficient(graph)
+        frontier = np.array([True, False, False, False])
+        new_props, changed, events = run_addop_iteration(
+            streamer, _min_engine(cfg), program, graph, props, coeffs,
+            frontier=frontier)
+        assert new_props[1] == 2.0
+        assert new_props[3] == INFINITY   # source 2 inactive
+        assert events.edges == 1
+
+    def test_empty_frontier_is_identity(self, cfg, small_weighted_graph):
+        program = SSSPProgram(source=0)
+        streamer = SubgraphStreamer(small_weighted_graph, cfg)
+        props = program.initial_properties(small_weighted_graph)
+        coeffs = program.crossbar_coefficient(small_weighted_graph)
+        frontier = np.zeros(small_weighted_graph.num_vertices,
+                            dtype=bool)
+        new_props, changed, events = run_addop_iteration(
+            streamer, _min_engine(cfg), program, small_weighted_graph,
+            props, coeffs, frontier=frontier)
+        assert np.array_equal(new_props, props)
+        assert not changed.any()
+        assert events.edges == 0

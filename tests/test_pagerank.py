@@ -1,0 +1,118 @@
+"""Unit tests for PageRank (reference + vertex program), with a
+networkx oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRankProgram, pagerank_reference
+from repro.algorithms.vertex_program import MappingPattern
+from repro.errors import ConvergenceError
+from repro.graph.generators import chain_graph, complete_graph, rmat
+
+
+def _to_networkx(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for src, dst, _ in graph.adjacency:
+        g.add_edge(src, dst)
+    return g
+
+
+class TestReference:
+    def test_distribution_shape(self, small_graph):
+        result = pagerank_reference(small_graph)
+        assert result.converged
+        assert np.all(result.values >= 0)
+        # Leaked mass from dangling vertices keeps the sum <= 1.
+        assert 0 < result.values.sum() <= 1.0 + 1e-9
+
+    def test_matches_networkx_ranking(self, small_graph):
+        """Top vertices must agree with networkx's PageRank."""
+        ours = pagerank_reference(small_graph, damping=0.85)
+        nx_scores = nx.pagerank(_to_networkx(small_graph), alpha=0.85)
+        top_ours = set(np.argsort(ours.values)[-5:])
+        top_nx = set(sorted(nx_scores, key=nx_scores.get)[-5:])
+        assert len(top_ours & top_nx) >= 4
+
+    def test_complete_graph_uniform(self):
+        graph = complete_graph(8)
+        result = pagerank_reference(graph)
+        assert np.allclose(result.values, result.values[0])
+
+    def test_trace_records_all_edges(self, small_graph):
+        result = pagerank_reference(small_graph)
+        assert result.trace.iterations == result.iterations
+        assert all(e == small_graph.num_edges
+                   for e in result.trace.active_edges)
+
+    def test_iteration_budget(self, small_graph):
+        result = pagerank_reference(small_graph, max_iterations=3,
+                                    tolerance=1e-15)
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_divergence_raises_when_asked(self, small_graph):
+        with pytest.raises(ConvergenceError):
+            pagerank_reference(small_graph, max_iterations=1,
+                               tolerance=1e-15, raise_on_divergence=True)
+
+    def test_damping_extremes(self, small_graph):
+        low = pagerank_reference(small_graph, damping=0.1)
+        assert low.converged
+        # Low damping: nearly uniform.
+        n = small_graph.num_vertices
+        assert np.allclose(low.values, 1.0 / n, atol=0.05)
+
+
+class TestProgram:
+    def test_descriptor(self):
+        program = PageRankProgram()
+        assert program.pattern is MappingPattern.PARALLEL_MAC
+        assert program.reduce_op == "add"
+        assert not program.needs_active_list
+        assert program.parallelism_degree_exponent == 2
+
+    def test_initial_uniform(self, small_graph):
+        props = PageRankProgram().initial_properties(small_graph)
+        assert np.allclose(props, 1.0 / small_graph.num_vertices)
+
+    def test_coefficients_are_damped_inverse_degree(self, small_graph):
+        program = PageRankProgram(damping=0.8)
+        coeffs = program.crossbar_coefficient(small_graph)
+        out_deg = small_graph.out_degrees()
+        src = np.asarray(small_graph.adjacency.rows)
+        assert np.allclose(coeffs, 0.8 / out_deg[src])
+
+    def test_apply_adds_teleport(self, small_graph):
+        program = PageRankProgram(damping=0.8)
+        n = small_graph.num_vertices
+        reduced = np.zeros(n)
+        out = program.apply(reduced, reduced, small_graph)
+        assert np.allclose(out, 0.2 / n)
+
+    def test_convergence_check(self, small_graph):
+        program = PageRankProgram(tolerance=1e-3)
+        a = np.full(4, 0.25)
+        assert program.has_converged(a, a + 1e-5, 1)
+        assert not program.has_converged(a, a + 1e-2, 1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PageRankProgram(damping=1.5)
+        with pytest.raises(ValueError):
+            PageRankProgram(tolerance=0.0)
+
+    def test_fixed_point_property(self):
+        """The converged vector is a fixed point of the update."""
+        graph = rmat(6, 200, seed=9)
+        result = pagerank_reference(graph, tolerance=1e-12)
+        n = graph.num_vertices
+        src = np.asarray(graph.adjacency.rows)
+        dst = np.asarray(graph.adjacency.cols)
+        deg = np.where(graph.out_degrees() > 0, graph.out_degrees(), 1)
+        again = np.full(n, 0.15 / n)
+        np.add.at(again, dst, 0.85 * result.values[src] / deg[src])
+        assert np.allclose(again, result.values, atol=1e-9)

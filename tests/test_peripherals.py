@@ -1,0 +1,198 @@
+"""Unit tests for the GE peripheral chain: DRV, S/H, ADC, S/A, sALU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DeviceError
+from repro.hw.params import ADCParams
+from repro.reram.adc import SharedADC
+from repro.reram.driver import WordlineDriver
+from repro.reram.fixed_point import FixedPointFormat
+from repro.reram.salu import REDUCE_OPS, SALU
+from repro.reram.sample_hold import SampleHoldArray
+from repro.reram.shift_add import ShiftAddUnit
+
+
+class TestDriver:
+    def test_present_quantizes(self):
+        drv = WordlineDriver(4, FixedPointFormat(16, 8))
+        codes, counts = drv.present(np.array([1.0, 0.0, 0.5, 2.0]))
+        assert codes[0] == 256
+        assert codes[1] == 0
+        assert counts.wordlines_driven == 3
+        assert counts.input_bits == 3 * 16
+
+    def test_one_hot(self):
+        drv = WordlineDriver(4)
+        codes, counts = drv.one_hot(2)
+        assert np.array_equal(codes, [0, 0, 1, 0])
+        assert counts.wordlines_driven == 1
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(DeviceError):
+            WordlineDriver(4).one_hot(4)
+
+    def test_wrong_length(self):
+        with pytest.raises(DeviceError):
+            WordlineDriver(4).present(np.ones(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(DeviceError):
+            WordlineDriver(2).present(np.array([-1.0, 0.0]))
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(DeviceError):
+            WordlineDriver(0)
+
+
+class TestSampleHold:
+    def test_sample_then_drain(self):
+        sh = SampleHoldArray(8)
+        sh.sample(np.arange(4.0))
+        assert sh.holding
+        out = sh.drain()
+        assert np.array_equal(out, np.arange(4.0))
+        assert not sh.holding
+        assert sh.samples_taken == 4
+
+    def test_overwrite_hazard(self):
+        sh = SampleHoldArray(8)
+        sh.sample(np.ones(2))
+        with pytest.raises(DeviceError):
+            sh.sample(np.ones(2))
+
+    def test_drain_empty(self):
+        with pytest.raises(DeviceError):
+            SampleHoldArray(4).drain()
+
+    def test_capacity_exceeded(self):
+        with pytest.raises(DeviceError):
+            SampleHoldArray(2).sample(np.ones(3))
+
+    def test_zero_capacity(self):
+        with pytest.raises(DeviceError):
+            SampleHoldArray(0)
+
+
+class TestADC:
+    def test_quantization_grid(self):
+        adc = SharedADC(full_scale=255.0)
+        out = adc.convert(np.array([0.0, 100.3, 255.0]))
+        assert out[0] == 0.0
+        assert out[2] == 255.0
+        assert abs(out[1] - 100.3) <= 255.0 / 255 / 2 + 1e-9
+
+    def test_clipping(self):
+        adc = SharedADC(full_scale=10.0)
+        assert adc.convert(np.array([99.0]))[0] == 10.0
+        assert adc.convert(np.array([-5.0]))[0] == 0.0
+
+    def test_conversion_counting(self):
+        adc = SharedADC()
+        adc.convert(np.zeros(7))
+        assert adc.conversions == 7
+
+    def test_timing_and_energy(self):
+        adc = SharedADC(ADCParams(sample_rate_sps=1e9, power_w=16e-3))
+        assert adc.conversion_time_s(64) == pytest.approx(64e-9)
+        assert adc.conversion_energy_j(1) == pytest.approx(16e-12)
+
+    def test_paper_sizing_claim(self):
+        """One 1.0 GSps ADC converts eight 8-bitline crossbars (64
+        values) within a 64 ns GE cycle — Section 3.2."""
+        adc = SharedADC()
+        assert adc.fits_in_cycle(64, 64e-9)
+        assert not adc.fits_in_cycle(65, 64e-9)
+
+    def test_required_rate(self):
+        assert SharedADC.required_rate_sps(64, 64e-9) == pytest.approx(1e9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DeviceError):
+            SharedADC(full_scale=0.0)
+        with pytest.raises(DeviceError):
+            SharedADC().convert(np.zeros((2, 2)))
+        with pytest.raises(DeviceError):
+            SharedADC().conversion_time_s(-1)
+        with pytest.raises(DeviceError):
+            SharedADC.required_rate_sps(4, 0.0)
+
+
+class TestShiftAdd:
+    def test_paper_recombination(self):
+        """D3<<12 + D2<<8 + D1<<4 + D0 (Section 3.2 Data Format)."""
+        sa = ShiftAddUnit(cell_bits=4, num_slices=4)
+        slices = [np.array([0xD]), np.array([0xC]), np.array([0xB]),
+                  np.array([0xA])]
+        assert sa.combine(slices)[0] == 0xABCD
+        assert sa.total_bits == 16
+
+    def test_wrong_slice_count(self):
+        with pytest.raises(DeviceError):
+            ShiftAddUnit(4, 4).combine([np.array([1])] * 3)
+
+    def test_mismatched_shapes(self):
+        sa = ShiftAddUnit(4, 2)
+        with pytest.raises(DeviceError):
+            sa.combine([np.array([1]), np.array([1, 2])])
+
+    def test_combine_counting(self):
+        sa = ShiftAddUnit(4, 2)
+        sa.combine([np.zeros(5), np.zeros(5)])
+        assert sa.combines == 5
+
+    def test_invalid_params(self):
+        with pytest.raises(DeviceError):
+            ShiftAddUnit(0, 4)
+
+
+class TestSALU:
+    def test_figure15_add(self):
+        """Figure 15a: add for PageRank."""
+        salu = SALU("add")
+        old = np.array([7.0, 2.0, 3.0, 1.0])
+        new = np.array([2.0, 4.0, 5.0, 3.0])
+        assert np.array_equal(salu.reduce(old, new), [9, 6, 8, 4])
+
+    def test_figure15_min(self):
+        """Figure 15b: min for SSSP."""
+        salu = SALU("min")
+        old = np.array([5.0, 6.0, 4.0, 7.0])
+        new = np.array([3.0, 9.0, 4.0, 2.0])
+        assert np.array_equal(salu.reduce(old, new), [3, 6, 4, 2])
+
+    def test_max(self):
+        salu = SALU("max")
+        assert salu.reduce(np.array([1.0]), np.array([2.0]))[0] == 2.0
+
+    def test_reconfigure(self):
+        salu = SALU("add")
+        salu.configure("min")
+        assert salu.op_name == "min"
+
+    def test_unknown_op(self):
+        with pytest.raises(ConfigError):
+            SALU("xor")
+
+    def test_register_custom_op(self):
+        SALU.register("test_sub", np.subtract)
+        try:
+            salu = SALU("test_sub")
+            assert salu.reduce(np.array([5.0]), np.array([2.0]))[0] == 3.0
+        finally:
+            REDUCE_OPS.pop("test_sub")
+
+    def test_register_invalid(self):
+        with pytest.raises(ConfigError):
+            SALU.register("", np.add)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            SALU("add").reduce(np.ones(2), np.ones(3))
+
+    def test_op_counting(self):
+        salu = SALU("add")
+        salu.reduce(np.ones(8), np.ones(8))
+        assert salu.ops_performed == 8

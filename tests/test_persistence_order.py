@@ -1,0 +1,103 @@
+"""Tests for JSON persistence and the streaming-order cost trade-off."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accelerator import GraphR
+from repro.core.config import GraphRConfig
+from repro.errors import ConfigError
+from repro.experiments.figures import FigureResult
+from repro.experiments.harness import ComparisonRow
+from repro.experiments.persistence import (
+    figure_to_dict,
+    load_figure_json,
+    save_figure_json,
+    stats_to_dict,
+)
+from repro.graph.generators import rmat
+from repro.hw.stats import RunStats
+
+
+class TestStatsSerialisation:
+    def test_round_trip_fields(self):
+        graph = rmat(6, 200, seed=1)
+        _, stats = GraphR(GraphRConfig(mode="analytic")).run(
+            "spmv", graph)
+        payload = stats_to_dict(stats)
+        assert payload["platform"] == "graphr"
+        assert payload["seconds"] == stats.seconds
+        assert payload["energy_breakdown"]["crossbar_write"] > 0
+        assert "mode" in payload["extra"]
+
+    def test_non_json_extra_dropped(self):
+        stats = RunStats("cpu", "bfs", "x")
+        stats.extra["ok"] = 1
+        stats.extra["bad"] = object()
+        payload = stats_to_dict(stats)
+        assert "ok" in payload["extra"]
+        assert "bad" not in payload["extra"]
+
+
+class TestFigureSerialisation:
+    @pytest.fixture
+    def figure(self):
+        row = ComparisonRow("pagerank", "WV", 2.0, 3.0,
+                            RunStats("graphr", "pagerank", "WV",
+                                     seconds=1.0),
+                            RunStats("cpu", "pagerank", "WV",
+                                     seconds=2.0))
+        return FigureResult("Figure X", "test", [row],
+                            geomean_speedup=2.0)
+
+    def test_save_and_load(self, figure, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_json(figure, path)
+        payload = load_figure_json(path)
+        assert payload["figure"] == "Figure X"
+        assert payload["rows"][0]["speedup"] == 2.0
+
+    def test_load_rejects_non_figure(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(ConfigError):
+            load_figure_json(path)
+
+    def test_dict_shape(self, figure):
+        payload = figure_to_dict(figure)
+        assert payload["geomean_speedup"] == 2.0
+        assert payload["rows"][0]["baseline"]["platform"] == "cpu"
+
+
+class TestStreamingOrderCost:
+    """Figure 11: column-major should cost less register energy."""
+
+    def _energy(self, order: str) -> tuple[float, float]:
+        graph = rmat(7, 900, seed=3)
+        cfg = GraphRConfig(mode="analytic", streaming_order=order,
+                           block_size=8192)
+        _, stats = GraphR(cfg).run("pagerank", graph, max_iterations=5)
+        return (stats.energy.energy_of("reg_write"),
+                stats.energy.energy_of("reg_read"))
+
+    def test_column_major_cheaper_rego_writes(self):
+        column_w, _ = self._energy("column")
+        row_w, _ = self._energy("row")
+        assert column_w < row_w
+
+    def test_row_major_fewer_regi_reads(self):
+        _, column_r = self._energy("column")
+        _, row_r = self._energy("row")
+        assert row_r <= column_r
+
+    def test_total_time_unaffected_by_order(self):
+        """The register trade is an energy/capacity story; the critical
+        path through crossbars is order-independent."""
+        graph = rmat(7, 900, seed=3)
+        runs = []
+        for order in ("column", "row"):
+            cfg = GraphRConfig(mode="analytic", streaming_order=order)
+            _, stats = GraphR(cfg).run("pagerank", graph,
+                                       max_iterations=5)
+            runs.append(stats.seconds)
+        assert runs[0] == pytest.approx(runs[1])

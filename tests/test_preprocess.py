@@ -1,0 +1,190 @@
+"""Unit + property tests for the Section 3.4 preprocessing pass.
+
+The key property: sorting edges by the computed global order ID yields
+exactly the hierarchical traversal (column-major blocks, column-major
+subgraph tiles, column-major within tiles), and consecutive positions
+differ by their zero-inclusive distance in the traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.graph.coo import COOMatrix
+from repro.graph.generators import rmat
+from repro.graph.preprocess import (
+    GraphROrdering,
+    global_order_id,
+    preprocess_edge_list,
+)
+
+
+def brute_force_ids(ordering: GraphROrdering) -> np.ndarray:
+    """Walk the traversal explicitly, numbering every matrix position."""
+    v = ordering.padded_vertices
+    b = ordering.block_size
+    tr, tc = ordering.tile_rows, ordering.tile_cols
+    pr, pc = ordering.padded_block
+    ids = np.zeros((v, v), dtype=np.int64)
+    counter = 0
+    side = ordering.blocks_per_side
+    for bj in range(side):
+        for bi in range(side):
+            for tj in range(pc // tc):
+                for ti in range(pr // tr):
+                    for cj in range(tc):
+                        for ci in range(tr):
+                            row = bi * b + ti * tr + ci
+                            col = bj * b + tj * tc + cj
+                            if row < v and col < v:
+                                ids[row, col] = counter
+                            counter += 1
+    return ids
+
+
+class TestGlobalOrderID:
+    def test_matches_brute_force_small(self):
+        ordering = GraphROrdering(num_vertices=16, block_size=8,
+                                  crossbar_size=2, crossbars_per_ge=2,
+                                  num_ges=1)
+        expected = brute_force_ids(ordering)
+        rows, cols = np.meshgrid(np.arange(16), np.arange(16),
+                                 indexing="ij")
+        got = global_order_id(ordering, rows.ravel(), cols.ravel())
+        assert np.array_equal(got, expected.ravel())
+
+    def test_matches_brute_force_figure12(self):
+        # The paper's running example: V=64, B=32, C=4, N=2, G=2.
+        ordering = GraphROrdering(num_vertices=64, block_size=32,
+                                  crossbar_size=4, crossbars_per_ge=2,
+                                  num_ges=2)
+        expected = brute_force_ids(ordering)
+        rows, cols = np.meshgrid(np.arange(64), np.arange(64),
+                                 indexing="ij")
+        got = global_order_id(ordering, rows.ravel(), cols.ravel())
+        assert np.array_equal(got, expected.ravel())
+
+    def test_ids_are_unique_per_position(self):
+        ordering = GraphROrdering(num_vertices=12, block_size=6,
+                                  crossbar_size=3)
+        rows, cols = np.meshgrid(np.arange(12), np.arange(12),
+                                 indexing="ij")
+        ids = global_order_id(ordering, rows.ravel(), cols.ravel())
+        assert np.unique(ids).size == ids.size
+
+    def test_zero_distance_property(self):
+        """Two edges k positions apart differ by exactly k in ID."""
+        ordering = GraphROrdering(num_vertices=8, block_size=8,
+                                  crossbar_size=2)
+        # Column-major within a tile: (0,0) then (1,0) are adjacent.
+        first = global_order_id(ordering, np.array([0]), np.array([0]))
+        second = global_order_id(ordering, np.array([1]), np.array([0]))
+        assert second[0] - first[0] == 1
+
+    def test_out_of_range_rejected(self):
+        ordering = GraphROrdering(num_vertices=8, block_size=8,
+                                  crossbar_size=2)
+        with pytest.raises(PartitionError):
+            global_order_id(ordering, np.array([99]), np.array([0]))
+
+    def test_negative_rejected(self):
+        ordering = GraphROrdering(num_vertices=8, block_size=8,
+                                  crossbar_size=2)
+        with pytest.raises(PartitionError):
+            global_order_id(ordering, np.array([-1]), np.array([0]))
+
+    def test_length_mismatch(self):
+        ordering = GraphROrdering(num_vertices=8, block_size=8,
+                                  crossbar_size=2)
+        with pytest.raises(PartitionError):
+            global_order_id(ordering, np.array([0, 1]), np.array([0]))
+
+
+class TestPreprocess:
+    def test_sorted_output(self):
+        graph = rmat(7, 400, seed=3)
+        ordering = GraphROrdering(num_vertices=graph.num_vertices,
+                                  block_size=64, crossbar_size=4,
+                                  crossbars_per_ge=2, num_ges=2)
+        pre = preprocess_edge_list(graph.adjacency, ordering)
+        ids = global_order_id(ordering, np.asarray(pre.rows),
+                              np.asarray(pre.cols))
+        assert np.all(np.diff(ids) >= 0)
+
+    def test_preserves_edges(self):
+        graph = rmat(6, 150, seed=4, weighted=True)
+        ordering = GraphROrdering(num_vertices=graph.num_vertices,
+                                  block_size=32, crossbar_size=4)
+        pre = preprocess_edge_list(graph.adjacency, ordering)
+        assert np.array_equal(pre.to_dense(),
+                              graph.adjacency.to_dense())
+
+    def test_non_square_rejected(self):
+        ordering = GraphROrdering(num_vertices=4, block_size=4,
+                                  crossbar_size=2)
+        with pytest.raises(PartitionError):
+            preprocess_edge_list(COOMatrix((4, 5), [0], [1], [1.0]),
+                                 ordering)
+
+    def test_vertex_count_mismatch(self):
+        ordering = GraphROrdering(num_vertices=8, block_size=4,
+                                  crossbar_size=2)
+        with pytest.raises(PartitionError):
+            preprocess_edge_list(COOMatrix.empty((4, 4)), ordering)
+
+    def test_duplicates_kept_stable(self):
+        coo = COOMatrix((4, 4), [1, 1, 0], [1, 1, 0], [10.0, 20.0, 5.0])
+        ordering = GraphROrdering(num_vertices=4, block_size=4,
+                                  crossbar_size=2)
+        pre = preprocess_edge_list(coo, ordering)
+        dup_vals = [v for r, c, v in pre if (r, c) == (1, 1)]
+        assert dup_vals == [10.0, 20.0]
+
+
+class TestOrderingGeometry:
+    def test_derived_properties(self):
+        o = GraphROrdering(num_vertices=64, block_size=32,
+                           crossbar_size=4, crossbars_per_ge=2, num_ges=2)
+        assert o.tile_rows == 4
+        assert o.tile_cols == 16
+        assert o.blocks_per_side == 2
+        assert o.subgraph_grid == (8, 2)
+        assert o.entries_per_subgraph == 64
+        assert o.entries_per_block == 32 * 32
+
+    def test_invalid_params(self):
+        with pytest.raises(PartitionError):
+            GraphROrdering(num_vertices=0, block_size=4, crossbar_size=2)
+
+    def test_partition_helpers(self):
+        o = GraphROrdering(num_vertices=64, block_size=32,
+                           crossbar_size=4, crossbars_per_ge=2, num_ges=2)
+        assert o.block_partition().blocks_per_side == 2
+        assert o.grid().tile_cols == 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scale=st.integers(min_value=3, max_value=6),
+    edges=st.integers(min_value=1, max_value=120),
+    crossbar=st.sampled_from([2, 4]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_preprocess_is_permutation(scale, edges, crossbar, seed):
+    """Preprocessing must be a pure permutation of the edge list and
+    sort it by global order ID, for arbitrary geometry."""
+    graph = rmat(scale, edges, seed=seed, weighted=True)
+    n = graph.num_vertices
+    ordering = GraphROrdering(num_vertices=n, block_size=max(crossbar, n // 2),
+                              crossbar_size=crossbar, crossbars_per_ge=2,
+                              num_ges=1)
+    pre = preprocess_edge_list(graph.adjacency, ordering)
+    assert pre.nnz == graph.num_edges
+    assert np.array_equal(pre.to_dense(), graph.adjacency.to_dense())
+    ids = global_order_id(ordering, np.asarray(pre.rows),
+                          np.asarray(pre.cols))
+    assert np.all(np.diff(ids) >= 0)

@@ -1,0 +1,130 @@
+"""Consolidated hypothesis property tests on core invariants.
+
+Module-specific property tests live next to their units; this file
+holds the cross-cutting ones a reviewer would want stated in one place:
+conservation laws, permutation invariances and cost monotonicity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GraphRConfig
+from repro.core.cost import CostModel, IterationEvents
+from repro.graph.coo import COOMatrix
+from repro.graph.generators import rmat
+from repro.hw.energy import EnergyLedger
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000),
+       edges=st.integers(min_value=1, max_value=200))
+def test_matvec_invariant_under_entry_permutation(seed, edges):
+    """A @ x must not depend on the storage order of the entries."""
+    rng = np.random.default_rng(seed)
+    graph = rmat(5, edges, seed=seed, weighted=True)
+    coo = graph.adjacency
+    x = rng.random(coo.shape[1])
+    perm = rng.permutation(coo.nnz)
+    assert np.allclose(coo.matvec(x), coo.permuted(perm).matvec(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_transpose_is_involution(seed):
+    graph = rmat(5, 80, seed=seed, weighted=True)
+    coo = graph.adjacency
+    back = coo.transpose().transpose()
+    assert np.array_equal(back.to_dense(), coo.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000),
+       split=st.integers(min_value=1, max_value=99))
+def test_matvec_distributes_over_edge_partition(seed, split):
+    """Splitting the edge list into two groups and summing the partial
+    products must equal the full product — the invariant GraphR's
+    block/subgraph partitioning rests on."""
+    rng = np.random.default_rng(seed)
+    graph = rmat(5, 100, seed=seed, weighted=True)
+    coo = graph.adjacency
+    x = rng.random(coo.shape[1])
+    k = coo.nnz * split // 100
+    first = coo.take(np.arange(k))
+    second = coo.take(np.arange(k, coo.nnz))
+    assert np.allclose(first.matvec(x) + second.matvec(x),
+                       coo.matvec(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(counts=st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=0, max_value=100)),
+    min_size=0, max_size=20))
+def test_energy_ledger_merge_equals_sequential_charging(counts):
+    """Charging events into two ledgers and merging equals charging
+    them all into one."""
+    merged = EnergyLedger()
+    left, right = EnergyLedger(), EnergyLedger()
+    for i, (component, count) in enumerate(counts):
+        target = left if i % 2 == 0 else right
+        target.charge(component, count, 1e-12)
+        merged.charge(component, count, 1e-12)
+    left.merge(right)
+    assert left.total_j == pytest.approx(merged.total_j)
+    for component in ("a", "b", "c"):
+        assert left.count_of(component) == merged.count_of(component)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tiles=st.integers(min_value=0, max_value=100_000),
+       presentations=st.integers(min_value=0, max_value=100_000),
+       extra=st.integers(min_value=1, max_value=50_000))
+def test_cost_model_monotone_in_work(tiles, presentations, extra):
+    """More tiles or presentations can never take less time."""
+    model = CostModel(GraphRConfig(mode="analytic"))
+    base = IterationEvents(edges=10, scanned_edges=10, tiles=tiles,
+                           presentations=presentations)
+    more_tiles = IterationEvents(edges=10, scanned_edges=10,
+                                 tiles=tiles + extra,
+                                 presentations=presentations)
+    more_pres = IterationEvents(edges=10, scanned_edges=10, tiles=tiles,
+                                presentations=presentations + extra)
+    t0 = model.iteration_time_s(base)
+    assert model.iteration_time_s(more_tiles) >= t0
+    assert model.iteration_time_s(more_pres) >= t0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_pagerank_mass_conserved_without_dangling(seed):
+    """On graphs where every vertex has out-degree > 0, PageRank mass
+    sums to exactly 1 each iteration."""
+    from repro.algorithms.pagerank import pagerank_reference
+    from repro.graph.graph import Graph
+
+    rng = np.random.default_rng(seed)
+    n = 20
+    # Guarantee out-degree >= 1: a ring plus random chords.
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    for _ in range(30):
+        edges.append((int(rng.integers(n)), int(rng.integers(n))))
+    graph = Graph.from_edges(edges, num_vertices=n).deduplicated()
+    result = pagerank_reference(graph)
+    assert result.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000),
+       chunk=st.integers(min_value=1, max_value=32))
+def test_dual_windows_edge_grid_conserves_edges(seed, chunk):
+    from repro.graph.partition import DualSlidingWindows
+
+    graph = rmat(5, 120, seed=seed)
+    windows = DualSlidingWindows(graph.num_vertices,
+                                 min(chunk, graph.num_vertices))
+    grid = windows.edge_grid_counts(graph.adjacency)
+    assert grid.sum() == graph.num_edges

@@ -1,0 +1,85 @@
+"""Unit tests for the algorithm registry and Table 2 consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import (
+    TABLE2_ROWS,
+    get_program,
+    list_algorithms,
+    run_reference,
+)
+from repro.algorithms.vertex_program import (
+    AlgorithmResult,
+    IterationTrace,
+    MappingPattern,
+)
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_all_algorithms_listed(self):
+        assert set(list_algorithms()) == {"pagerank", "bfs", "sssp",
+                                          "spmv", "cf", "wcc"}
+
+    def test_get_program_case_insensitive(self):
+        assert get_program("PageRank").name == "pagerank"
+
+    def test_get_program_with_kwargs(self):
+        program = get_program("bfs", source=3)
+        assert program.source == 3
+
+    def test_unknown_program(self):
+        with pytest.raises(ConfigError):
+            get_program("dfs")
+
+    def test_unknown_reference(self):
+        with pytest.raises(ConfigError):
+            run_reference("dfs", None)
+
+    def test_run_reference_dispatch(self, small_graph):
+        result = run_reference("pagerank", small_graph, max_iterations=3)
+        assert isinstance(result, AlgorithmResult)
+        assert result.algorithm == "pagerank"
+
+    def test_table2_covers_non_cf_algorithms(self):
+        apps = {row.application for row in TABLE2_ROWS}
+        assert apps == {"spmv", "pagerank", "bfs", "sssp"}
+
+    def test_table2_agrees_with_programs(self):
+        for row in TABLE2_ROWS:
+            program = get_program(row.application)
+            if "min" in row.reduce:
+                assert program.reduce_op == "min"
+            else:
+                assert program.reduce_op == "add"
+            assert program.needs_active_list == \
+                row.active_vertex_list_required
+
+
+class TestIterationTrace:
+    def test_record_without_frontier(self):
+        trace = IterationTrace()
+        trace.record(10, 100)
+        assert trace.iterations == 1
+        assert trace.total_edges_processed == 100
+        assert trace.frontiers is None
+
+    def test_record_with_frontier(self):
+        trace = IterationTrace(frontiers=[])
+        trace.record(1, 5, frontier=np.array([True, False]))
+        assert len(trace.frontiers) == 1
+        assert trace.frontiers[0].dtype == bool
+
+    def test_frontier_copied(self):
+        trace = IterationTrace(frontiers=[])
+        frontier = np.array([True, False])
+        trace.record(1, 5, frontier=frontier)
+        frontier[0] = False
+        assert trace.frontiers[0][0]
+
+    def test_pattern_enum_values(self):
+        assert MappingPattern.PARALLEL_MAC.value == "parallel-mac"
+        assert MappingPattern.PARALLEL_ADD_OP.value == "parallel-add-op"

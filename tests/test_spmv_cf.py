@@ -1,0 +1,125 @@
+"""Unit tests for SpMV and collaborative filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cf import (
+    CollaborativeFilteringProgram,
+    cf_reference,
+    cf_rmse,
+)
+from repro.algorithms.spmv import SpMVProgram, spmv_reference
+from repro.algorithms.vertex_program import MappingPattern
+from repro.errors import GraphFormatError
+from repro.graph.generators import bipartite_rating_graph, rmat
+
+
+class TestSpMVReference:
+    def test_matches_dense(self, small_weighted_graph, rng):
+        n = small_weighted_graph.num_vertices
+        x = rng.random(n)
+        result = spmv_reference(small_weighted_graph, x)
+        deg = np.where(small_weighted_graph.out_degrees() > 0,
+                       small_weighted_graph.out_degrees(), 1)
+        dense = small_weighted_graph.adjacency.to_dense()
+        normalized = dense / deg[:, None]
+        assert np.allclose(result.values, normalized.T @ x)
+
+    def test_default_input_is_ones(self, small_graph):
+        explicit = spmv_reference(small_graph,
+                                  np.ones(small_graph.num_vertices))
+        default = spmv_reference(small_graph)
+        assert np.allclose(explicit.values, default.values)
+
+    def test_single_iteration(self, small_graph):
+        result = spmv_reference(small_graph)
+        assert result.iterations == 1
+        assert result.converged
+        assert result.trace.total_edges_processed == small_graph.num_edges
+
+    def test_bad_vector_length(self, small_graph):
+        with pytest.raises(GraphFormatError):
+            spmv_reference(small_graph, np.ones(3))
+
+    def test_program_descriptor(self):
+        program = SpMVProgram()
+        assert program.pattern is MappingPattern.PARALLEL_MAC
+        assert program.reduce_op == "add"
+        assert not program.needs_active_list
+
+    def test_program_coefficients(self, small_weighted_graph):
+        coeffs = SpMVProgram().crossbar_coefficient(small_weighted_graph)
+        src = np.asarray(small_weighted_graph.adjacency.rows)
+        deg = small_weighted_graph.out_degrees()
+        w = np.asarray(small_weighted_graph.adjacency.values)
+        assert np.allclose(coeffs, w / deg[src])
+
+    def test_program_converges_immediately(self, small_graph):
+        program = SpMVProgram()
+        assert program.has_converged(np.zeros(2), np.ones(2), 1)
+
+    def test_program_bad_x(self, small_graph):
+        with pytest.raises(GraphFormatError):
+            SpMVProgram().initial_properties(small_graph, x=np.ones(3))
+
+
+class TestCollaborativeFiltering:
+    @pytest.fixture
+    def ratings(self):
+        return bipartite_rating_graph(40, 12, 300, seed=3)
+
+    def test_rmse_decreases_with_epochs(self, ratings):
+        short = cf_reference(ratings, features=8, epochs=2, seed=1)
+        long = cf_reference(ratings, features=8, epochs=25, seed=1)
+        assert cf_rmse(ratings, long.values) < cf_rmse(ratings,
+                                                       short.values)
+
+    def test_final_rmse_reasonable(self, ratings):
+        result = cf_reference(ratings, features=8, epochs=60,
+                              learning_rate=0.05, seed=1)
+        assert cf_rmse(ratings, result.values) < 0.5
+
+    def test_factor_shape(self, ratings):
+        result = cf_reference(ratings, features=16, epochs=2)
+        assert result.values.shape == (ratings.num_vertices, 16)
+
+    def test_trace_counts_every_rating(self, ratings):
+        result = cf_reference(ratings, features=4, epochs=3)
+        assert result.trace.iterations == 3
+        assert all(e == ratings.num_edges
+                   for e in result.trace.active_edges)
+
+    def test_deterministic(self, ratings):
+        a = cf_reference(ratings, features=4, epochs=2, seed=7)
+        b = cf_reference(ratings, features=4, epochs=2, seed=7)
+        assert np.array_equal(a.values, b.values)
+
+    def test_empty_ratings_rejected(self):
+        from repro.graph.coo import COOMatrix
+        from repro.graph.graph import Graph
+        empty = Graph(adjacency=COOMatrix.empty((4, 4)))
+        with pytest.raises(GraphFormatError):
+            cf_reference(empty)
+
+    def test_rmse_shape_validation(self, ratings):
+        with pytest.raises(GraphFormatError):
+            cf_rmse(ratings, np.ones((3, 2)))
+
+    def test_program_descriptor(self):
+        program = CollaborativeFilteringProgram(features=32, epochs=10)
+        assert program.pattern is MappingPattern.PARALLEL_MAC
+        assert program.features == 32
+        assert program.has_converged(None, None, 10)
+        assert not program.has_converged(None, None, 9)
+
+    def test_program_bad_params(self):
+        with pytest.raises(GraphFormatError):
+            CollaborativeFilteringProgram(features=0)
+
+    def test_program_coefficients_are_ratings(self, ratings):
+        coeffs = CollaborativeFilteringProgram().crossbar_coefficient(
+            ratings)
+        assert np.array_equal(coeffs,
+                              np.asarray(ratings.adjacency.values))

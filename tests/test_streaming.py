@@ -1,0 +1,164 @@
+"""Unit tests for the streaming-apply scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.vertex_program import MappingPattern
+from repro.core.config import GraphRConfig
+from repro.core.streaming import SubgraphStreamer
+from repro.errors import PartitionError
+from repro.graph.generators import rmat
+
+
+@pytest.fixture
+def cfg():
+    return GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2,
+                        mode="functional")
+
+
+@pytest.fixture
+def streamer(small_weighted_graph, cfg):
+    return SubgraphStreamer(small_weighted_graph, cfg)
+
+
+class TestTileIteration:
+    def test_every_edge_appears_exactly_once(self, streamer,
+                                              small_weighted_graph):
+        seen = []
+        for tile in streamer.iter_subgraphs():
+            seen.extend(tile.edge_ids.tolist())
+        assert sorted(seen) == list(range(small_weighted_graph.num_edges))
+
+    def test_tiles_in_ascending_order(self, streamer):
+        indices = [t.index for t in streamer.iter_subgraphs()]
+        assert indices == sorted(indices)
+        assert len(indices) == streamer.num_nonempty_subgraphs
+
+    def test_local_coordinates_in_range(self, streamer, cfg):
+        for tile in streamer.iter_subgraphs():
+            assert np.all(tile.rows_local >= 0)
+            assert np.all(tile.rows_local < cfg.tile_rows)
+            assert np.all(tile.cols_local >= 0)
+            assert np.all(tile.cols_local < cfg.tile_cols)
+
+    def test_coordinates_reconstruct_edges(self, streamer,
+                                           small_weighted_graph):
+        """row_base + local row must equal the original source vertex."""
+        src = np.asarray(small_weighted_graph.adjacency.rows)
+        dst = np.asarray(small_weighted_graph.adjacency.cols)
+        for tile in streamer.iter_subgraphs():
+            assert np.array_equal(src[tile.edge_ids],
+                                  tile.row_base + tile.rows_local)
+            assert np.array_equal(dst[tile.edge_ids],
+                                  tile.col_base + tile.cols_local)
+
+    def test_frontier_filtering(self, streamer, small_weighted_graph):
+        n = small_weighted_graph.num_vertices
+        frontier = np.zeros(n, dtype=bool)
+        frontier[0] = True
+        src = np.asarray(small_weighted_graph.adjacency.rows)
+        expected = int((src == 0).sum())
+        got = sum(t.nnz for t in streamer.iter_subgraphs(frontier))
+        assert got == expected
+
+    def test_empty_frontier_yields_nothing(self, streamer,
+                                           small_weighted_graph):
+        frontier = np.zeros(small_weighted_graph.num_vertices, dtype=bool)
+        assert list(streamer.iter_subgraphs(frontier)) == []
+
+    def test_subgraph_origin_round_trip(self, streamer, cfg):
+        for tile in streamer.iter_subgraphs():
+            row, col = streamer.subgraph_origin(tile.index)
+            assert (row, col) == (tile.row_base, tile.col_base)
+            assert row % cfg.tile_rows == 0
+            assert col % cfg.tile_cols == 0
+
+
+class TestEvents:
+    def test_full_iteration_counts(self, streamer, small_weighted_graph):
+        events = streamer.iteration_events(MappingPattern.PARALLEL_MAC)
+        assert events.edges == small_weighted_graph.num_edges
+        assert events.scanned_edges == small_weighted_graph.num_edges
+        assert events.subgraphs == streamer.num_nonempty_subgraphs
+        assert events.tiles >= events.subgraphs
+        assert events.presentations == events.tiles
+        assert not events.addop
+
+    def test_addop_presentations_are_rows(self, streamer):
+        events = streamer.iteration_events(MappingPattern.PARALLEL_ADD_OP)
+        assert events.presentations == events.touched_rows
+        assert events.addop
+
+    def test_frontier_reduces_counts(self, streamer,
+                                     small_weighted_graph):
+        n = small_weighted_graph.num_vertices
+        frontier = np.zeros(n, dtype=bool)
+        frontier[:4] = True
+        full = streamer.iteration_events(MappingPattern.PARALLEL_MAC)
+        partial = streamer.iteration_events(MappingPattern.PARALLEL_MAC,
+                                            frontier=frontier)
+        assert partial.edges <= full.edges
+        assert partial.tiles <= full.tiles
+        # Scans stay full: GraphR streams sequentially (Section 3.5).
+        assert partial.scanned_edges == full.scanned_edges
+
+    def test_empty_frontier_is_free(self, streamer,
+                                    small_weighted_graph):
+        frontier = np.zeros(small_weighted_graph.num_vertices, dtype=bool)
+        events = streamer.iteration_events(MappingPattern.PARALLEL_MAC,
+                                           frontier=frontier)
+        assert events.edges == 0
+        assert events.tiles == 0
+
+    def test_bad_frontier_length(self, streamer):
+        with pytest.raises(PartitionError):
+            streamer.iteration_events(MappingPattern.PARALLEL_MAC,
+                                      frontier=np.zeros(3, dtype=bool))
+
+    def test_work_factor_scales_presentations_not_writes(self, streamer):
+        one = streamer.iteration_events(MappingPattern.PARALLEL_MAC)
+        many = streamer.iteration_events(MappingPattern.PARALLEL_MAC,
+                                         work_factor=8)
+        assert many.presentations == 8 * one.presentations
+        assert many.edges == one.edges
+        assert many.tiles == one.tiles
+
+    def test_skip_disabled_counts_all_slots(self, small_weighted_graph):
+        cfg = GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2,
+                           skip_empty_subgraphs=False)
+        streamer = SubgraphStreamer(small_weighted_graph, cfg)
+        events = streamer.iteration_events(MappingPattern.PARALLEL_MAC)
+        assert events.subgraphs == streamer.total_subgraph_slots
+        assert events.tiles == (streamer.total_subgraph_slots
+                                * cfg.logical_crossbars)
+
+
+class TestFunctionalAnalyticConsistency:
+    def test_event_counts_match_tile_walk(self, small_weighted_graph):
+        """Analytic tile/subgraph counts must equal what the functional
+        walk visits."""
+        cfg = GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2)
+        streamer = SubgraphStreamer(small_weighted_graph, cfg)
+        events = streamer.iteration_events(MappingPattern.PARALLEL_MAC)
+
+        s = cfg.crossbar_size
+        tiles = set()
+        rows = set()
+        for tile in streamer.iter_subgraphs():
+            for r, c in zip(tile.rows_local, tile.cols_local):
+                key = (tile.index, c // s)
+                tiles.add(key)
+                rows.add((key, r))
+        assert events.tiles == len(tiles)
+        assert events.touched_rows == len(rows)
+
+    def test_counts_scale_with_graph(self):
+        cfg = GraphRConfig(crossbar_size=4, crossbars_per_ge=8, num_ges=2)
+        small = SubgraphStreamer(rmat(6, 100, seed=1), cfg)
+        large = SubgraphStreamer(rmat(6, 800, seed=1), cfg)
+        se = small.iteration_events(MappingPattern.PARALLEL_MAC)
+        le = large.iteration_events(MappingPattern.PARALLEL_MAC)
+        assert le.tiles > se.tiles
+        assert le.edges > se.edges

@@ -1,0 +1,95 @@
+"""Tests for the sweep utilities and the cross-mode validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.sweeps import (
+    SweepPoint,
+    bandwidth_sweep,
+    block_size_sweep,
+    geometry_sweep,
+)
+from repro.experiments.validation import validate, validate_matrix
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(7, 900, seed=23, name="sweep-graph")
+
+
+class TestGeometrySweep:
+    def test_grid_covered(self, graph):
+        points = geometry_sweep(graph, crossbar_sizes=(4, 8),
+                                ge_counts=(16, 64),
+                                run_kwargs={"max_iterations": 3})
+        assert len(points) == 4
+        for point in points:
+            assert point.seconds > 0
+            assert point.joules > 0
+            assert set(point.parameters) == {"crossbar_size", "num_ges"}
+
+    def test_more_ges_never_slower(self, graph):
+        points = geometry_sweep(graph, crossbar_sizes=(8,),
+                                ge_counts=(16, 256),
+                                run_kwargs={"max_iterations": 3})
+        few, many = points
+        assert many.seconds <= few.seconds
+
+
+class TestBlockSizeSweep:
+    def test_points_produced(self, graph):
+        points = block_size_sweep(graph, block_sizes=(32, 128),
+                                  run_kwargs={"max_iterations": 3})
+        assert len(points) == 2
+        assert all(p.seconds > 0 for p in points)
+
+
+class TestBandwidthSweep:
+    def test_more_bandwidth_never_slower(self, graph):
+        points = bandwidth_sweep(graph,
+                                 bandwidths_bps=(1e9, 1e12),
+                                 run_kwargs={"max_iterations": 3})
+        slow, fast = points
+        assert fast.seconds <= slow.seconds
+
+
+class TestSweepPoint:
+    def test_from_stats(self):
+        from repro.hw.stats import RunStats
+        stats = RunStats("graphr", "spmv", "x", seconds=1.0,
+                         iterations=2)
+        stats.energy.charge_joules("x", 3.0)
+        point = SweepPoint.from_stats({"a": 1}, stats)
+        assert point.seconds == 1.0
+        assert point.joules == 3.0
+        assert point.parameters == {"a": 1}
+
+
+class TestValidation:
+    def test_sssp_validation_passes(self):
+        graph = rmat(5, 90, seed=1, weighted=True, name="v")
+        report = validate("sssp", graph, source=0)
+        assert report.passed
+        assert report.max_value_error == 0.0
+        assert "PASS" in report.describe()
+
+    def test_pagerank_validation_passes(self):
+        graph = rmat(5, 90, seed=1, name="v")
+        report = validate("pagerank", graph)
+        assert report.passed
+        assert report.max_value_error < 5e-2
+
+    def test_cf_rejected(self):
+        graph = rmat(5, 90, seed=1)
+        with pytest.raises(ConfigError):
+            validate("cf", graph)
+
+    def test_validate_matrix_all_pass(self):
+        graph = rmat(5, 100, seed=6, weighted=True, name="vm")
+        reports = validate_matrix(graph)
+        assert set(reports) == {"pagerank", "bfs", "sssp", "spmv", "wcc"}
+        for name, report in reports.items():
+            assert report.passed, report.describe()

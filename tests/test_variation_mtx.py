@@ -1,0 +1,164 @@
+"""Tests for the device variation model and MatrixMarket I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, GraphFormatError
+from repro.graph.generators import rmat
+from repro.graph.graph import Graph
+from repro.graph.mtx import load_mtx, save_mtx
+from repro.reram.variation import VariationModel
+
+
+class TestVariationModel:
+    def test_identity_when_disabled(self):
+        model = VariationModel()
+        levels = np.arange(16).reshape(4, 4).astype(float)
+        assert np.array_equal(model.effective_levels(levels), levels)
+
+    def test_programming_variation_preserves_zeros(self):
+        model = VariationModel(programming_sigma=0.2, seed=1)
+        levels = np.zeros((4, 4))
+        levels[1, 2] = 8
+        out = model.effective_levels(levels)
+        assert out[0, 0] == 0.0
+        assert out[1, 2] != 8.0
+        assert out[1, 2] > 0.0
+
+    def test_variation_is_deterministic_per_seed(self):
+        model = VariationModel(programming_sigma=0.1, seed=9)
+        levels = np.full((4, 4), 5.0)
+        assert np.array_equal(model.effective_levels(levels),
+                              model.effective_levels(levels))
+
+    def test_ir_drop_attenuates_far_corner_most(self):
+        model = VariationModel(ir_drop_alpha=0.2)
+        gain = model.gain_map((8, 8))
+        assert gain[0, 0] == 1.0
+        assert gain[7, 7] == pytest.approx(0.8)
+        assert np.all(np.diff(gain[0]) <= 0)
+        assert np.all(np.diff(gain[:, 0]) <= 0)
+
+    def test_single_cell_gain(self):
+        assert VariationModel(ir_drop_alpha=0.3).gain_map((1, 1))[0, 0] \
+            == 1.0
+
+    def test_effective_levels_within_error_bound(self):
+        model = VariationModel(programming_sigma=0.05,
+                               ir_drop_alpha=0.1, seed=2)
+        levels = np.full((8, 8), 15.0)
+        out = model.effective_levels(levels)
+        exact_sum = levels.sum(axis=0)
+        actual_sum = out.sum(axis=0)
+        bound = model.mvm_error_bound((8, 8), max_level=15)
+        assert np.all(np.abs(actual_sum - exact_sum) <= bound)
+
+    def test_invalid_params(self):
+        with pytest.raises(DeviceError):
+            VariationModel(programming_sigma=-0.1)
+        with pytest.raises(DeviceError):
+            VariationModel(ir_drop_alpha=1.0)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(DeviceError):
+            VariationModel().effective_levels(np.zeros(4))
+
+    def test_bad_gain_shape(self):
+        with pytest.raises(DeviceError):
+            VariationModel().gain_map((0, 4))
+
+
+class TestMatrixMarket:
+    def test_round_trip_weighted(self, tmp_path):
+        graph = rmat(5, 70, seed=4, weighted=True)
+        path = tmp_path / "g.mtx"
+        save_mtx(graph, path, comment="round trip")
+        loaded = load_mtx(path)
+        assert loaded.weighted
+        assert np.array_equal(loaded.adjacency.to_dense(),
+                              graph.adjacency.to_dense())
+
+    def test_round_trip_pattern(self, tmp_path):
+        graph = rmat(5, 70, seed=4, weighted=False)
+        path = tmp_path / "g.mtx"
+        save_mtx(graph, path)
+        loaded = load_mtx(path)
+        assert not loaded.weighted
+        header = path.read_text().splitlines()[0]
+        assert "pattern" in header
+        assert loaded.num_edges == graph.num_edges
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 1.0\n"
+        )
+        graph = load_mtx(path)
+        dense = graph.adjacency.to_dense()
+        assert dense[1, 0] == 5.0
+        assert dense[0, 1] == 5.0
+        assert dense[2, 2] == 1.0
+        assert graph.num_edges == 3  # diagonal entry not mirrored
+
+    def test_one_indexing_converted(self, tmp_path):
+        path = tmp_path / "one.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n"
+            "1 2 7\n"
+        )
+        graph = load_mtx(path)
+        assert graph.adjacency.to_dense()[0, 1] == 7.0
+
+    def test_rectangular_embedded_square(self, tmp_path):
+        path = tmp_path / "rect.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 5 1\n"
+            "1 5 2.5\n"
+        )
+        graph = load_mtx(path)
+        assert graph.num_vertices == 5
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(GraphFormatError):
+            load_mtx(path)
+
+    def test_bad_entry(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2\n"
+        )
+        with pytest.raises(GraphFormatError):
+            load_mtx(path)
+
+    def test_entry_count_checked(self, tmp_path):
+        path = tmp_path / "short.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 2 1.0\n"
+        )
+        with pytest.raises(GraphFormatError):
+            load_mtx(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "2 2 1\n"
+            "% another\n"
+            "1 1 3.0\n"
+        )
+        graph = load_mtx(path)
+        assert graph.adjacency.to_dense()[0, 0] == 3.0
