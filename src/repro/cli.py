@@ -1,27 +1,33 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or the
+``repro`` console script).
 
 Commands
 --------
 ``run ALGORITHM DATASET``
     Simulate one workload on a chosen platform and print the stats.
+``batch JOBFILE``
+    Execute a JSON job file through the parallel batch runtime.
 ``figures [fig17|fig18|fig19|fig20|fig21|all]``
     Regenerate the paper's figures as text.
 ``tables [1|2|3]``
     Print the paper's tables.
 ``datasets``
     List the Table 3 dataset analogs.
+
+``run`` and ``figures`` accept ``--workers N`` (process-pool size) and
+``--cache-dir PATH`` (persistent result cache); ``run``, ``batch`` and
+``datasets`` accept ``--json`` for machine-consumable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
-from repro.core.accelerator import GraphR
-from repro.core.config import GraphRConfig
-from repro.graph.datasets import dataset, list_datasets
+from repro.errors import ReproError
+from repro.runtime import BatchRunner, load_jobfile
 
 __all__ = ["main", "build_parser"]
 
@@ -47,22 +53,48 @@ def build_parser() -> argparse.ArgumentParser:
                      help="source vertex for BFS/SSSP")
     run.add_argument("--epochs", type=int, default=3,
                      help="training epochs for CF")
+    _add_runtime_flags(run)
+    run.add_argument("--json", action="store_true",
+                     help="print the run's stats as JSON")
+
+    batch = sub.add_parser("batch",
+                           help="execute a JSON job file in parallel")
+    batch.add_argument("jobfile", help="path to the job file (JSON)")
+    _add_runtime_flags(batch)
+    batch.add_argument("--json", action="store_true",
+                       help="print every result (and cache stats) as "
+                            "JSON")
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("which", nargs="?", default="all",
                          choices=["fig17", "fig18", "fig19", "fig20",
                                   "fig21", "all"])
+    _add_runtime_flags(figures)
 
     tables = sub.add_parser("tables", help="print paper tables")
     tables.add_argument("which", nargs="?", default="all",
                         choices=["1", "2", "3", "all"])
 
-    sub.add_parser("datasets", help="list dataset analogs")
+    datasets = sub.add_parser("datasets", help="list dataset analogs")
+    datasets.add_argument("--json", action="store_true",
+                          help="print the dataset table as JSON")
     return parser
 
 
+def _add_runtime_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--workers", type=int, default=1,
+                         help="process-pool size (default: 1, serial)")
+    command.add_argument("--cache-dir", default=None,
+                         help="persistent result-cache directory")
+
+
+def _batch_runner(args: argparse.Namespace) -> BatchRunner:
+    return BatchRunner(workers=args.workers, cache_dir=args.cache_dir)
+
+
 def _run_command(args: argparse.Namespace) -> int:
-    graph = dataset(args.dataset, weighted=(args.algorithm == "sssp"))
+    from repro.experiments.persistence import stats_to_dict
+
     kwargs: dict = {}
     if args.algorithm in ("bfs", "sssp"):
         kwargs["source"] = args.source
@@ -71,19 +103,65 @@ def _run_command(args: argparse.Namespace) -> int:
     elif args.algorithm == "cf":
         kwargs["epochs"] = args.epochs
 
-    if args.platform == "graphr":
-        _, stats = GraphR(GraphRConfig(mode="analytic")).run(
-            args.algorithm, graph, **kwargs)
-    else:
-        platform = {"cpu": CPUPlatform, "gpu": GPUPlatform,
-                    "pim": PIMPlatform}[args.platform]()
-        _, stats = platform.run(args.algorithm, graph, **kwargs)
-
+    runner = _batch_runner(args)
+    stats = runner.run(args.algorithm, args.dataset,
+                       platform=args.platform, **kwargs)
+    if args.json:
+        print(json.dumps(stats_to_dict(stats), indent=2))
+        return 0
     print(stats.summary())
     print("energy breakdown (J):")
     for component, joules in stats.energy.breakdown().items():
         print(f"  {component:20s} {joules:.6e}")
     return 0
+
+
+def _batch_command(args: argparse.Namespace) -> int:
+    from repro.experiments.persistence import stats_to_dict
+    from repro.experiments.report import render_table
+
+    jobs = load_jobfile(args.jobfile)
+    runner = _batch_runner(args)
+    results = runner.run_jobs(jobs)
+    failures = [r for r in results if not r.ok]
+
+    if args.json:
+        print(json.dumps({
+            "results": [
+                {
+                    "job": result.job.to_dict(),
+                    "key": result.job.content_key(),
+                    "ok": result.ok,
+                    "from_cache": result.from_cache,
+                    "error": result.error,
+                    "stats": (stats_to_dict(result.stats)
+                              if result.ok else None),
+                }
+                for result in results
+            ],
+            "cache": runner.cache_stats(),
+        }, indent=2))
+        return 1 if failures else 0
+
+    header = ["job", "status", "seconds", "joules", "iterations"]
+    body = []
+    for result in results:
+        if result.ok:
+            status = "cached" if result.from_cache else "ok"
+            body.append([result.job.label(), status,
+                         f"{result.stats.seconds:.4g}",
+                         f"{result.stats.joules:.4g}",
+                         str(result.stats.iterations)])
+        else:
+            body.append([result.job.label(), "FAILED", "-", "-", "-"])
+    print(render_table(header, body))
+    cache = runner.cache_stats()
+    print(f"{len(results)} job(s), {len(failures)} failed; cache: "
+          f"{cache['hits']} hit(s), {cache['misses']} miss(es)")
+    for result in failures:
+        print(f"\n{result.job.label()} failed:\n{result.error}",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _figures_command(args: argparse.Namespace) -> int:
@@ -93,7 +171,7 @@ def _figures_command(args: argparse.Namespace) -> int:
                 "fig20": figure20, "fig21": figure21}
     wanted = builders if args.which == "all" else \
         {args.which: builders[args.which]}
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(batch_runner=_batch_runner(args))
     for builder in wanted.values():
         print(builder(runner).describe())
         print()
@@ -113,8 +191,20 @@ def _tables_command(args: argparse.Namespace) -> int:
     return 0
 
 
-def _datasets_command(_: argparse.Namespace) -> int:
-    from repro.graph.datasets import PAPER_DATASETS
+def _datasets_command(args: argparse.Namespace) -> int:
+    from repro.graph.datasets import PAPER_DATASETS, list_datasets
+    if args.json:
+        print(json.dumps([
+            {
+                "code": code,
+                "full_name": PAPER_DATASETS[code].full_name,
+                "paper_vertices": PAPER_DATASETS[code].paper_vertices,
+                "paper_edges": PAPER_DATASETS[code].paper_edges,
+                "bipartite": PAPER_DATASETS[code].bipartite,
+            }
+            for code in list_datasets()
+        ], indent=2))
+        return 0
     for code in list_datasets():
         spec = PAPER_DATASETS[code]
         print(f"{code}: {spec.full_name} — paper |V|="
@@ -127,11 +217,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _run_command,
+        "batch": _batch_command,
         "figures": _figures_command,
         "tables": _tables_command,
         "datasets": _datasets_command,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,11 +14,14 @@ slice arrays, the *logical* (full-precision) crossbars per GE are
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional
 
 from repro.errors import ConfigError
-from repro.hw.params import TechnologyParams, default_technology
+from repro.hw.params import (TechnologyParams, default_technology,
+                             technology_from_dict, technology_to_dict)
 
 __all__ = ["GraphRConfig"]
 
@@ -186,3 +189,54 @@ class GraphRConfig:
     def with_overrides(self, **kwargs) -> "GraphRConfig":
         """Copy with fields replaced (ablation helper)."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Canonical serialization — the parallel runtime keys its result
+    # cache on this, so the dictionary must round-trip exactly and the
+    # hash must be stable across processes and machines.
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary of every configuration field.
+
+        Round-trips exactly through :meth:`from_dict`; the technology
+        bundle is expanded to plain numbers so two configs with equal
+        constants serialize identically.
+        """
+        payload: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "technology":
+                value = technology_to_dict(value)
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "GraphRConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Partial dictionaries are allowed (absent fields keep their
+        defaults) so job files can specify only overrides; unknown
+        fields raise :class:`ConfigError`.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown config field(s): {', '.join(sorted(unknown))}")
+        kwargs = dict(payload)
+        if "technology" in kwargs:
+            kwargs["technology"] = technology_from_dict(kwargs["technology"])
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON text of :meth:`to_dict` (sorted keys,
+        no whitespace) — the hashing pre-image."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the canonical JSON form.
+
+        Equal configurations hash equally in every process; the batch
+        runtime folds this into each job's content key.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()

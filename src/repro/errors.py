@@ -45,3 +45,8 @@ class DeviceError(ReproError):
 class DatasetError(ReproError):
     """A named dataset is unknown or its generation parameters are
     invalid."""
+
+
+class JobError(ReproError):
+    """A batch job is malformed, or its execution failed inside a
+    worker (the original traceback is carried in the message)."""

@@ -24,6 +24,7 @@ from repro.experiments.sweeps import (
     bandwidth_sweep,
     block_size_sweep,
     geometry_sweep,
+    run_sweep,
 )
 from repro.experiments.validation import (
     ValidationReport,
@@ -34,6 +35,7 @@ from repro.experiments.persistence import (
     figure_to_dict,
     load_figure_json,
     save_figure_json,
+    stats_from_dict,
     stats_to_dict,
 )
 
@@ -41,7 +43,9 @@ __all__ = [
     "figure_to_dict",
     "load_figure_json",
     "save_figure_json",
+    "stats_from_dict",
     "stats_to_dict",
+    "run_sweep",
     "SweepPoint",
     "bandwidth_sweep",
     "block_size_sweep",

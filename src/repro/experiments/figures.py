@@ -62,9 +62,10 @@ class FigureResult:
 
 
 def _figure17_rows(runner: ExperimentRunner) -> List[ComparisonRow]:
-    rows = runner.compare_matrix("cpu", FIG17_ALGORITHMS, FIG17_DATASETS)
-    rows.append(runner.compare("cpu", "cf", "NF"))
-    return rows
+    cells = [(algorithm, code) for algorithm in FIG17_ALGORITHMS
+             for code in FIG17_DATASETS]
+    cells.append(("cf", "NF"))
+    return runner.compare_cells("cpu", cells)
 
 
 def figure17(runner: Optional[ExperimentRunner] = None) -> FigureResult:
@@ -108,11 +109,8 @@ def figure19(runner: Optional[ExperimentRunner] = None) -> FigureResult:
     speedup is the lowest of the three perf gains.
     """
     runner = runner or ExperimentRunner()
-    rows = [
-        runner.compare("gpu", "pagerank", "LJ"),
-        runner.compare("gpu", "sssp", "LJ"),
-        runner.compare("gpu", "cf", "NF"),
-    ]
+    rows = runner.compare_cells("gpu", [("pagerank", "LJ"),
+                                        ("sssp", "LJ"), ("cf", "NF")])
     return FigureResult(
         figure="Figure 19",
         title="GraphR vs GPU (Gunrock / cuMF_SGD on Tesla K40c)",
@@ -126,9 +124,8 @@ def figure20(runner: Optional[ExperimentRunner] = None) -> FigureResult:
     Paper: 1.16-4.12x speedup, 3.67-10.96x energy saving.
     """
     runner = runner or ExperimentRunner()
-    rows = [runner.compare("pim", algorithm, code)
-            for algorithm in ("pagerank", "sssp")
-            for code in ("WV", "AZ", "LJ")]
+    rows = runner.compare_matrix("pim", ("pagerank", "sssp"),
+                                 ("WV", "AZ", "LJ"))
     return FigureResult(
         figure="Figure 20",
         title="GraphR vs PIM (Tesseract-like HMC)",
@@ -145,9 +142,7 @@ def figure21(runner: Optional[ExperimentRunner] = None) -> FigureResult:
     """
     runner = runner or ExperimentRunner()
     codes = ("WV", "SD", "AZ", "WG", "LJ")
-    rows = [runner.compare("cpu", algorithm, code)
-            for algorithm in ("pagerank", "sssp")
-            for code in codes]
+    rows = runner.compare_matrix("cpu", ("pagerank", "sssp"), codes)
     densities: Dict[str, float] = {}
     for code in codes:
         spec = PAPER_DATASETS[code]

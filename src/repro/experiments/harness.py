@@ -1,25 +1,27 @@
 """Run matrices of (platform x algorithm x dataset) comparisons.
 
-The harness memoises per-run results inside one
-:class:`ExperimentRunner` so the figure builders (which share cells,
-e.g. Figures 17 and 18 use the same 25 runs) execute each simulation
-once.
+The harness submits every simulation through the batch runtime
+(:class:`~repro.runtime.runner.BatchRunner`), so figure builders get
+process-pool parallelism and the persistent result cache for free; an
+in-process memo on top keeps repeated lookups within one
+:class:`ExperimentRunner` returning the same objects (Figures 17 and
+18 share their 25 runs).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
-from repro.baselines.base import Platform
-from repro.core.accelerator import GraphR
 from repro.core.config import GraphRConfig
 from repro.errors import ConfigError
 from repro.graph.datasets import dataset
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
+from repro.runtime.job import PLATFORMS
+from repro.runtime.runner import BatchRunner
 
 __all__ = ["ComparisonRow", "ExperimentRunner", "geometric_mean",
            "DEFAULT_RUN_KWARGS"]
@@ -35,7 +37,6 @@ DEFAULT_RUN_KWARGS: Dict[str, dict] = {
     "spmv": {},
     "cf": {"epochs": 3},
 }
-
 
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values."""
@@ -65,43 +66,79 @@ class ComparisonRow:
 
 
 class ExperimentRunner:
-    """Executes and caches simulated runs for the figure builders."""
+    """Executes and caches simulated runs for the figure builders.
+
+    Parameters
+    ----------
+    config:
+        GraphR configuration of the accelerator runs (analytic mode by
+        default, like the shipped benchmarks).
+    run_kwargs:
+        Per-algorithm overrides merged over
+        :data:`DEFAULT_RUN_KWARGS`.
+    batch_runner:
+        Pre-built :class:`BatchRunner` to submit through; mutually
+        redundant with ``workers`` / ``cache_dir``, which construct
+        one.
+    workers:
+        Process-pool size for batched submissions (1 = in-process).
+    cache_dir:
+        Persistent result-cache directory (``None`` disables it).
+    """
 
     def __init__(self, config: Optional[GraphRConfig] = None,
-                 run_kwargs: Optional[Dict[str, dict]] = None) -> None:
+                 run_kwargs: Optional[Dict[str, dict]] = None,
+                 batch_runner: Optional[BatchRunner] = None,
+                 workers: int = 1,
+                 cache_dir: Optional[Union[str, Path]] = None) -> None:
         self.config = config or GraphRConfig(mode="analytic")
-        self.accelerator = GraphR(self.config)
-        self.platforms: Dict[str, Platform] = {
-            "cpu": CPUPlatform(),
-            "gpu": GPUPlatform(),
-            "pim": PIMPlatform(),
-        }
+        self.runner = batch_runner or BatchRunner(
+            workers=workers, cache_dir=cache_dir, config=self.config)
         self.run_kwargs = dict(DEFAULT_RUN_KWARGS)
         if run_kwargs:
             self.run_kwargs.update(run_kwargs)
-        self._cache: Dict[Tuple[str, str, str], RunStats] = {}
+        self._memo: Dict[Tuple[str, str, str], RunStats] = {}
 
     # ------------------------------------------------------------------
     def graph_for(self, algorithm: str, code: str) -> Graph:
         """Dataset analog with the weighting the algorithm needs."""
         return dataset(code, weighted=(algorithm == "sssp"))
 
-    def stats(self, platform: str, algorithm: str, code: str) -> RunStats:
-        """Simulated stats of one run (cached)."""
-        key = (platform, algorithm, code)
-        if key in self._cache:
-            return self._cache[key]
-        graph = self.graph_for(algorithm, code)
-        kwargs = dict(self.run_kwargs.get(algorithm, {}))
-        if platform == "graphr":
-            _, stats = self.accelerator.run(algorithm, graph, **kwargs)
-        elif platform in self.platforms:
-            _, stats = self.platforms[platform].run(algorithm, graph,
-                                                    **kwargs)
-        else:
+    def _job(self, platform: str, algorithm: str, code: str):
+        if platform not in PLATFORMS:
             raise ConfigError(f"unknown platform {platform!r}")
-        self._cache[key] = stats
-        return stats
+        # Pass the harness config explicitly: a caller-supplied
+        # batch_runner may carry a different default.
+        return self.runner.make_job(
+            algorithm, code, platform=platform, config=self.config,
+            **self.run_kwargs.get(algorithm, {}))
+
+    def prefetch(self, triples: Iterable[Tuple[str, str, str]]) -> None:
+        """Batch-execute every missing ``(platform, algorithm,
+        dataset)`` in one scheduler submission.
+
+        This is the parallelism (and cache) entry point: figure
+        builders prefetch their whole grid, then assemble rows from
+        the memo.  Failed jobs raise with the worker's traceback.
+        """
+        wanted = []
+        seen = set()
+        for triple in triples:
+            if triple not in self._memo and triple not in seen:
+                seen.add(triple)
+                wanted.append(triple)
+        if not wanted:
+            return
+        jobs = [self._job(*triple) for triple in wanted]
+        for triple, result in zip(wanted, self.runner.run_jobs(jobs)):
+            self._memo[triple] = result.unwrap()
+
+    def stats(self, platform: str, algorithm: str, code: str) -> RunStats:
+        """Simulated stats of one run (memoised per runner)."""
+        key = (platform, algorithm, code)
+        if key not in self._memo:
+            self.prefetch([key])
+        return self._memo[key]
 
     def compare(self, baseline: str, algorithm: str,
                 code: str) -> ComparisonRow:
@@ -117,8 +154,20 @@ class ExperimentRunner:
             baseline=base,
         )
 
+    def compare_cells(self, baseline: str,
+                      cells: Sequence[Tuple[str, str]]
+                      ) -> List[ComparisonRow]:
+        """Comparisons for explicit ``(algorithm, dataset)`` cells,
+        prefetched as one batch."""
+        self.prefetch([(platform, algorithm, code)
+                       for algorithm, code in cells
+                       for platform in ("graphr", baseline)])
+        return [self.compare(baseline, algorithm, code)
+                for algorithm, code in cells]
+
     def compare_matrix(self, baseline: str, algorithms: Iterable[str],
                        codes: Iterable[str]) -> List[ComparisonRow]:
         """Cartesian product of comparisons."""
-        return [self.compare(baseline, algorithm, code)
-                for algorithm in algorithms for code in codes]
+        return self.compare_cells(
+            baseline, [(algorithm, code) for algorithm in algorithms
+                       for code in codes])

@@ -14,25 +14,24 @@ from repro.errors import ConfigError
 from repro.experiments.figures import FigureResult
 from repro.hw.stats import RunStats
 
-__all__ = ["stats_to_dict", "figure_to_dict", "save_figure_json",
-           "load_figure_json"]
+__all__ = ["stats_to_dict", "stats_from_dict", "figure_to_dict",
+           "save_figure_json", "load_figure_json"]
 
 
 def stats_to_dict(stats: RunStats) -> Dict[str, object]:
-    """JSON-safe dictionary of one run's statistics."""
-    return {
-        "platform": stats.platform,
-        "algorithm": stats.algorithm,
-        "dataset": stats.dataset,
-        "seconds": stats.seconds,
-        "joules": stats.joules,
-        "iterations": stats.iterations,
-        "energy_breakdown": dict(stats.energy.breakdown()),
-        "energy_counts": dict(stats.energy.counts()),
-        "latency_breakdown": dict(stats.latency.breakdown()),
-        "extra": {k: v for k, v in stats.extra.items()
-                  if isinstance(v, (str, int, float, bool, list, dict))},
-    }
+    """JSON-safe dictionary of one run's statistics
+    (:meth:`RunStats.to_dict`)."""
+    return stats.to_dict()
+
+
+def stats_from_dict(payload: Dict[str, object]) -> RunStats:
+    """Rebuild a :class:`RunStats` from :func:`stats_to_dict` output.
+
+    The reconstruction is exact (JSON round-trips Python floats
+    losslessly), which is what lets the result cache and the process
+    pool hand back stats bit-identical to an in-process run.
+    """
+    return RunStats.from_dict(payload)
 
 
 def figure_to_dict(figure: FigureResult) -> Dict[str, object]:

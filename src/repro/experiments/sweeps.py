@@ -3,21 +3,28 @@
 Each sweep runs one workload across a parameter axis on the analytic
 accelerator and returns tidy rows; the design-space example and the
 ablation benchmarks build on these instead of hand-rolling loops.
+
+Sweeps accept either an in-memory :class:`~repro.graph.graph.Graph`
+(executed in-process, as before) or a Table 3 dataset *code* — the
+latter dispatches every configuration as a job through the batch
+runtime, so a ``runner`` with ``workers > 1`` sweeps the axis across a
+process pool and a ``cache_dir`` persists the points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.accelerator import GraphR
 from repro.core.config import GraphRConfig
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
+from repro.runtime.runner import BatchRunner
 
 __all__ = ["SweepPoint", "geometry_sweep", "block_size_sweep",
-           "bandwidth_sweep"]
+           "bandwidth_sweep", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -37,34 +44,53 @@ class SweepPoint:
                    joules=stats.joules, iterations=stats.iterations)
 
 
-def _run(graph: Graph, algorithm: str, overrides: Dict[str, object],
-         run_kwargs: Dict[str, object]) -> RunStats:
-    config = GraphRConfig(mode="analytic", **overrides)
-    _, stats = GraphR(config).run(algorithm, graph, **run_kwargs)
-    return stats
+def run_sweep(graph: Union[Graph, str], algorithm: str,
+              axis: List[Dict[str, object]],
+              run_kwargs: Dict[str, object],
+              runner: Optional[BatchRunner] = None) -> List[SweepPoint]:
+    """Run one workload under every parameter override in ``axis``.
 
-
-def geometry_sweep(graph: Graph, algorithm: str = "pagerank",
-                   crossbar_sizes: Iterable[int] = (4, 8, 16),
-                   ge_counts: Iterable[int] = (16, 64, 256),
-                   run_kwargs: Optional[Dict[str, object]] = None
-                   ) -> List[SweepPoint]:
-    """Sweep crossbar size x GE count (the paper's S and G)."""
-    run_kwargs = run_kwargs or {"max_iterations": 10}
-    points: List[SweepPoint] = []
-    for s in crossbar_sizes:
-        for g in ge_counts:
-            params = {"crossbar_size": s, "num_ges": g}
-            stats = _run(graph, algorithm, params, run_kwargs)
-            points.append(SweepPoint.from_stats(params, stats))
-    if not points:
+    ``graph`` may be a live :class:`Graph` (in-process execution) or a
+    dataset code (batched through ``runner``, in parallel when it has
+    workers).  Every sweep helper funnels through here.
+    """
+    if not axis:
         raise ConfigError("empty sweep")
+    if isinstance(graph, str):
+        runner = runner or BatchRunner()
+        jobs = [runner.make_job(
+                    algorithm, graph,
+                    config=GraphRConfig(mode="analytic", **overrides),
+                    **run_kwargs)
+                for overrides in axis]
+        return [SweepPoint.from_stats(overrides, result.unwrap())
+                for overrides, result in zip(axis, runner.run_jobs(jobs))]
+    points = []
+    for overrides in axis:
+        config = GraphRConfig(mode="analytic", **overrides)
+        _, stats = GraphR(config).run(algorithm, graph, **run_kwargs)
+        points.append(SweepPoint.from_stats(overrides, stats))
     return points
 
 
-def block_size_sweep(graph: Graph, algorithm: str = "pagerank",
+def geometry_sweep(graph: Union[Graph, str], algorithm: str = "pagerank",
+                   crossbar_sizes: Iterable[int] = (4, 8, 16),
+                   ge_counts: Iterable[int] = (16, 64, 256),
+                   run_kwargs: Optional[Dict[str, object]] = None,
+                   runner: Optional[BatchRunner] = None
+                   ) -> List[SweepPoint]:
+    """Sweep crossbar size x GE count (the paper's S and G)."""
+    axis = [{"crossbar_size": s, "num_ges": g}
+            for s in crossbar_sizes for g in ge_counts]
+    return run_sweep(graph, algorithm, axis,
+                     run_kwargs or {"max_iterations": 10}, runner)
+
+
+def block_size_sweep(graph: Union[Graph, str],
+                     algorithm: str = "pagerank",
                      block_sizes: Iterable[int] = (1024, 4096, 16384),
-                     run_kwargs: Optional[Dict[str, object]] = None
+                     run_kwargs: Optional[Dict[str, object]] = None,
+                     runner: Optional[BatchRunner] = None
                      ) -> List[SweepPoint]:
     """Sweep the out-of-core block size ``B``.
 
@@ -72,21 +98,17 @@ def block_size_sweep(graph: Graph, algorithm: str = "pagerank",
     and boundary tiles) but a smaller memory-ReRAM footprint — the
     trade Figure 9's ``B`` parameter controls.
     """
-    run_kwargs = run_kwargs or {"max_iterations": 10}
-    points: List[SweepPoint] = []
-    for block in block_sizes:
-        params = {"block_size": int(block)}
-        stats = _run(graph, algorithm, params, run_kwargs)
-        points.append(SweepPoint.from_stats(params, stats))
-    if not points:
-        raise ConfigError("empty sweep")
-    return points
+    axis = [{"block_size": int(block)} for block in block_sizes]
+    return run_sweep(graph, algorithm, axis,
+                     run_kwargs or {"max_iterations": 10}, runner)
 
 
-def bandwidth_sweep(graph: Graph, algorithm: str = "pagerank",
+def bandwidth_sweep(graph: Union[Graph, str],
+                    algorithm: str = "pagerank",
                     bandwidths_bps: Iterable[float] = (32e9, 128e9,
                                                        512e9),
-                    run_kwargs: Optional[Dict[str, object]] = None
+                    run_kwargs: Optional[Dict[str, object]] = None,
+                    runner: Optional[BatchRunner] = None
                     ) -> List[SweepPoint]:
     """Sweep the memory-ReRAM sequential bandwidth feeding the GEs.
 
@@ -94,12 +116,7 @@ def bandwidth_sweep(graph: Graph, algorithm: str = "pagerank",
     pipeline balance the cost model's ``max(fetch, program+compute)``
     captures.
     """
-    run_kwargs = run_kwargs or {"max_iterations": 10}
-    points: List[SweepPoint] = []
-    for bandwidth in bandwidths_bps:
-        params = {"mem_bandwidth_bps": float(bandwidth)}
-        stats = _run(graph, algorithm, params, run_kwargs)
-        points.append(SweepPoint.from_stats(params, stats))
-    if not points:
-        raise ConfigError("empty sweep")
-    return points
+    axis = [{"mem_bandwidth_bps": float(bandwidth)}
+            for bandwidth in bandwidths_bps]
+    return run_sweep(graph, algorithm, axis,
+                     run_kwargs or {"max_iterations": 10}, runner)

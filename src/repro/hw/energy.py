@@ -81,6 +81,26 @@ class EnergyLedger:
         """Copy of the ``component -> event count`` mapping."""
         return dict(self._counts)
 
+    @classmethod
+    def from_parts(cls, breakdown: Mapping[str, float],
+                   counts: Mapping[str, int]) -> "EnergyLedger":
+        """Rebuild a ledger from serialized ``breakdown()``/``counts()``.
+
+        Restores both maps verbatim — including insertion order, so
+        ``total_j`` sums in the same order and reproduces the original
+        float bit-for-bit.
+        """
+        ledger = cls()
+        for component, joules in breakdown.items():
+            if joules < 0:
+                raise ConfigError("energy must be non-negative")
+            ledger._energy_j[component] = float(joules)
+        for component, count in counts.items():
+            if count < 0:
+                raise ConfigError("event count must be non-negative")
+            ledger._counts[component] = int(count)
+        return ledger
+
     def merge(self, other: "EnergyLedger") -> None:
         """Fold another ledger into this one."""
         for component, joules in other._energy_j.items():

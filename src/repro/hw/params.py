@@ -26,7 +26,8 @@ Every dataclass is frozen; experiments derive modified copies with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Mapping
 
 from repro.errors import ConfigError
 
@@ -41,6 +42,8 @@ __all__ = [
     "DiskParams",
     "TechnologyParams",
     "default_technology",
+    "technology_to_dict",
+    "technology_from_dict",
 ]
 
 
@@ -193,3 +196,40 @@ class TechnologyParams:
 def default_technology() -> TechnologyParams:
     """The constants used by every shipped benchmark."""
     return TechnologyParams()
+
+
+def technology_to_dict(technology: TechnologyParams) -> Dict[str, Dict[str, object]]:
+    """JSON-safe nested dictionary of every platform constant.
+
+    Dataclass fields are plain numbers, so :func:`dataclasses.asdict`
+    is already canonical; the result round-trips exactly through
+    :func:`technology_from_dict`.
+    """
+    return asdict(technology)
+
+
+def technology_from_dict(payload: Mapping[str, Mapping[str, object]]
+                         ) -> TechnologyParams:
+    """Rebuild a :class:`TechnologyParams` from its dictionary form.
+
+    Missing sub-bundles or fields keep their defaults (so partial
+    overrides from job files work); unknown names are rejected to catch
+    typos early.
+    """
+    # Each TechnologyParams field's default_factory IS its bundle
+    # class, so the registry derives from the dataclass itself and a
+    # future ninth bundle needs no edit here.
+    classes = {f.name: f.default_factory for f in
+               fields(TechnologyParams)}
+    kwargs = {}
+    for name, value in payload.items():
+        if name not in classes:
+            raise ConfigError(f"unknown technology bundle {name!r}")
+        cls = classes[name]
+        known = {f.name for f in fields(cls)}
+        unknown = set(value) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown {name} parameter(s): {', '.join(sorted(unknown))}")
+        kwargs[name] = cls(**value)
+    return TechnologyParams(**kwargs)

@@ -68,3 +68,49 @@ class RunStats:
             f"{self.seconds:.4g} s, {self.joules:.4g} J, "
             f"{self.iterations} iterations"
         )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dictionary of this run's statistics.
+
+        Non-serializable ``extra`` values are dropped; everything else
+        round-trips exactly through :meth:`from_dict` (JSON preserves
+        Python floats losslessly), which the result cache and the
+        process-pool runtime rely on.
+        """
+        return {
+            "platform": self.platform,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "seconds": self.seconds,
+            "joules": self.joules,
+            "iterations": self.iterations,
+            "energy_breakdown": dict(self.energy.breakdown()),
+            "energy_counts": dict(self.energy.counts()),
+            "latency_breakdown": dict(self.latency.breakdown()),
+            "extra": {k: v for k, v in self.extra.items()
+                      if isinstance(v, (str, int, float, bool, list,
+                                        dict))},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunStats":
+        """Rebuild stats from :meth:`to_dict` output (exactly)."""
+        from repro.errors import ConfigError
+
+        for key in ("platform", "algorithm", "dataset"):
+            if key not in payload:
+                raise ConfigError(f"stats payload missing {key!r}")
+        return cls(
+            platform=payload["platform"],
+            algorithm=payload["algorithm"],
+            dataset=payload["dataset"],
+            seconds=float(payload.get("seconds", 0.0)),
+            iterations=int(payload.get("iterations", 0)),
+            extra=dict(payload.get("extra", {})),
+            energy=EnergyLedger.from_parts(
+                payload.get("energy_breakdown", {}),
+                payload.get("energy_counts", {})),
+            latency=LatencyModel.from_parts(
+                payload.get("latency_breakdown", {})),
+        )

@@ -48,6 +48,17 @@ class LatencyModel:
         """Copy of the ``phase -> seconds`` mapping."""
         return dict(self._seconds)
 
+    @classmethod
+    def from_parts(cls, breakdown: Mapping[str, float]) -> "LatencyModel":
+        """Rebuild a model from a serialized ``breakdown()``, verbatim
+        (insertion order included, so ``total_s`` sums identically)."""
+        model = cls()
+        for phase, seconds in breakdown.items():
+            if seconds < 0:
+                raise ConfigError("latency must be non-negative")
+            model._seconds[phase] = float(seconds)
+        return model
+
     def merge(self, other: "LatencyModel") -> None:
         """Fold another latency model into this one."""
         for phase, seconds in other._seconds.items():

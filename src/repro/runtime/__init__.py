@@ -1,0 +1,34 @@
+"""Parallel simulation runtime: jobs, scheduling and result caching.
+
+The pieces, bottom to top:
+
+* :class:`~repro.runtime.job.Job` — a canonicalized simulation request
+  with a stable content key (SHA-256 of its resolved JSON form).
+* :class:`~repro.runtime.cache.ResultCache` — content-addressed JSON
+  persistence of finished :class:`~repro.hw.stats.RunStats`.
+* :class:`~repro.runtime.scheduler.Scheduler` — executes job batches
+  serially or across a ``multiprocessing`` pool with per-job error
+  capture and deterministic result ordering.
+* :class:`~repro.runtime.runner.BatchRunner` — the facade combining
+  all three; what the experiment harness, sweeps and CLI build on.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.job import ALGORITHMS, PLATFORMS, Job, load_jobfile
+from repro.runtime.runner import BatchRunner
+from repro.runtime.scheduler import (JobResult, Scheduler, execute_job,
+                                     execute_payload)
+
+__all__ = [
+    "ALGORITHMS",
+    "PLATFORMS",
+    "BatchRunner",
+    "CacheStats",
+    "Job",
+    "JobResult",
+    "ResultCache",
+    "Scheduler",
+    "execute_job",
+    "execute_payload",
+    "load_jobfile",
+]

@@ -1,0 +1,140 @@
+"""Content-addressed, on-disk cache of completed simulation runs.
+
+Completed :class:`~repro.hw.stats.RunStats` are persisted as JSON under
+``<cache_dir>/<key[:2]>/<key>.json`` where ``key`` is the owning job's
+:meth:`~repro.runtime.job.Job.content_key`.  The payload embeds the
+job's canonical dictionary so a lookup can verify it really belongs to
+the requesting job (guarding against truncated writes, hand-edited
+files or a future format change) before trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.hw.stats import RunStats
+from repro.runtime.job import Job
+
+__all__ = ["ResultCache", "CacheStats", "CACHE_FORMAT_VERSION"]
+
+#: Bump when the persisted payload shape changes; stale entries are
+#: treated as misses and rewritten.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe counter snapshot."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hit_rate}
+
+
+class ResultCache:
+    """Persists one ``RunStats`` JSON file per job content key."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, job: Job) -> Path:
+        """Cache file of one job (two-level fan-out keeps directories
+        small on big sweeps)."""
+        key = job.content_key()
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, job: Job) -> Optional[RunStats]:
+        """The cached stats of ``job``, or ``None`` on a miss.
+
+        *Any* unusable entry — unreadable, wrong version, foreign job,
+        malformed stats — is a miss to be recomputed, never an error:
+        the cache must not be able to break a run it only accelerates.
+        """
+        path = self.path_for(job)
+        try:
+            payload = json.loads(path.read_text())
+            if (not isinstance(payload, dict)
+                    or payload.get("version") != CACHE_FORMAT_VERSION
+                    or payload.get("job") != job.canonical_dict()):
+                raise ValueError("stale or foreign cache entry")
+            stats = RunStats.from_dict(payload["stats"])
+        except Exception:  # noqa: BLE001 - corrupt entries become misses
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return stats
+
+    def put(self, job: Job, stats: RunStats) -> Path:
+        """Persist one finished run; returns the file written."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "job": job.canonical_dict(),
+            "stats": stats.to_dict(),
+        }
+        # Write-then-rename so a crashed writer never leaves a torn
+        # file a later reader would half-trust; the tmp name is
+        # per-process so concurrent writers of the same key cannot
+        # rename each other's half-written files.  Keys stay in payload
+        # order: the ledger breakdowns' insertion order is part of what
+        # makes reconstructed totals bit-identical.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        tmp.replace(path)
+        self.stats.stores += 1
+        return path
+
+    def invalidate(self, job: Job) -> bool:
+        """Drop one job's entry; ``True`` if a file was removed."""
+        path = self.path_for(job)
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of files removed."""
+        removed = 0
+        for entry in self.cache_dir.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.invalidations += removed
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({str(self.cache_dir)!r}, entries={len(self)}, "
+                f"hits={self.stats.hits}, misses={self.stats.misses})")

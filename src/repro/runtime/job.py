@@ -1,0 +1,259 @@
+"""Canonical job specification for the parallel simulation runtime.
+
+A :class:`Job` pins down everything that determines a simulated run's
+outcome — (platform, algorithm, dataset, configuration, seeds, run
+parameters) — in one immutable value with a stable content key.  Two
+jobs that would produce the same :class:`~repro.hw.stats.RunStats`
+hash identically in every process, which is what lets the result
+cache survive restarts and lets workers recompute only what is new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.config import GraphRConfig
+from repro.errors import ConfigError, JobError
+from repro.graph.datasets import PAPER_DATASETS
+
+__all__ = ["Job", "PLATFORMS", "ALGORITHMS", "load_jobfile"]
+
+#: Platforms a job may target (``graphr`` plus the three baselines).
+PLATFORMS: Tuple[str, ...] = ("graphr", "cpu", "gpu", "pim")
+
+#: Algorithms the registry can run.
+ALGORITHMS: Tuple[str, ...] = ("pagerank", "bfs", "sssp", "spmv", "cf",
+                               "wcc")
+
+#: Dataset-generator seed used by every shipped benchmark.
+DEFAULT_DATASET_SEED = 7
+
+
+def _freeze(value: object) -> object:
+    """Recursively convert a JSON-ish value to a hashable form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation request, canonicalized.
+
+    Attributes
+    ----------
+    algorithm:
+        Registered algorithm name (``"pagerank"`` ...).
+    dataset:
+        Table 3 dataset code (``"WV"`` ...); workers regenerate the
+        deterministic analog from the code, so jobs stay tiny on the
+        wire.
+    platform:
+        ``"graphr"`` or one of the baseline platforms.
+    config:
+        GraphR node configuration.  ``None`` means the runtime default
+        (analytic mode); ignored for baseline platforms, and excluded
+        from their content keys so a config sweep never invalidates
+        baseline results.
+    run_kwargs:
+        Algorithm parameters forwarded to ``run`` (``source=...``,
+        ``max_iterations=...``).  Values must be JSON-safe.
+    weighted:
+        Generate the weighted dataset analog.  ``None`` resolves to
+        the algorithm's need (SSSP wants weights), mirroring the
+        experiment harness.
+    dataset_seed:
+        Seed of the dataset generator.
+    """
+
+    algorithm: str
+    dataset: str
+    platform: str = "graphr"
+    config: Optional[GraphRConfig] = None
+    run_kwargs: Mapping[str, object] = field(default_factory=dict)
+    weighted: Optional[bool] = None
+    dataset_seed: int = DEFAULT_DATASET_SEED
+
+    def __post_init__(self) -> None:
+        # Type-check up front: job files are user input, and anything
+        # wrong must surface as a JobError (the CLI's error contract),
+        # not an AttributeError deep in canonicalization.
+        for name in ("algorithm", "dataset", "platform"):
+            if not isinstance(getattr(self, name), str):
+                raise JobError(f"{name} must be a string, got "
+                               f"{type(getattr(self, name)).__name__}")
+        if not isinstance(self.run_kwargs, Mapping):
+            raise JobError("run_kwargs must be a mapping")
+        if self.weighted is not None and not isinstance(self.weighted,
+                                                        bool):
+            raise JobError("weighted must be a boolean or null")
+        if isinstance(self.dataset_seed, bool) or \
+                not isinstance(self.dataset_seed, int):
+            raise JobError("dataset_seed must be an integer")
+        if self.config is not None and \
+                not isinstance(self.config, GraphRConfig):
+            raise JobError("config must be a GraphRConfig")
+        if self.algorithm not in ALGORITHMS:
+            raise JobError(f"unknown algorithm {self.algorithm!r}; "
+                           f"available: {', '.join(ALGORITHMS)}")
+        if self.platform not in PLATFORMS:
+            raise JobError(f"unknown platform {self.platform!r}; "
+                           f"available: {', '.join(PLATFORMS)}")
+        code = self.dataset.upper()
+        if code not in PAPER_DATASETS:
+            raise JobError(f"unknown dataset {self.dataset!r}; "
+                           f"available: {', '.join(PAPER_DATASETS)}")
+        object.__setattr__(self, "dataset", code)
+        try:
+            normalised = json.loads(json.dumps(dict(self.run_kwargs)))
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"run_kwargs must be JSON-safe: {exc}") from exc
+        # Snapshot the kwargs through a JSON round-trip: later mutation
+        # of the caller's dict cannot skew the key, and JSON-equivalent
+        # spellings (tuple vs list) become one canonical value — the
+        # cache compares against JSON-loaded payloads, so a
+        # non-normalised job would never match its own entry.
+        object.__setattr__(self, "run_kwargs", normalised)
+
+    # ------------------------------------------------------------------
+    @property
+    def resolved_weighted(self) -> bool:
+        """Whether the dataset analog carries edge weights."""
+        if self.weighted is not None:
+            return self.weighted
+        return self.algorithm == "sssp"
+
+    def resolved_config(self) -> GraphRConfig:
+        """The configuration a GraphR run will actually use."""
+        return self.config or GraphRConfig(mode="analytic")
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """Fully-resolved, JSON-safe description of the run.
+
+        Defaults are expanded (weighting, configuration) so two jobs
+        that execute identically serialize identically, whichever
+        shorthand constructed them.
+        """
+        payload: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "platform": self.platform,
+            "run_kwargs": dict(self.run_kwargs),
+            "weighted": self.resolved_weighted,
+            "dataset_seed": self.dataset_seed,
+        }
+        if self.platform == "graphr":
+            payload["config"] = self.resolved_config().to_dict()
+        return payload
+
+    def content_key(self) -> str:
+        """SHA-256 hex digest of the canonical JSON form.
+
+        Stable across processes, restarts and machines — the result
+        cache's file name.
+        """
+        text = json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identifier for logs and reports."""
+        return f"{self.platform}:{self.algorithm}:{self.dataset}"
+
+    def __hash__(self) -> int:
+        return hash((self.algorithm, self.dataset, self.platform,
+                     self.config, _freeze(dict(self.run_kwargs)),
+                     self.weighted, self.dataset_seed))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Portable dictionary (the job-file entry format)."""
+        payload: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "platform": self.platform,
+            "run_kwargs": dict(self.run_kwargs),
+            "dataset_seed": self.dataset_seed,
+        }
+        if self.weighted is not None:
+            payload["weighted"] = self.weighted
+        if self.config is not None:
+            payload["config"] = self.config.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object],
+                  defaults: Optional[Mapping[str, object]] = None) -> "Job":
+        """Build a job from a job-file entry.
+
+        ``defaults`` (the job file's top-level ``defaults`` object) is
+        merged underneath each entry; ``config`` may be a partial
+        field-override dictionary.
+        """
+        merged: Dict[str, object] = dict(defaults or {})
+        merged.update(payload)
+        known = {"algorithm", "dataset", "platform", "config",
+                 "run_kwargs", "weighted", "dataset_seed"}
+        unknown = set(merged) - known
+        if unknown:
+            raise JobError(
+                f"unknown job field(s): {', '.join(sorted(unknown))}")
+        for required in ("algorithm", "dataset"):
+            if required not in merged:
+                raise JobError(f"job entry missing {required!r}")
+        config = merged.get("config")
+        if isinstance(config, Mapping):
+            try:
+                config = GraphRConfig.from_dict(config)
+            except (ConfigError, TypeError, ValueError) as exc:
+                raise JobError(f"invalid job config: {exc}") from exc
+        elif config is not None and not isinstance(config, GraphRConfig):
+            raise JobError("config must be a mapping of field overrides")
+        run_kwargs = merged.get("run_kwargs", {})
+        if not isinstance(run_kwargs, Mapping):
+            raise JobError("run_kwargs must be a mapping")
+        seed = merged.get("dataset_seed", DEFAULT_DATASET_SEED)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise JobError("dataset_seed must be an integer")
+        return cls(
+            algorithm=merged["algorithm"],
+            dataset=merged["dataset"],
+            platform=merged.get("platform", "graphr"),
+            config=config,
+            run_kwargs=dict(run_kwargs),
+            weighted=merged.get("weighted"),
+            dataset_seed=seed,
+        )
+
+
+def load_jobfile(path: Union[str, Path]) -> List[Job]:
+    """Parse a batch job file.
+
+    Two shapes are accepted: a bare JSON list of job entries, or an
+    object ``{"defaults": {...}, "jobs": [...]}`` whose defaults merge
+    underneath every entry.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise JobError(f"cannot read job file {path}: {exc}") from exc
+    if isinstance(payload, list):
+        defaults: Mapping[str, object] = {}
+        entries = payload
+    elif isinstance(payload, dict):
+        defaults = payload.get("defaults", {})
+        entries = payload.get("jobs")
+        if not isinstance(entries, list):
+            raise JobError(f"{path}: expected a top-level 'jobs' list")
+    else:
+        raise JobError(f"{path}: job file must be a list or an object")
+    jobs = [Job.from_dict(entry, defaults) for entry in entries]
+    if not jobs:
+        raise JobError(f"{path}: no jobs defined")
+    return jobs

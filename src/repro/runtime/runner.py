@@ -1,0 +1,122 @@
+"""The facade the rest of the codebase runs simulations through.
+
+:class:`BatchRunner` ties the pieces together: a batch of jobs is first
+answered from the :class:`~repro.runtime.cache.ResultCache` (when one
+is configured), only the misses go to the
+:class:`~repro.runtime.scheduler.Scheduler`, fresh results are written
+back, and everything is reassembled in submission order.  The
+experiment harness, the sweep utilities and the CLI all sit on top of
+this one entry point, so worker counts and cache directories are set
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.config import GraphRConfig
+from repro.hw.stats import RunStats
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import Job
+from repro.runtime.scheduler import JobResult, Scheduler
+
+__all__ = ["BatchRunner"]
+
+
+class BatchRunner:
+    """Run simulation jobs with optional parallelism and caching.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size; ``1`` executes in-process.
+    cache_dir:
+        Directory of the persistent result cache; ``None`` disables
+        caching.
+    config:
+        Default GraphR configuration for jobs that do not carry their
+        own (the analytic-mode default mirrors the experiment harness).
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 config: Optional[GraphRConfig] = None) -> None:
+        self.scheduler = Scheduler(workers=workers)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.config = config or GraphRConfig(mode="analytic")
+
+    @property
+    def workers(self) -> int:
+        """Configured process-pool size."""
+        return self.scheduler.workers
+
+    # ------------------------------------------------------------------
+    def make_job(self, algorithm: str, dataset: str,
+                 platform: str = "graphr",
+                 config: Optional[GraphRConfig] = None,
+                 **run_kwargs) -> Job:
+        """Build a job carrying this runner's default configuration."""
+        return Job(
+            algorithm=algorithm,
+            dataset=dataset,
+            platform=platform,
+            config=(config or self.config) if platform == "graphr" else None,
+            run_kwargs=run_kwargs,
+        )
+
+    def run_jobs(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute a batch; cached jobs never reach the scheduler.
+
+        The returned list matches ``jobs`` in length and order, every
+        job has either stats or a captured error, and each distinct
+        job is executed at most once per batch (duplicates share one
+        execution).
+        """
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: Dict[str, List[int]] = {}
+        pending_jobs: List[Job] = []
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                cached = self.cache.get(job)
+                if cached is not None:
+                    results[index] = JobResult(job=job, stats=cached,
+                                               from_cache=True)
+                    continue
+            key = job.content_key()
+            if key in pending:
+                pending[key].append(index)
+            else:
+                pending[key] = [index]
+                pending_jobs.append(job)
+
+        for job, result in zip(pending_jobs,
+                               self.scheduler.run(pending_jobs)):
+            if result.ok and self.cache is not None:
+                self.cache.put(job, result.stats)
+            for index in pending[job.content_key()]:
+                results[index] = result
+        return results
+
+    def run(self, algorithm: str, dataset: str, platform: str = "graphr",
+            config: Optional[GraphRConfig] = None,
+            **run_kwargs) -> RunStats:
+        """One-job convenience: run (or fetch) and return the stats,
+        raising :class:`~repro.errors.JobError` on failure."""
+        job = self.make_job(algorithm, dataset, platform=platform,
+                            config=config, **run_kwargs)
+        return self.run_jobs([job])[0].unwrap()
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss counters (all zero when caching is disabled)."""
+        if self.cache is None:
+            return {"hits": 0, "misses": 0, "stores": 0,
+                    "invalidations": 0, "hit_rate": 0.0}
+        return self.cache.stats.as_dict()
+
+    def __repr__(self) -> str:
+        where = self.cache.cache_dir if self.cache else None
+        return (f"BatchRunner(workers={self.workers}, "
+                f"cache_dir={str(where) if where else None!r})")

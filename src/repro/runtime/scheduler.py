@@ -1,0 +1,134 @@
+"""Batch execution across a ``multiprocessing`` process pool.
+
+The scheduler turns a list of :class:`~repro.runtime.job.Job` into a
+list of :class:`JobResult` in the *same order*, whatever the worker
+count: results are matched back by submission index, so a parallel
+batch is a drop-in replacement for a serial loop.  Every worker wraps
+execution in its own try/except and ships failures back as data — one
+bad job reports an error instead of killing the batch.
+
+Workers communicate in plain dictionaries (job spec out, stats dict
+back).  Both the serial and the pooled path execute the *same* worker
+function and reconstruct stats from the same JSON-safe payload, which
+is what makes serial and parallel batches bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import JobError
+from repro.hw.stats import RunStats
+from repro.runtime.job import Job
+
+__all__ = ["Scheduler", "JobResult", "execute_job", "execute_payload"]
+
+
+def execute_job(job: Job) -> RunStats:
+    """Run one job in the current process and return its stats.
+
+    Imports lazily so forked workers only pay for what they run.
+    """
+    from repro.graph.datasets import dataset
+
+    graph = dataset(job.dataset, weighted=job.resolved_weighted,
+                    seed=job.dataset_seed)
+    kwargs = dict(job.run_kwargs)
+    if job.platform == "graphr":
+        from repro.core.accelerator import GraphR
+
+        _, stats = GraphR(job.resolved_config()).run(job.algorithm, graph,
+                                                     **kwargs)
+    else:
+        from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
+
+        platform_cls = {"cpu": CPUPlatform, "gpu": GPUPlatform,
+                        "pim": PIMPlatform}[job.platform]
+        _, stats = platform_cls().run(job.algorithm, graph, **kwargs)
+    return stats
+
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Process-pool entry point: job dict in, result dict out.
+
+    Must stay importable at module top level (pickled by name) and must
+    never raise — errors travel back as ``{"ok": False, ...}`` so the
+    pool and the rest of the batch survive.
+    """
+    try:
+        job = Job.from_dict(payload)
+        stats = execute_job(job)
+        return {"ok": True, "stats": stats.to_dict()}
+    except Exception:  # noqa: BLE001 - the whole point is containment
+        return {"ok": False, "error": traceback.format_exc()}
+
+
+@dataclass
+class JobResult:
+    """Outcome of one scheduled job."""
+
+    job: Job
+    stats: Optional[RunStats] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced stats."""
+        return self.error is None and self.stats is not None
+
+    def unwrap(self) -> RunStats:
+        """The stats, or a :class:`JobError` carrying the worker's
+        traceback."""
+        if not self.ok:
+            raise JobError(
+                f"job {self.job.label()} failed:\n{self.error or 'no stats'}")
+        return self.stats
+
+
+class Scheduler:
+    """Executes job batches, serially or across a process pool."""
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise JobError("workers must be >= 1")
+        self.workers = workers
+
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute every job; results come back in submission order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        payloads = [job.to_dict() for job in jobs]
+        if self.workers > 1 and len(jobs) > 1:
+            raw = self._run_pool(payloads)
+        else:
+            raw = [execute_payload(payload) for payload in payloads]
+        results = []
+        for job, outcome in zip(jobs, raw):
+            if outcome.get("ok"):
+                results.append(JobResult(
+                    job=job, stats=RunStats.from_dict(outcome["stats"])))
+            else:
+                results.append(JobResult(
+                    job=job, error=outcome.get("error", "worker died")))
+        return results
+
+    def _run_pool(self, payloads: List[Dict[str, object]]
+                  ) -> List[Dict[str, object]]:
+        """Map payloads over a process pool, preserving order.
+
+        On Linux, ``fork`` lets workers inherit ``sys.path`` and the
+        warm dataset cache.  Elsewhere the platform default is kept:
+        macOS deliberately defaults to ``spawn`` because forking a
+        threaded parent (numpy/Accelerate) can deadlock or crash.
+        """
+        ctx = multiprocessing.get_context(
+            "fork" if sys.platform == "linux" else None)
+        workers = min(self.workers, len(payloads))
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(execute_payload, payloads)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -54,3 +56,63 @@ class TestCommands:
         assert main(["run", "pagerank", "WV", "--iterations", "3"]) == 0
         out = capsys.readouterr().out
         assert "3 iterations" in out
+
+
+class TestRuntimeCommands:
+    def test_run_json(self, capsys):
+        assert main(["run", "spmv", "WV", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["platform"] == "graphr"
+        assert payload["seconds"] > 0
+        assert "crossbar_write" in payload["energy_breakdown"]
+
+    def test_run_cached(self, capsys, tmp_path):
+        args = ["run", "spmv", "WV", "--json",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first
+
+    def test_datasets_json(self, capsys):
+        assert main(["datasets", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["code"] for entry in payload} == \
+            {"WV", "SD", "AZ", "WG", "LJ", "OK", "NF"}
+
+    def test_batch_command(self, capsys, tmp_path):
+        jobfile = tmp_path / "jobs.json"
+        jobfile.write_text(json.dumps({
+            "jobs": [
+                {"algorithm": "spmv", "dataset": "WV"},
+                {"algorithm": "bfs", "dataset": "WV", "platform": "cpu",
+                 "run_kwargs": {"source": 0}},
+            ],
+        }))
+        cache = tmp_path / "cache"
+        argv = ["batch", str(jobfile), "--cache-dir", str(cache),
+                "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 2
+        assert all(r["ok"] for r in payload["results"])
+        assert payload["cache"]["stores"] == 2
+
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(r["from_cache"] for r in payload["results"])
+        assert payload["cache"]["hits"] == 2
+
+    def test_batch_reports_failures(self, capsys, tmp_path):
+        jobfile = tmp_path / "jobs.json"
+        jobfile.write_text(json.dumps(
+            [{"algorithm": "sssp", "dataset": "WV",
+              "run_kwargs": {"source": 10 ** 9}}]))
+        assert main(["batch", str(jobfile)]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+
+    def test_bad_jobfile_is_an_error_exit(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -99,3 +99,45 @@ class TestValidation:
         cfg = GraphRConfig(technology=tech, crossbars_per_ge=32)
         assert cfg.slices == 8
         assert cfg.logical_crossbars_per_ge == 4
+
+
+class TestCanonicalSerialization:
+    def test_dict_round_trip(self):
+        cfg = GraphRConfig(mode="analytic", num_ges=8,
+                           block_size=1024)
+        assert GraphRConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_partial_dict_keeps_defaults(self):
+        cfg = GraphRConfig.from_dict({"num_ges": 8})
+        assert cfg.num_ges == 8
+        assert cfg.crossbar_size == GraphRConfig().crossbar_size
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig.from_dict({"num_gpus": 2})
+
+    def test_nested_technology_round_trip(self):
+        from repro.hw.params import default_technology
+        tech = default_technology().with_reram(cell_bits=2)
+        cfg = GraphRConfig(technology=tech)
+        clone = GraphRConfig.from_dict(cfg.to_dict())
+        assert clone.technology.reram.cell_bits == 2
+        assert clone == cfg
+
+    def test_content_hash_stable_and_sensitive(self):
+        a = GraphRConfig(mode="analytic")
+        b = GraphRConfig(mode="analytic")
+        assert a.content_hash() == b.content_hash()
+        assert len(a.content_hash()) == 64
+        assert a.content_hash() != \
+            GraphRConfig(mode="analytic", num_ges=8).content_hash()
+        tech = GraphRConfig(
+            technology=GraphRConfig().technology.with_reram(
+                cell_bits=2))
+        assert a.content_hash() != tech.content_hash()
+
+    def test_canonical_json_is_deterministic(self):
+        text = GraphRConfig().canonical_json()
+        assert text == GraphRConfig().canonical_json()
+        import json
+        assert json.loads(text)["crossbar_size"] == 8

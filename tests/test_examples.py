@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "components",
     "validate_and_size",
     "design_space",
+    "batch_runtime",
 ]
 
 

@@ -1,0 +1,116 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hw.stats import RunStats
+from repro.runtime.cache import CACHE_FORMAT_VERSION, ResultCache
+from repro.runtime.job import Job
+
+
+@pytest.fixture
+def job():
+    return Job("pagerank", "WV", run_kwargs={"max_iterations": 5})
+
+
+def make_stats() -> RunStats:
+    stats = RunStats("graphr", "pagerank", "WV", seconds=1.25,
+                     iterations=5, extra={"tiles": 7})
+    stats.energy.charge("adc", count=3, energy_per_event_j=2e-12)
+    stats.energy.charge_joules("static", 1e-6)
+    stats.latency.add("ge_compute", 1.25)
+    return stats
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        assert cache.get(job) is None
+        cache.put(job, make_stats())
+        got = cache.get(job)
+        assert got is not None
+        assert got.to_dict() == make_stats().to_dict()
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_persistent_across_instances(self, tmp_path, job):
+        ResultCache(tmp_path).put(job, make_stats())
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(job) is not None
+        assert fresh.stats.hits == 1
+
+    def test_len_counts_entries(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(job, make_stats())
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_invalidate(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        assert cache.invalidate(job)
+        assert not cache.invalidate(job)
+        assert cache.get(job) is None
+        assert cache.stats.invalidations == 1
+
+    def test_clear(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        cache.put(Job("spmv", "WV"), make_stats())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestPoisonedEntries:
+    def test_corrupt_file_is_a_miss(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(job)
+        path.parent.mkdir(parents=True)
+        path.write_text("garbage{")
+        assert cache.get(job) is None
+        assert cache.stats.misses == 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        path = cache.path_for(job)
+        payload = json.loads(path.read_text())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+
+    def test_missing_stats_block_is_a_miss(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        path = cache.path_for(job)
+        payload = json.loads(path.read_text())
+        del payload["stats"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+
+    def test_malformed_stats_block_is_a_miss(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        path = cache.path_for(job)
+        payload = json.loads(path.read_text())
+        payload["stats"]["energy_breakdown"] = {"adc": -1.0}
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+
+    def test_foreign_job_payload_is_a_miss(self, tmp_path, job):
+        """An entry whose embedded job differs from the requester is
+        never trusted (hash collision / hand-edited file)."""
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        path = cache.path_for(job)
+        payload = json.loads(path.read_text())
+        payload["job"]["algorithm"] = "bfs"
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None

@@ -1,0 +1,208 @@
+"""Tests for the canonical job spec and job files."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import GraphRConfig
+from repro.errors import JobError
+from repro.runtime.job import Job, load_jobfile
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(JobError):
+            Job("dfs", "WV")
+
+    def test_unknown_platform(self):
+        with pytest.raises(JobError):
+            Job("pagerank", "WV", platform="tpu")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(JobError):
+            Job("pagerank", "XX")
+
+    def test_dataset_code_normalised(self):
+        assert Job("pagerank", "wv").dataset == "WV"
+
+    def test_non_json_kwargs_rejected(self):
+        with pytest.raises(JobError):
+            Job("pagerank", "WV", run_kwargs={"x": object()})
+
+    def test_wrong_types_rejected_as_job_errors(self):
+        """Job files are user input: type garbage must surface as
+        JobError (CLI `error:` exit), never a raw traceback."""
+        with pytest.raises(JobError):
+            Job("pagerank", 5)
+        with pytest.raises(JobError):
+            Job("pagerank", "WV", dataset_seed="abc")
+        with pytest.raises(JobError):
+            Job("pagerank", "WV", run_kwargs=[1, 2])
+        with pytest.raises(JobError):
+            Job("pagerank", "WV", weighted="yes")
+        with pytest.raises(JobError):
+            Job("pagerank", "WV", config={"num_ges": 8})
+        with pytest.raises(JobError):
+            Job.from_dict({"algorithm": "pagerank", "dataset": "WV",
+                           "dataset_seed": "abc"})
+        with pytest.raises(JobError):
+            Job.from_dict({"algorithm": "pagerank", "dataset": "WV",
+                           "config": {"num_ges": "many"}})
+
+    def test_kwargs_snapshot(self):
+        kwargs = {"max_iterations": 5}
+        job = Job("pagerank", "WV", run_kwargs=kwargs)
+        kwargs["max_iterations"] = 99
+        assert job.run_kwargs["max_iterations"] == 5
+
+
+class TestCanonicalization:
+    def test_weighted_resolution(self):
+        assert Job("sssp", "WV").resolved_weighted
+        assert not Job("pagerank", "WV").resolved_weighted
+        assert Job("pagerank", "WV", weighted=True).resolved_weighted
+
+    def test_config_expanded_for_graphr(self):
+        payload = Job("pagerank", "WV").canonical_dict()
+        assert payload["config"] == \
+            GraphRConfig(mode="analytic").to_dict()
+
+    def test_baselines_exclude_config(self):
+        """A config sweep must never invalidate baseline results."""
+        a = Job("pagerank", "WV", platform="cpu")
+        b = Job("pagerank", "WV", platform="cpu",
+                config=GraphRConfig(num_ges=8))
+        assert "config" not in a.canonical_dict()
+        assert a.content_key() == b.content_key()
+
+    def test_equivalent_jobs_share_key(self):
+        explicit = Job("pagerank", "wv",
+                       config=GraphRConfig(mode="analytic"),
+                       weighted=False)
+        shorthand = Job("pagerank", "WV")
+        assert explicit.content_key() == shorthand.content_key()
+
+    def test_key_sensitivity(self):
+        base = Job("pagerank", "WV")
+        assert base.content_key() != Job("bfs", "WV").content_key()
+        assert base.content_key() != Job("pagerank", "SD").content_key()
+        assert base.content_key() != \
+            Job("pagerank", "WV", platform="cpu").content_key()
+        assert base.content_key() != \
+            Job("pagerank", "WV", dataset_seed=8).content_key()
+        assert base.content_key() != \
+            Job("pagerank", "WV",
+                run_kwargs={"max_iterations": 5}).content_key()
+        assert base.content_key() != \
+            Job("pagerank", "WV",
+                config=GraphRConfig(mode="analytic",
+                                    num_ges=8)).content_key()
+
+    def test_key_stable_across_process_restart(self):
+        """The cache must survive restarts: a fresh interpreter derives
+        the same content key for the same job."""
+        job = Job("pagerank", "WV",
+                  config=GraphRConfig(mode="analytic", num_ges=8),
+                  run_kwargs={"max_iterations": 5})
+        script = (
+            "from repro.core.config import GraphRConfig\n"
+            "from repro.runtime.job import Job\n"
+            "job = Job('pagerank', 'WV',\n"
+            "          config=GraphRConfig(mode='analytic', num_ges=8),\n"
+            "          run_kwargs={'max_iterations': 5})\n"
+            "print(job.content_key())\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, env.get("PYTHONPATH")]))
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == job.content_key()
+
+    def test_tuple_kwargs_normalised_to_json_form(self):
+        """Tuple-valued kwargs must canonicalize like their JSON (list)
+        spelling, or a job would never match its own cache entry."""
+        tupled = Job("pagerank", "WV", run_kwargs={"sources": (1, 2)})
+        listed = Job("pagerank", "WV", run_kwargs={"sources": [1, 2]})
+        assert tupled.run_kwargs == {"sources": [1, 2]}
+        assert tupled == listed
+        assert tupled.content_key() == listed.content_key()
+        assert json.loads(json.dumps(tupled.canonical_dict())) == \
+            tupled.canonical_dict()
+
+    def test_job_hashable_and_eq(self):
+        a = Job("pagerank", "WV", run_kwargs={"max_iterations": 5})
+        b = Job("pagerank", "WV", run_kwargs={"max_iterations": 5})
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        job = Job("sssp", "AZ", platform="graphr",
+                  config=GraphRConfig(mode="analytic", num_ges=16),
+                  run_kwargs={"source": 3}, dataset_seed=11)
+        clone = Job.from_dict(job.to_dict())
+        assert clone == job
+        assert clone.content_key() == job.content_key()
+
+    def test_partial_config_override(self):
+        job = Job.from_dict({"algorithm": "pagerank", "dataset": "WV",
+                             "config": {"mode": "analytic",
+                                        "num_ges": 8}})
+        assert job.config.num_ges == 8
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(JobError):
+            Job.from_dict({"algorithm": "pagerank", "dataset": "WV",
+                           "iterations": 5})
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(JobError):
+            Job.from_dict({"algorithm": "pagerank"})
+
+
+class TestJobfile:
+    def test_defaults_merged(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({
+            "defaults": {"platform": "cpu", "dataset_seed": 9},
+            "jobs": [
+                {"algorithm": "pagerank", "dataset": "WV"},
+                {"algorithm": "bfs", "dataset": "SD",
+                 "platform": "graphr"},
+            ],
+        }))
+        jobs = load_jobfile(path)
+        assert [j.platform for j in jobs] == ["cpu", "graphr"]
+        assert all(j.dataset_seed == 9 for j in jobs)
+
+    def test_bare_list(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(
+            [{"algorithm": "spmv", "dataset": "WV"}]))
+        jobs = load_jobfile(path)
+        assert jobs[0].algorithm == "spmv"
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"jobs": []}))
+        with pytest.raises(JobError):
+            load_jobfile(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(JobError):
+            load_jobfile(tmp_path / "absent.json")
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text("not json")
+        with pytest.raises(JobError):
+            load_jobfile(path)

@@ -1,0 +1,72 @@
+"""Tests for the batch scheduler and its process pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobError
+from repro.runtime.job import Job
+from repro.runtime.scheduler import JobResult, Scheduler
+
+JOBS = [
+    Job("spmv", "WV"),
+    Job("bfs", "WV", run_kwargs={"source": 0}),
+    Job("pagerank", "WV", run_kwargs={"max_iterations": 3}),
+    Job("spmv", "WV", platform="cpu"),
+]
+
+
+class TestSerial:
+    def test_order_and_success(self):
+        results = Scheduler(workers=1).run(JOBS)
+        assert [r.job for r in results] == JOBS
+        assert all(r.ok for r in results)
+        assert results[3].stats.platform == "cpu"
+
+    def test_empty_batch(self):
+        assert Scheduler().run([]) == []
+
+    def test_bad_worker_count(self):
+        with pytest.raises(JobError):
+            Scheduler(workers=0)
+
+
+class TestErrorCapture:
+    def test_one_failure_does_not_kill_the_batch(self):
+        jobs = [Job("spmv", "WV"),
+                Job("sssp", "WV", run_kwargs={"source": 10 ** 9}),
+                Job("bfs", "WV", run_kwargs={"source": 0})]
+        results = Scheduler(workers=1).run(jobs)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert results[1].error  # carries the worker traceback
+        with pytest.raises(JobError):
+            results[1].unwrap()
+
+    def test_pool_survives_worker_exception(self):
+        jobs = [Job("spmv", "WV"),
+                Job("sssp", "WV", run_kwargs={"source": 10 ** 9}),
+                Job("bfs", "WV", run_kwargs={"source": 0})]
+        results = Scheduler(workers=3).run(jobs)
+        assert [r.ok for r in results] == [True, False, True]
+
+
+class TestParallel:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = Scheduler(workers=1).run(JOBS)
+        parallel = Scheduler(workers=4).run(JOBS)
+        for s, p in zip(serial, parallel):
+            assert s.job == p.job
+            assert p.stats.to_dict() == s.stats.to_dict()
+
+
+class TestJobResult:
+    def test_unwrap_success(self):
+        result = Scheduler().run([Job("spmv", "WV")])[0]
+        assert result.unwrap().seconds > 0
+
+    def test_unwrap_without_stats(self):
+        empty = JobResult(job=Job("spmv", "WV"))
+        assert not empty.ok
+        with pytest.raises(JobError):
+            empty.unwrap()
