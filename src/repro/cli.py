@@ -53,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="source vertex for BFS/SSSP")
     run.add_argument("--epochs", type=int, default=3,
                      help="training epochs for CF")
+    run.add_argument("--mode", default=None,
+                     choices=["auto", "functional", "analytic"],
+                     help="GraphR execution mode (default: the "
+                          "runtime's analytic-mode configuration)")
+    run.add_argument("--batch-size", type=int, default=None,
+                     help="subgraph tiles per batched functional "
+                          "engine call (0 = per-tile loop)")
     _add_runtime_flags(run)
     run.add_argument("--json", action="store_true",
                      help="print the run's stats as JSON")
@@ -103,9 +110,20 @@ def _run_command(args: argparse.Namespace) -> int:
     elif args.algorithm == "cf":
         kwargs["epochs"] = args.epochs
 
+    config = None
+    if args.mode is not None or args.batch_size is not None:
+        from repro.core.config import GraphRConfig
+        # Seed from the runtime's analytic-mode default so that
+        # --batch-size alone tunes the batch without silently flipping
+        # the execution mode to auto.
+        overrides: dict = {"mode": args.mode or "analytic"}
+        if args.batch_size is not None:
+            overrides["functional_batch_size"] = args.batch_size
+        config = GraphRConfig(**overrides)
+
     runner = _batch_runner(args)
     stats = runner.run(args.algorithm, args.dataset,
-                       platform=args.platform, **kwargs)
+                       platform=args.platform, config=config, **kwargs)
     if args.json:
         print(json.dumps(stats_to_dict(stats), indent=2))
         return 0

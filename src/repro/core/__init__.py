@@ -18,7 +18,7 @@ from repro.core.config import GraphRConfig
 from repro.core.cost import CostModel, IterationEvents
 from repro.core.registers import RegisterFile
 from repro.core.engine import GraphEngine
-from repro.core.streaming import SubgraphStreamer, Tile
+from repro.core.streaming import SubgraphStreamer, Tile, TileBatch
 from repro.core.accelerator import GraphR
 from repro.core.multinode import MultiNodeConfig, MultiNodeGraphR
 from repro.core.outofcore import (
@@ -52,5 +52,6 @@ __all__ = [
     "GraphEngine",
     "SubgraphStreamer",
     "Tile",
+    "TileBatch",
     "GraphR",
 ]

@@ -25,6 +25,13 @@ from repro.hw.stats import RunStats
 
 __all__ = ["GraphR"]
 
+#: Auto-mode iteration estimate for active-list (add-op) algorithms:
+#: frontier-driven runs touch each subgraph for a handful of sweeps in
+#: total rather than on every iteration, so projecting the full
+#: ``max_iterations`` over every non-empty subgraph would overestimate
+#: their functional cost by orders of magnitude.
+_ACTIVE_LIST_SWEEPS = 4
+
 #: Program-constructor keywords, per algorithm, that ``run`` forwards to
 #: the program instance rather than the reference call.
 _CTOR_KEYS = {
@@ -77,13 +84,15 @@ class GraphR:
             reference_kwargs = dict(kwargs)
 
         controller = Controller(self.config, graph, program)
+        max_iterations = kwargs.get("max_iterations")
         chosen = mode or self.config.mode
         if chosen == "auto":
-            chosen = self._pick_mode(controller, program)
+            chosen = self._pick_mode(controller, program, max_iterations)
         if chosen == "functional":
             program_kwargs = {k: v for k, v in kwargs.items()
                               if k in ("source", "x", "seed")}
-            result, stats = controller.run_functional(**program_kwargs)
+            result, stats = controller.run_functional(
+                max_iterations=max_iterations, **program_kwargs)
         else:
             result, stats = controller.run_analytic(**reference_kwargs)
         stats.extra["config"] = {
@@ -94,13 +103,26 @@ class GraphR:
         }
         return result, stats
 
-    def _pick_mode(self, controller: Controller,
-                   program: VertexProgram) -> str:
-        """Functional when the tile x iteration budget allows."""
+    def _pick_mode(self, controller: Controller, program: VertexProgram,
+                   max_iterations: Optional[int] = None) -> str:
+        """Functional when the projected tile x iteration work fits the
+        budget.
+
+        Dense-sweep (MAC) programs stream every non-empty subgraph each
+        iteration; active-list programs only stream subgraphs with
+        active sources, whose total across a run is a few sweeps of the
+        graph (``_ACTIVE_LIST_SWEEPS``) rather than
+        ``max_iterations``-many.
+        """
         if program.name == "cf":
             return "analytic"
-        projected = (controller.streamer.num_nonempty_subgraphs
-                     * self.config.max_iterations)
+        iterations = max_iterations or self.config.max_iterations
+        per_iteration = controller.streamer.num_nonempty_subgraphs
+        if program.needs_active_list:
+            projected = per_iteration * min(iterations,
+                                            _ACTIVE_LIST_SWEEPS)
+        else:
+            projected = per_iteration * iterations
         if projected <= self.config.functional_tile_budget:
             return "functional"
         return "analytic"

@@ -8,6 +8,13 @@ destination register with ``min`` (Figure 16 c3).  The iteration is
 synchronous across subgraphs — destination updates become visible as
 source values in the *next* iteration, exactly the semantics of the
 frontier-driven Bellman-Ford reference.
+
+As in the MAC mapper, the default path stacks non-empty crossbar tiles
+into ``(batch, S, S)`` blocks for
+:meth:`~repro.core.engine.GraphEngine.addop_batch`; ``batch_size=0``
+runs the bit-identical per-tile loop.  Parallel edges merge with
+``min`` in both paths — the lightest of two parallel relaxations is
+the one that survives the comparator anyway.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ def run_addop_iteration(
     properties: np.ndarray,
     coefficients: np.ndarray,
     frontier: Optional[np.ndarray] = None,
+    batch_size: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
     """Execute one parallel-add-op iteration functionally.
 
@@ -41,30 +49,49 @@ def run_addop_iteration(
     indicators).
     """
     cfg = streamer.config
-    s = cfg.tile_rows
-    w = cfg.tile_cols
+    s = cfg.crossbar_size
     n = graph.num_vertices
     absent = float(program.reduce_identity)
     padded = streamer.ordering.padded_vertices
+    if batch_size is None:
+        batch_size = cfg.functional_batch_size
 
-    padded_dist = np.full(padded + w, absent)
+    padded_dist = np.full(padded + cfg.tile_cols, absent)
     padded_dist[:n] = properties
-    accum = np.full(padded + w, absent)
+    accum = np.full(padded + cfg.tile_cols, absent)
     accum[:n] = properties
 
     events = IterationEvents()
-    for tile in streamer.iter_subgraphs(frontier):
-        dense = np.full((s, w), absent)
-        dense[tile.rows_local, tile.cols_local] = coefficients[tile.edge_ids]
-        source_values = padded_dist[tile.row_base:tile.row_base + s]
-        active_rows = np.unique(tile.rows_local)
-        out, tile_events = engine.addop_tile(dense, source_values,
-                                             active_rows, absent)
-        span = slice(tile.col_base, tile.col_base + w)
-        accum[span] = np.minimum(accum[span], out)
-        events.merge(tile_events)
-        events.edges += tile.nnz
-        events.subgraphs += 1
+    all_rows = np.arange(s)
+    if batch_size > 0:
+        for batch in streamer.iter_tile_batches(
+                coefficients, batch_size, frontier=frontier,
+                fill_value=absent, combine="min"):
+            source_values = padded_dist[batch.row_bases[:, None]
+                                        + all_rows]
+            out, tile_events = engine.addop_batch(batch.dense,
+                                                  source_values, absent)
+            np.minimum.at(accum, batch.col_bases[:, None] + all_rows,
+                          out)
+            events.merge(tile_events)
+            events.edges += batch.edges
+            events.subgraphs += batch.subgraph_starts
+    else:
+        for batch in streamer.iter_tile_batches(
+                coefficients, 1, frontier=frontier,
+                fill_value=absent, combine="min"):
+            row = int(batch.row_bases[0])
+            col = int(batch.col_bases[0])
+            source_values = padded_dist[row:row + s]
+            # All-absent rows fold to the identity, so presenting every
+            # row is equivalent to presenting only the active ones.
+            out, tile_events = engine.addop_tile(batch.dense[0],
+                                                 source_values,
+                                                 all_rows, absent)
+            accum[col:col + s] = np.minimum(accum[col:col + s], out)
+            events.merge(tile_events)
+            events.edges += batch.edges
+            events.subgraphs += batch.subgraph_starts
 
     new_properties = accum[:n]
     changed = new_properties < properties

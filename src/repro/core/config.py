@@ -63,14 +63,20 @@ class GraphRConfig:
         edges during frontier algorithms.
     mode:
         ``"functional"`` — execute every tile through the device models
-        (exact algorithm semantics, small graphs);
+        (exact algorithm semantics);
         ``"analytic"`` — run the exact reference algorithm and charge
-        time/energy from vectorised event counts (large graphs);
+        time/energy from vectorised event counts (very large graphs);
         ``"auto"`` — functional below ``functional_tile_budget``
-        streamed tiles, analytic above.
+        projected streamed tiles, analytic above.
     functional_tile_budget:
-        Max (tiles x iterations) the auto mode will simulate
-        functionally.
+        Max projected (tiles x iterations) the auto mode will simulate
+        functionally.  The batched engine streams tiles vectorised, so
+        the default covers paper-scale runs (WV/SD PageRank and SSSP).
+    functional_batch_size:
+        Non-empty ``S x S`` crossbar tiles stacked per batched engine
+        call in functional mode.  ``0`` selects the per-tile reference
+        loop (bit-identical to the batched path, kept for equivalence
+        testing and ablation).
     mem_bandwidth_bps:
         Internal sequential bandwidth of the memory-ReRAM region
         feeding the GEs (edge fetch).
@@ -100,7 +106,8 @@ class GraphRConfig:
     ir_drop_alpha: float = 0.0
     selective_block_scan: bool = False
     mode: str = "auto"
-    functional_tile_budget: int = 50_000
+    functional_tile_budget: int = 2_000_000
+    functional_batch_size: int = 256
     mem_bandwidth_bps: float = 320e9
     controller_edges_per_second: float = 8e9
     iteration_overhead_s: float = 2e-6
@@ -127,6 +134,10 @@ class GraphRConfig:
             raise ConfigError("streaming_order must be 'column' or 'row'")
         if self.mode not in ("auto", "functional", "analytic"):
             raise ConfigError("mode must be auto, functional or analytic")
+        if self.functional_tile_budget < 0:
+            raise ConfigError("functional_tile_budget must be non-negative")
+        if self.functional_batch_size < 0:
+            raise ConfigError("functional_batch_size must be non-negative")
         if self.crossbars_per_ge % self.slices:
             raise ConfigError(
                 f"crossbars_per_ge {self.crossbars_per_ge} must be a "

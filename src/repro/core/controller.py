@@ -63,11 +63,19 @@ class Controller:
         self.engine = GraphEngine(config, coeff_fmt=fmt, input_fmt=fmt)
 
     # ------------------------------------------------------------------
-    def run_functional(self, **program_kwargs) -> Tuple[AlgorithmResult,
-                                                        RunStats]:
-        """Run the loop through the functional device models."""
+    def run_functional(self, max_iterations: Optional[int] = None,
+                       **program_kwargs) -> Tuple[AlgorithmResult,
+                                                  RunStats]:
+        """Run the loop through the functional device models.
+
+        ``max_iterations`` overrides the config's iteration budget for
+        this run (the same knob ``run_kwargs`` gives the analytic
+        reference), so both modes honour a job's budget identically.
+        """
         program = self.program
         graph = self.graph
+        budget = (self.config.max_iterations if max_iterations is None
+                  else max_iterations)
         if program.name == "cf":
             raise MappingError(
                 "collaborative filtering has matrix-valued properties; "
@@ -87,7 +95,7 @@ class Controller:
             frontiers=[] if program.needs_active_list else None)
         converged = False
         iterations = 0
-        for iteration in range(1, self.config.max_iterations + 1):
+        for iteration in range(1, budget + 1):
             if program.needs_active_list and not frontier.any():
                 converged = True
                 break

@@ -1,12 +1,21 @@
 """Functional graph engine (Figure 8): tile-level crossbar math.
 
-The engine executes one subgraph tile's worth of analog work with the
+The engine executes subgraph tiles' worth of analog work with the
 same arithmetic the device chain (driver -> bit-sliced crossbars ->
 S/H -> ADC -> shift-add) produces, but vectorised at tile granularity:
 values are quantised through the configured fixed-point format, the
 dot products are computed exactly on the quantised codes, and optional
 Gaussian noise models analog read disturbance.  Unit tests assert this
 shortcut is bit-equivalent to composing the individual device models.
+
+The primitives are *batched*: :meth:`GraphEngine.mac_batch` and
+:meth:`GraphEngine.addop_batch` take ``(B, S, W)`` stacks of dense
+tiles and contract a whole batch with a single einsum / fold, which is
+what lets the functional mode run paper-scale graphs.  The per-tile
+entry points (:meth:`mac_tile`, :meth:`addop_tile`) delegate to the
+batched kernels with ``B = 1``, so both granularities execute the
+exact same arithmetic (einsum reduction order, RNG draw order) and
+stay bit-identical.
 """
 
 from __future__ import annotations
@@ -43,56 +52,131 @@ class GraphEngine:
             config.data_bits, config.data_bits - 1)
         self.input_fmt = input_fmt or FixedPointFormat(
             config.data_bits, config.data_bits - 1)
-        self._rng = np.random.default_rng(config.seed)
+        # Read noise and programming variation are physically distinct
+        # processes; spawn independent child streams off the one config
+        # seed so their draws never correlate.  (Results therefore
+        # differ from engines that shared the raw seed between both;
+        # this fix adds no config field, so any noisy/variational
+        # cached stats keyed on an unchanged config simply regenerate
+        # with the decorrelated draws.)
+        noise_seq, variation_seq = \
+            np.random.SeedSequence(config.seed).spawn(2)
+        self._rng = np.random.default_rng(noise_seq)
         if config.programming_sigma > 0 or config.ir_drop_alpha > 0:
             # Variation is applied to the composed coefficient codes —
             # a first-order stand-in for per-slice cell variation.
             self._variation: Optional[VariationModel] = VariationModel(
                 programming_sigma=config.programming_sigma,
                 ir_drop_alpha=config.ir_drop_alpha,
-                seed=config.seed,
+                seed=variation_seq,
             )
         else:
             self._variation = None
 
     # ------------------------------------------------------------------
-    def mac_tile(self, dense_tile: np.ndarray,
-                 inputs: np.ndarray) -> Tuple[np.ndarray, IterationEvents]:
-        """Parallel-MAC presentation: ``out = inputs @ tile``.
+    # Parallel-MAC (Section 4.1)
+    # ------------------------------------------------------------------
+    def mac_batch(self, dense_tiles: np.ndarray,
+                  inputs: np.ndarray) -> Tuple[np.ndarray, IterationEvents]:
+        """Parallel-MAC presentations for a stack of tiles.
 
-        ``dense_tile`` is ``(S, W)`` coefficients, ``inputs`` length S.
-        Both are quantised to their fixed-point formats; the product is
+        ``dense_tiles`` is ``(B, S, W)`` coefficients, ``inputs`` is
+        ``(B, S)``; returns the ``(B, W)`` bitline sums.  Both operands
+        are quantised to their fixed-point formats; the contraction is
         exact on the quantised codes (the bit-sliced shift-add chain
-        reconstructs full precision).
+        reconstructs full precision), done in one einsum for the whole
+        batch.
         """
-        tile = np.asarray(dense_tile, dtype=np.float64)
+        tiles = np.asarray(dense_tiles, dtype=np.float64)
         x = np.asarray(inputs, dtype=np.float64)
-        if tile.ndim != 2 or tile.shape[0] != x.shape[0]:
+        if tiles.ndim != 3 or x.shape != tiles.shape[:2]:
             raise DeviceError(
-                f"tile {tile.shape} incompatible with inputs {x.shape}"
+                f"tile batch {tiles.shape} incompatible with inputs "
+                f"{x.shape}"
             )
-        coeff_codes = self.coeff_fmt.encode(tile)
+        coeff_codes = self.coeff_fmt.encode(tiles)
         input_codes = self.input_fmt.encode(x)
         effective = coeff_codes.astype(np.float64)
         if self._variation is not None:
-            effective = self._variation.effective_levels(effective)
-        raw = input_codes.astype(np.float64) @ effective
+            effective = self._variation.effective_levels_batch(effective)
+        raw = np.einsum("bs,bsw->bw", input_codes.astype(np.float64),
+                        effective)
         out = raw * self.coeff_fmt.scale * self.input_fmt.scale
         out = self._maybe_noise(out)
-        events = self._tile_events(coeff_codes, presentations_per_tile=1)
+        events = self._batch_events(coeff_codes != 0,
+                                    presentations_per_tile=1)
+        return out, events
+
+    def mac_tile(self, dense_tile: np.ndarray,
+                 inputs: np.ndarray) -> Tuple[np.ndarray, IterationEvents]:
+        """Single-tile parallel-MAC presentation: ``out = inputs @ tile``.
+
+        ``dense_tile`` is ``(S, W)`` coefficients, ``inputs`` length S.
+        Delegates to :meth:`mac_batch` with a batch of one.
+        """
+        tile = np.asarray(dense_tile, dtype=np.float64)
+        x = np.asarray(inputs, dtype=np.float64)
+        if tile.ndim != 2 or x.ndim != 1 or tile.shape[0] != x.shape[0]:
+            raise DeviceError(
+                f"tile {tile.shape} incompatible with inputs {x.shape}"
+            )
+        out, events = self.mac_batch(tile[None], x[None])
+        return out[0], events
+
+    # ------------------------------------------------------------------
+    # Parallel-add-op (Section 4.2, Figure 16 c3)
+    # ------------------------------------------------------------------
+    def addop_batch(self, dense_tiles: np.ndarray,
+                    source_values: np.ndarray,
+                    absent_value: float,
+                    active_mask: Optional[np.ndarray] = None,
+                    ) -> Tuple[np.ndarray, IterationEvents]:
+        """Parallel-add-op presentations for a stack of tiles.
+
+        For every tile ``b`` and row ``r``, compute
+        ``w[b, r, :] + source_values[b, r]`` with absent cells pinned at
+        ``absent_value`` (the reserved cell maximum ``M``), then fold
+        rows with elementwise minimum — the comparator array the sALU
+        provides.  Rows whose cells are all absent contribute only the
+        identity, so folding every row is equivalent to folding the
+        active ones; ``active_mask`` (``(B, S)`` booleans) additionally
+        silences rows that hold edges but whose sources are inactive.
+        Returns the folded ``(B, W)`` candidate block.
+        """
+        w = np.asarray(dense_tiles, dtype=np.float64)
+        src = np.asarray(source_values, dtype=np.float64)
+        if w.ndim != 3 or src.shape != w.shape[:2]:
+            raise DeviceError("weights/source shape mismatch")
+        candidates = w + src[:, :, None]
+        # Saturating add: anything involving an absent cell stays absent.
+        absent_cells = w >= absent_value
+        candidates = np.where(absent_cells, absent_value, candidates)
+        candidates = np.minimum(candidates, absent_value)
+        if active_mask is not None:
+            candidates = np.where(active_mask[:, :, None], candidates,
+                                  absent_value)
+        out = candidates.min(axis=1)
+        out = self._maybe_noise(out, clip_max=absent_value)
+
+        # A cell is "stored" when an edge exists (absent cells hold M
+        # but belong to the same written rows).
+        events = self._batch_events(~absent_cells,
+                                    presentations_per_tile=0)
+        # One presentation per (non-empty crossbar tile, active row)
+        # pair: each time slot drives one wordline of the tiles that
+        # hold that row's edges.
+        events.presentations = events.touched_rows
+        events.reduce_ops = events.presentations * self.config.crossbar_size
         return out, events
 
     def addop_tile(self, dense_weights: np.ndarray,
                    source_values: np.ndarray,
                    active_rows: np.ndarray,
                    absent_value: float) -> Tuple[np.ndarray, IterationEvents]:
-        """Parallel-add-op presentations (Figure 16 c3).
+        """Single-tile parallel-add-op presentations.
 
-        For every active row ``r``, compute ``w[r, :] + source_values[r]``
-        with absent cells pinned at ``absent_value`` (the reserved cell
-        maximum ``M``), then fold rows with elementwise minimum — the
-        comparator array the sALU provides.  Returns the folded
-        candidate vector (length W).
+        ``active_rows`` lists the source rows driven this iteration;
+        delegates to :meth:`addop_batch` with a batch of one.
         """
         w = np.asarray(dense_weights, dtype=np.float64)
         src = np.asarray(source_values, dtype=np.float64)
@@ -103,40 +187,25 @@ class GraphEngine:
             return np.full(w.shape[1], absent_value), IterationEvents()
         if active.min() < 0 or active.max() >= w.shape[0]:
             raise DeviceError("active row out of range")
-
-        candidates = w[active] + src[active, None]
-        # Saturating add: anything involving an absent cell stays absent.
-        absent = w[active] >= absent_value
-        candidates = np.where(absent, absent_value, candidates)
-        candidates = np.minimum(candidates, absent_value)
-        out = candidates.min(axis=0)
-        out = self._maybe_noise(out, clip_max=absent_value)
-
-        # Mark a cell "stored" when an edge exists (absent cells hold M
-        # but belong to the same written rows).
-        stored = np.where(w >= absent_value, 0.0, np.maximum(w, 1e-12))
-        coeff_codes = (stored > 0).astype(np.int64)
-        events = self._tile_events(coeff_codes, presentations_per_tile=0)
-        # One presentation per (non-empty crossbar tile, active row) pair:
-        # each time slot drives one wordline of the tiles that hold that
-        # row's edges.
-        s = self.config.crossbar_size
-        events.presentations = events.touched_rows
-        events.reduce_ops = events.presentations * s
-        return out, events
+        mask = np.zeros((1, w.shape[0]), dtype=bool)
+        mask[0, active] = True
+        out, events = self.addop_batch(w[None], src[None], absent_value,
+                                       active_mask=mask)
+        return out[0], events
 
     # ------------------------------------------------------------------
-    def _tile_events(self, coeff_codes: np.ndarray,
-                     presentations_per_tile: int) -> IterationEvents:
-        """Count non-empty S x S crossbar tiles and touched rows."""
+    def _batch_events(self, stored: np.ndarray,
+                      presentations_per_tile: int) -> IterationEvents:
+        """Count non-empty S x S crossbar tiles and touched rows across
+        a ``(B, rows, cols)`` boolean occupancy stack."""
         s = self.config.crossbar_size
-        rows, cols = coeff_codes.shape
+        batch, rows, cols = stored.shape
         n_tiles = -(-cols // s)
-        padded = np.zeros((rows, n_tiles * s), dtype=bool)
-        padded[:, :cols] = coeff_codes != 0
-        per_tile = padded.reshape(rows, n_tiles, s)
-        row_touched = per_tile.any(axis=2)          # (rows, n_tiles)
-        tile_nonempty = row_touched.any(axis=0)     # (n_tiles,)
+        padded = np.zeros((batch, rows, n_tiles * s), dtype=bool)
+        padded[:, :, :cols] = stored
+        per_tile = padded.reshape(batch, rows, n_tiles, s)
+        row_touched = per_tile.any(axis=3)          # (B, rows, n_tiles)
+        tile_nonempty = row_touched.any(axis=1)     # (B, n_tiles)
         tiles = int(tile_nonempty.sum())
         touched = int(row_touched.sum())
         presentations = tiles * presentations_per_tile
@@ -149,7 +218,12 @@ class GraphEngine:
 
     def _maybe_noise(self, values: np.ndarray,
                      clip_max: Optional[float] = None) -> np.ndarray:
-        """Inject analog read noise when configured."""
+        """Inject analog read noise when configured.
+
+        Draws are consumed in C order, so one call over a ``(B, W)``
+        batch reads the same stream as B sequential ``(W,)`` calls —
+        batched and per-tile execution share noise realisations.
+        """
         if self.config.noise_sigma <= 0:
             return values
         sigma = self.config.noise_sigma * self.coeff_fmt.scale

@@ -5,6 +5,14 @@ the GEs, the source properties are driven once, and the bitline sums
 accumulate into the destination register through the sALU's ``add``.
 After the full scan the per-vertex ``apply`` step (e.g. PageRank's
 teleport term) produces the new property vector.
+
+The default path stacks ``functional_batch_size`` non-empty ``S x S``
+crossbar tiles per :meth:`~repro.core.engine.GraphEngine.mac_batch`
+call (vectorised scatter + one einsum per batch); ``batch_size=0``
+selects the per-tile reference loop, which walks the same crossbar
+stream one tile at a time.  Both paths are bit-identical — same
+scatter combine, same einsum reduction, same RNG draw order — which
+the unit suite asserts.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ def run_mac_iteration(
     properties: np.ndarray,
     coefficients: np.ndarray,
     frontier: Optional[np.ndarray] = None,
+    batch_size: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
     """Execute one parallel-MAC iteration functionally.
 
@@ -38,30 +47,52 @@ def run_mac_iteration(
     coefficients:
         Per-edge crossbar coefficients, aligned with the *original*
         edge order of ``graph.adjacency`` (``tile.edge_ids`` indexes
-        into it).
+        into it).  Duplicate edges sum into their shared cell, matching
+        :meth:`~repro.graph.coo.COOMatrix.to_dense`.
+    batch_size:
+        Tiles per batched engine call; ``None`` reads the config's
+        ``functional_batch_size`` and ``0`` runs the per-tile loop.
 
     Returns ``(new_properties, changed_mask, events)``.
     """
     cfg = streamer.config
-    s = cfg.tile_rows
-    w = cfg.tile_cols
+    s = cfg.crossbar_size
     n = graph.num_vertices
     padded = streamer.ordering.padded_vertices
     # Pad once so tiles at the matrix edge slice uniformly.
-    padded_inputs = np.zeros(padded + w)
+    padded_inputs = np.zeros(padded + cfg.tile_cols)
     padded_inputs[:n] = program.source_input(properties, graph)
-    accum = np.zeros(padded + w)
+    accum = np.zeros(padded + cfg.tile_cols)
+    if batch_size is None:
+        batch_size = cfg.functional_batch_size
 
     events = IterationEvents()
-    for tile in streamer.iter_subgraphs(frontier):
-        dense = np.zeros((s, w))
-        dense[tile.rows_local, tile.cols_local] = coefficients[tile.edge_ids]
-        inputs = padded_inputs[tile.row_base:tile.row_base + s]
-        out, tile_events = engine.mac_tile(dense, inputs)
-        accum[tile.col_base:tile.col_base + w] += out
-        events.merge(tile_events)
-        events.edges += tile.nnz
-        events.subgraphs += 1
+    if batch_size > 0:
+        span = np.arange(s)
+        for batch in streamer.iter_tile_batches(
+                coefficients, batch_size, frontier=frontier,
+                fill_value=0.0, combine="add"):
+            inputs = padded_inputs[batch.row_bases[:, None] + span]
+            out, tile_events = engine.mac_batch(batch.dense, inputs)
+            # ufunc.at applies updates in element order, so columns
+            # shared between tiles accumulate exactly like the
+            # per-tile loop does.
+            np.add.at(accum, batch.col_bases[:, None] + span, out)
+            events.merge(tile_events)
+            events.edges += batch.edges
+            events.subgraphs += batch.subgraph_starts
+    else:
+        for batch in streamer.iter_tile_batches(
+                coefficients, 1, frontier=frontier,
+                fill_value=0.0, combine="add"):
+            row = int(batch.row_bases[0])
+            col = int(batch.col_bases[0])
+            inputs = padded_inputs[row:row + s]
+            out, tile_events = engine.mac_tile(batch.dense[0], inputs)
+            accum[col:col + s] += out
+            events.merge(tile_events)
+            events.edges += batch.edges
+            events.subgraphs += batch.subgraph_starts
 
     new_properties = program.apply(accum[:n], properties, graph)
     events.apply_ops += n

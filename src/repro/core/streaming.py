@@ -7,19 +7,25 @@ execution modes:
 * :meth:`iter_subgraphs` — yields non-empty subgraph tiles in the
   global streaming order (column-major blocks, column-major subgraphs)
   for the functional engines;
+* :meth:`iter_tile_batches` — stacks consecutive non-empty ``S x S``
+  crossbar tiles into dense ``(batch, S, S)`` blocks with one
+  vectorised scatter over the preprocessed edge arrays (no per-tile
+  Python work), feeding the batched functional engine; crossbar
+  granularity is the hardware's sparsity skip — empty crossbars inside
+  a subgraph are never materialised;
 * :meth:`iteration_events` — vectorised event extraction (non-empty
   subgraphs / crossbar tiles / touched rows / presentations) for the
   analytic cost path, optionally restricted to an active-source
   frontier.
 
-Both views derive from the same per-edge precomputation, so functional
+All views derive from the same per-edge precomputation, so functional
 and analytic runs of the same iteration count identical events.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -30,7 +36,7 @@ from repro.errors import PartitionError
 from repro.graph.graph import Graph
 from repro.graph.preprocess import GraphROrdering, global_order_id
 
-__all__ = ["SubgraphStreamer", "Tile"]
+__all__ = ["SubgraphStreamer", "Tile", "TileBatch"]
 
 
 @dataclass
@@ -53,6 +59,33 @@ class Tile:
     def nnz(self) -> int:
         """Edges in the tile."""
         return int(self.rows_local.shape[0])
+
+
+@dataclass
+class TileBatch:
+    """A stack of consecutive non-empty crossbar tiles in streaming
+    order.
+
+    ``dense`` is a ``(count, S, S)`` block of scattered coefficients —
+    a *view into a reused buffer*, valid only until the next batch is
+    produced; consumers must not retain it.  ``row_bases`` /
+    ``col_bases`` give each crossbar tile's global vertex origin,
+    ``edges`` counts the edge records scattered into the batch, and
+    ``subgraph_starts`` counts the subgraphs whose first active
+    crossbar lies in this batch (so summing it over an iteration's
+    batches counts distinct active subgraphs exactly once).
+    """
+
+    dense: np.ndarray
+    row_bases: np.ndarray
+    col_bases: np.ndarray
+    edges: int
+    subgraph_starts: int
+
+    @property
+    def count(self) -> int:
+        """Crossbar tiles stacked in this batch."""
+        return int(self.dense.shape[0])
 
 
 class SubgraphStreamer:
@@ -85,10 +118,10 @@ class SubgraphStreamer:
         self._subgraph_of_edge = self._gid // per_tile
         sub_order = self._gid % per_tile
         self._row_in_tile = sub_order % s
-        col_in_tile = sub_order // s
+        self._col_in_tile = sub_order // s
         self._crossbar_of_edge = (
             self._subgraph_of_edge * config.logical_crossbars
-            + col_in_tile // s
+            + self._col_in_tile // s
         )
         self._rowkey_of_edge = (
             self._crossbar_of_edge * s + self._row_in_tile
@@ -100,6 +133,31 @@ class SubgraphStreamer:
                             self._subgraph_of_edge[1:]
                             != self._subgraph_of_edge[:-1]))
         )
+        # Crossbar-granular view for the batched functional path: the
+        # streaming sort is column-major inside each subgraph, so the
+        # sorted edges are also grouped by S x S crossbar tile.  Each
+        # non-empty crossbar gets an ordinal, and each edge knows its
+        # ordinal plus in-crossbar coordinates — the keys of the
+        # vectorised batch scatter.
+        self._col_in_crossbar = self._col_in_tile % s
+        if self._gid.size:
+            cb_bounds = np.flatnonzero(
+                np.concatenate(([True],
+                                self._crossbar_of_edge[1:]
+                                != self._crossbar_of_edge[:-1]))
+            )
+        else:
+            cb_bounds = np.zeros(0, dtype=np.int64)
+        cb_counts = np.diff(np.concatenate((cb_bounds, [self._gid.size])))
+        self._cb_ordinal_of_edge = np.repeat(
+            np.arange(cb_bounds.size, dtype=np.int64), cb_counts)
+        cb_keys = self._crossbar_of_edge[cb_bounds]
+        self._cb_subgraph = cb_keys // config.logical_crossbars
+        sub_rows, sub_cols = self._subgraph_origins(self._cb_subgraph)
+        self._cb_row_base = sub_rows
+        self._cb_col_base = sub_cols + (cb_keys % config.logical_crossbars) * s
+        # Scratch buffer reused across batches and iterations.
+        self._batch_buffer: Optional[np.ndarray] = None
 
         # Block-level bookkeeping for the selective-scan optimisation.
         grid_r, grid_c = self.ordering.subgraph_grid
@@ -130,18 +188,26 @@ class SubgraphStreamer:
         return view
 
     # ------------------------------------------------------------------
-    def subgraph_origin(self, subgraph_index: int) -> tuple[int, int]:
-        """Global (source, destination) vertex origin of a subgraph slot."""
+    def _subgraph_origins(self, subgraph_indices: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised global (source, destination) origins of subgraph
+        slots."""
         o = self.ordering
         grid_r, grid_c = o.subgraph_grid
         per_block = grid_r * grid_c
-        block_order, within = divmod(int(subgraph_index), per_block)
-        side = o.blocks_per_side
-        block_j, block_i = divmod(block_order, side)
-        tile_j, tile_i = divmod(within, grid_r)
-        row = block_i * o.block_size + tile_i * o.tile_rows
-        col = block_j * o.block_size + tile_j * o.tile_cols
-        return row, col
+        idx = np.asarray(subgraph_indices, dtype=np.int64)
+        block_order, within = np.divmod(idx, per_block)
+        block_j, block_i = np.divmod(block_order, o.blocks_per_side)
+        tile_j, tile_i = np.divmod(within, grid_r)
+        rows = block_i * o.block_size + tile_i * o.tile_rows
+        cols = block_j * o.block_size + tile_j * o.tile_cols
+        return rows, cols
+
+    def subgraph_origin(self, subgraph_index: int) -> tuple[int, int]:
+        """Global (source, destination) vertex origin of a subgraph slot."""
+        rows, cols = self._subgraph_origins(
+            np.asarray([subgraph_index], dtype=np.int64))
+        return int(rows[0]), int(cols[0])
 
     def iter_subgraphs(self,
                        frontier: Optional[np.ndarray] = None
@@ -179,6 +245,84 @@ class SubgraphStreamer:
                 rows_local=rows_in,
                 cols_local=dst - col_base,
                 edge_ids=edge_ids,
+            )
+
+    # ------------------------------------------------------------------
+    def iter_tile_batches(self, coefficients: np.ndarray,
+                          batch_size: int,
+                          frontier: Optional[np.ndarray] = None,
+                          fill_value: float = 0.0,
+                          combine: str = "add") -> Iterator[TileBatch]:
+        """Yield stacked ``(batch, S, S)`` dense crossbar blocks in
+        streaming order, built by one vectorised scatter per batch.
+
+        ``coefficients`` is aligned with the *original* edge order of
+        the graph's adjacency (like :attr:`Tile.edge_ids` indexing);
+        ``frontier`` restricts the scatter to edges from active sources
+        and drops crossbar tiles left empty, exactly like
+        :meth:`iter_subgraphs` drops subgraphs.  Duplicate coordinates
+        are merged by ``combine`` — ``"add"`` sums parallel edges (MAC
+        semantics, matching
+        :meth:`~repro.graph.coo.COOMatrix.to_dense`) and ``"min"``
+        keeps the lightest (relaxation semantics).  The ``dense`` block
+        of each yielded batch is a view into one reused scratch buffer
+        (initialised to ``fill_value``), so consumers must finish with
+        a batch before advancing the iterator.
+        """
+        if batch_size <= 0:
+            raise PartitionError("batch_size must be positive")
+        if combine not in ("add", "min"):
+            raise PartitionError(f"unknown combine mode {combine!r}")
+        values = np.asarray(coefficients, dtype=np.float64)[self._perm]
+        ordinals = self._cb_ordinal_of_edge
+        rows = self._row_in_tile
+        cols = self._col_in_crossbar
+        if frontier is not None:
+            frontier = np.asarray(frontier, dtype=bool)
+            if frontier.shape != (self.graph.num_vertices,):
+                raise PartitionError("frontier length must equal |V|")
+            keep = frontier[self._src]
+            values = values[keep]
+            rows = rows[keep]
+            cols = cols[keep]
+            active, ordinals = np.unique(ordinals[keep],
+                                         return_inverse=True)
+        else:
+            active = np.arange(self._cb_row_base.size, dtype=np.int64)
+        if active.size == 0:
+            return
+        row_bases = self._cb_row_base[active]
+        col_bases = self._cb_col_base[active]
+        # A subgraph "starts" at its first active crossbar; summing the
+        # per-batch start counts therefore counts each active subgraph
+        # exactly once, however batches split its crossbars.
+        subs = self._cb_subgraph[active]
+        sub_start = np.concatenate(([True], subs[1:] != subs[:-1]))
+        sub_starts_before = np.concatenate(([0], np.cumsum(sub_start)))
+        # Edges arrive sorted by streaming order, hence by ordinal:
+        # every batch of crossbar tiles owns one contiguous edge range.
+        counts = np.bincount(ordinals, minlength=active.size)
+        starts = np.concatenate(([0], np.cumsum(counts)))
+
+        s = self.config.crossbar_size
+        if self._batch_buffer is None or \
+                self._batch_buffer.shape[0] < min(batch_size, active.size):
+            self._batch_buffer = np.empty((batch_size, s, s))
+        scatter = np.add.at if combine == "add" else np.minimum.at
+        for base in range(0, active.size, batch_size):
+            stop = min(base + batch_size, active.size)
+            dense = self._batch_buffer[:stop - base]
+            dense.fill(fill_value)
+            span = slice(starts[base], starts[stop])
+            scatter(dense, (ordinals[span] - base, rows[span],
+                            cols[span]), values[span])
+            yield TileBatch(
+                dense=dense,
+                row_bases=row_bases[base:stop],
+                col_bases=col_bases[base:stop],
+                edges=int(starts[stop] - starts[base]),
+                subgraph_starts=int(sub_starts_before[stop]
+                                    - sub_starts_before[base]),
             )
 
     # ------------------------------------------------------------------

@@ -82,6 +82,7 @@ def load_mtx(path: Union[str, Path], name: str = "") -> Graph:
         rows: list[int] = []
         cols: list[int] = []
         values: list[float] = []
+        raw_entries = 0
         for line in fh:
             line = line.strip()
             if not line or line.startswith("%"):
@@ -100,6 +101,7 @@ def load_mtx(path: Union[str, Path], name: str = "") -> Graph:
                     )
                 value = float(parts[2])
             row, col = int(parts[0]) - 1, int(parts[1]) - 1
+            raw_entries += 1
             rows.append(row)
             cols.append(col)
             values.append(value)
@@ -108,10 +110,12 @@ def load_mtx(path: Union[str, Path], name: str = "") -> Graph:
                 cols.append(row)
                 values.append(value)
 
-    expected = nnz if symmetry == "general" else None
-    if expected is not None and len(rows) != expected:
+    # Validate against the size line *before* mirroring: symmetric
+    # files state the stored (lower-triangle) entry count, so a
+    # truncated file must fail here rather than load silently.
+    if raw_entries != nnz:
         raise GraphFormatError(
-            f"{path}: expected {expected} entries, found {len(rows)}"
+            f"{path}: expected {nnz} entries, found {raw_entries}"
         )
     n = max(n_rows, n_cols)
     coo = COOMatrix((n, n), rows, cols, values)

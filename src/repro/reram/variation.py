@@ -41,12 +41,15 @@ class VariationModel:
         ``(i, j)`` keeps ``1 - alpha * (i + j) / (2 * (S - 1))`` of its
         current — the standard first-order wire-resistance model.
     seed:
-        RNG seed for the programming variation draw.
+        Seed (int or :class:`numpy.random.SeedSequence`) for the
+        programming variation draw.  Callers that also draw read noise
+        should hand this model a spawned child sequence so the two
+        streams stay statistically independent.
     """
 
     programming_sigma: float = 0.0
     ir_drop_alpha: float = 0.0
-    seed: int = 0
+    seed: "int | np.random.SeedSequence" = 0
 
     def __post_init__(self) -> None:
         if self.programming_sigma < 0:
@@ -64,16 +67,33 @@ class VariationModel:
         levels = np.asarray(levels, dtype=np.float64)
         if levels.ndim != 2:
             raise DeviceError("levels must be a matrix")
-        out = levels.copy()
+        return levels * self.effective_gain(levels.shape)
+
+    def effective_levels_batch(self, levels: np.ndarray) -> np.ndarray:
+        """Batched :meth:`effective_levels` for ``(B, S, W)`` stacks.
+
+        Every tile in the batch sees the *same* per-cell gain field —
+        the model describes one physical array that each streamed tile
+        is programmed into, which is also what the per-tile path does
+        (each :meth:`effective_levels` call re-derives the field from
+        ``seed``), so batched and per-tile execution stay bit-equal.
+        """
+        levels = np.asarray(levels, dtype=np.float64)
+        if levels.ndim != 3:
+            raise DeviceError("batched levels must be (batch, rows, cols)")
+        return levels * self.effective_gain(levels.shape[1:])[None, :, :]
+
+    def effective_gain(self, shape: tuple[int, int]) -> np.ndarray:
+        """Combined per-cell gain (programming variation x IR drop)."""
+        gain = np.ones(shape)
         if self.programming_sigma > 0:
             rng = np.random.default_rng(self.seed)
-            factors = rng.lognormal(mean=0.0,
-                                    sigma=self.programming_sigma,
-                                    size=levels.shape)
-            out = out * factors
+            gain = gain * rng.lognormal(mean=0.0,
+                                        sigma=self.programming_sigma,
+                                        size=shape)
         if self.ir_drop_alpha > 0:
-            out = out * self.gain_map(levels.shape)
-        return out
+            gain = gain * self.gain_map(shape)
+        return gain
 
     def gain_map(self, shape: tuple[int, int]) -> np.ndarray:
         """Position-dependent IR-drop gain in ``(0, 1]`` per cell."""

@@ -74,6 +74,44 @@ class TestBatchRunner:
         assert runner.cache_stats()["stores"] == 0
         assert len(runner.cache) == 0
 
+    def test_functional_jobs_cache_bit_identical(self, tmp_path):
+        """Functional-mode runs (batched engine, seeded noise) must
+        round-trip the cache bit-exactly, and the batch size must not
+        leak into the results."""
+        config = GraphRConfig(mode="functional", noise_sigma=0.2,
+                              max_iterations=5)
+        job = Job("pagerank", "WV", config=config,
+                  run_kwargs={"max_iterations": 5})
+        first = BatchRunner(cache_dir=tmp_path)
+        fresh = first.run_jobs([job])[0]
+        assert fresh.ok and not fresh.from_cache
+        assert fresh.stats.extra["mode"] == "functional"
+
+        second = BatchRunner(cache_dir=tmp_path)
+        cached = second.run_jobs([job])[0]
+        assert cached.from_cache
+        assert cached.stats.to_dict() == fresh.stats.to_dict()
+
+        # A different batch size re-simulates (config key changes) but
+        # must land on bit-identical stats.
+        per_tile = BatchRunner(cache_dir=tmp_path).run_jobs([Job(
+            "pagerank", "WV",
+            config=config.with_overrides(functional_batch_size=0),
+            run_kwargs={"max_iterations": 5})])[0]
+        assert not per_tile.from_cache
+        assert per_tile.stats.to_dict() == fresh.stats.to_dict()
+
+    def test_parallel_functional_matches_serial(self):
+        config = GraphRConfig(mode="functional", max_iterations=3)
+        jobs = [Job("pagerank", "WV", config=config,
+                    run_kwargs={"max_iterations": 3}),
+                Job("bfs", "WV", config=config,
+                    run_kwargs={"source": 0})]
+        serial = BatchRunner().run_jobs(jobs)
+        parallel = BatchRunner(workers=2).run_jobs(jobs)
+        for s, p in zip(serial, parallel):
+            assert p.stats.to_dict() == s.stats.to_dict()
+
 
 class TestHarnessIntegration:
     CELLS = [("spmv", "WV"), ("bfs", "WV"), ("pagerank", "WV")]

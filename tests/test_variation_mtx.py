@@ -45,6 +45,20 @@ class TestVariationModel:
         assert VariationModel(ir_drop_alpha=0.3).gain_map((1, 1))[0, 0] \
             == 1.0
 
+    def test_batch_matches_per_tile_field(self):
+        """Every tile of a batch sees the same gain field the 2-D call
+        derives, so batched and per-tile execution stay bit-equal."""
+        model = VariationModel(programming_sigma=0.1, ir_drop_alpha=0.2,
+                               seed=3)
+        levels = np.arange(24, dtype=float).reshape(2, 3, 4)
+        batched = model.effective_levels_batch(levels)
+        for tile, expect in zip(levels, batched):
+            assert np.array_equal(model.effective_levels(tile), expect)
+
+    def test_batch_requires_three_dims(self):
+        with pytest.raises(DeviceError):
+            VariationModel().effective_levels_batch(np.zeros((2, 2)))
+
     def test_effective_levels_within_error_bound(self):
         model = VariationModel(programming_sigma=0.05,
                                ir_drop_alpha=0.1, seed=2)
@@ -150,6 +164,31 @@ class TestMatrixMarket:
         )
         with pytest.raises(GraphFormatError):
             load_mtx(path)
+
+    def test_truncated_symmetric_rejected(self, tmp_path):
+        """Symmetric files state the stored entry count; a truncated
+        file must fail the size-line check, not load silently."""
+        path = tmp_path / "short_sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "2 1 5.0\n"
+            "3 3 1.0\n"
+        )
+        with pytest.raises(GraphFormatError, match="expected 3 entries"):
+            load_mtx(path)
+
+    def test_symmetric_count_is_raw_not_mirrored(self, tmp_path):
+        """The size line counts stored entries, not the mirrored
+        expansion — a correct file keeps loading."""
+        path = tmp_path / "ok_sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 1.0\n"
+        )
+        assert load_mtx(path).num_edges == 3
 
     def test_comments_skipped(self, tmp_path):
         path = tmp_path / "c.mtx"
