@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.kernels import StreamKernel
 from repro.algorithms.vertex_program import (
     AlgorithmResult,
     IterationTrace,
@@ -19,7 +20,7 @@ from repro.algorithms.vertex_program import (
 from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
 
-__all__ = ["BFSProgram", "bfs_reference", "UNREACHABLE"]
+__all__ = ["BFSProgram", "BFSKernel", "bfs_reference", "UNREACHABLE"]
 
 #: Property value for unreached vertices — the paper's reserved maximum
 #: cell value ``M``.  2**16 - 1 is the 16-bit fixed-point ceiling.
@@ -51,14 +52,69 @@ class BFSProgram(VertexProgram):
         props[source] = 0.0
         return props
 
-    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+    def edge_coefficients(self, src: np.ndarray, values: np.ndarray,
+                          out_degrees: np.ndarray) -> np.ndarray:
         """Every present edge contributes 1 hop."""
+        return np.ones(len(src))
+
+    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+        """Whole-graph view of :meth:`edge_coefficients`."""
         return np.ones(graph.num_edges)
 
     def has_converged(self, old_properties: np.ndarray,
                       new_properties: np.ndarray, iteration: int) -> bool:
         """No level changed — the frontier died out."""
         return bool(np.array_equal(old_properties, new_properties))
+
+
+class BFSKernel(StreamKernel):
+    """:func:`bfs_reference`, one edge chunk at a time.
+
+    Level values are small integers, so chunked discovery is exactly
+    the reference's level-synchronous step: a vertex discovered by an
+    earlier chunk of the same pass would be re-assigned the same level
+    by later chunks anyway.
+    """
+
+    algorithm = "bfs"
+
+    def __init__(self, num_vertices: int, out_degrees: np.ndarray,
+                 source: int = 0, max_iterations: int = 0) -> None:
+        super().__init__(num_vertices)
+        n = self.num_vertices
+        if not 0 <= source < n:
+            raise GraphFormatError(f"source {source} out of range")
+        self._levels = np.full(n, UNREACHABLE)
+        self._levels[source] = 0.0
+        self.frontier = np.zeros(n, dtype=bool)
+        self.frontier[source] = True
+        self._limit = max_iterations if max_iterations > 0 else n + 1
+        self.trace = IterationTrace(frontiers=[])
+        self.values = self._levels
+
+    def begin_pass(self) -> None:
+        self._next = np.zeros(self.num_vertices, dtype=bool)
+        self._pass_edges = 0
+
+    def process_edges(self, src: np.ndarray, dst: np.ndarray,
+                      values: np.ndarray) -> None:
+        edge_mask = self.frontier[np.asarray(src)]
+        self._pass_edges += int(edge_mask.sum())
+        candidates = np.asarray(dst)[edge_mask]
+        fresh = candidates[self._levels[candidates] == UNREACHABLE]
+        self._levels[fresh] = float(self.iterations + 1)
+        self._next[fresh] = True
+
+    def end_pass(self) -> None:
+        self.iterations += 1
+        self.trace.record(vertices=int(self.frontier.sum()),
+                          edges=self._pass_edges,
+                          frontier=self.frontier)
+        self.frontier = self._next
+        self.values = self._levels
+        if not self.frontier.any() or self.iterations >= self._limit:
+            self.converged = not self.frontier.any()
+            self.finished = True
 
 
 def bfs_reference(graph: Graph, source: int = 0,

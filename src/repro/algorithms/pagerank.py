@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.algorithms.kernels import StreamKernel
 from repro.algorithms.vertex_program import (
     AlgorithmResult,
     IterationTrace,
@@ -22,7 +23,7 @@ from repro.algorithms.vertex_program import (
 )
 from repro.graph.graph import Graph
 
-__all__ = ["PageRankProgram", "pagerank_reference"]
+__all__ = ["PageRankProgram", "PageRankKernel", "pagerank_reference"]
 
 #: The paper's example uses r = 4/5; the standard damping is 0.85.
 DEFAULT_DAMPING = 0.85
@@ -54,16 +55,21 @@ class PageRankProgram(VertexProgram):
         n = graph.num_vertices
         return np.full(n, 1.0 / n)
 
-    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+    def edge_coefficients(self, src: np.ndarray, values: np.ndarray,
+                          out_degrees: np.ndarray) -> np.ndarray:
         """``r / outdeg(src)`` per edge — the entries of ``r * M``.
 
         Dangling sources (outdeg 0) contribute no edges, so no
         coefficient exists for them; their rank mass leaks, as in the
         paper's formulation.
         """
-        out_deg = graph.out_degrees().astype(np.float64)
-        src = np.asarray(graph.adjacency.rows)
-        return self.damping / out_deg[src]
+        out_deg = np.asarray(out_degrees).astype(np.float64)
+        return self.damping / out_deg[np.asarray(src)]
+
+    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+        """Whole-graph view of :meth:`edge_coefficients`."""
+        return self.edge_coefficients(graph.adjacency.rows, None,
+                                      graph.out_degrees())
 
     def apply(self, reduced: np.ndarray, old_properties: np.ndarray,
               graph: Graph) -> np.ndarray:
@@ -75,6 +81,63 @@ class PageRankProgram(VertexProgram):
         """L1 change below tolerance."""
         delta = float(np.abs(new_properties - old_properties).sum())
         return delta < self.tolerance
+
+
+class PageRankKernel(StreamKernel):
+    """:func:`pagerank_reference`, one edge chunk at a time.
+
+    Bit-identical to the reference on the same (streaming-ordered)
+    edge list: each pass gathers the same per-source contribution
+    vector and scatters it chunk by chunk in stream order.
+    """
+
+    algorithm = "pagerank"
+
+    def __init__(self, num_vertices: int, out_degrees: np.ndarray,
+                 damping: float = DEFAULT_DAMPING,
+                 tolerance: float = DEFAULT_TOLERANCE,
+                 max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                 raise_on_divergence: bool = False) -> None:
+        super().__init__(num_vertices)
+        self.damping = float(damping)
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.raise_on_divergence = bool(raise_on_divergence)
+        out_deg = np.asarray(out_degrees).astype(np.float64)
+        self._safe_deg = np.where(out_deg > 0, out_deg, 1.0)
+        self._rank = np.full(self.num_vertices, 1.0 / self.num_vertices)
+        self._teleport = (1.0 - self.damping) / self.num_vertices
+        self.finished = self.max_iterations < 1
+        self.values = self._rank
+
+    def begin_pass(self) -> None:
+        self._contrib = self.damping * self._rank / self._safe_deg
+        self._acc = np.full(self.num_vertices, self._teleport)
+        self._pass_edges = 0
+
+    def process_edges(self, src: np.ndarray, dst: np.ndarray,
+                      values: np.ndarray) -> None:
+        np.add.at(self._acc, np.asarray(dst),
+                  self._contrib[np.asarray(src)])
+        self._pass_edges += len(src)
+
+    def end_pass(self) -> None:
+        self.iterations += 1
+        self.trace.record(vertices=self.num_vertices,
+                          edges=self._pass_edges)
+        delta = float(np.abs(self._acc - self._rank).sum())
+        self._rank = self._acc
+        self.values = self._rank
+        if delta < self.tolerance:
+            self.converged = True
+            self.finished = True
+        elif self.iterations >= self.max_iterations:
+            self.finished = True
+            if self.raise_on_divergence:
+                raise ConvergenceError(
+                    f"PageRank did not converge in "
+                    f"{self.max_iterations} iterations"
+                )
 
 
 def pagerank_reference(

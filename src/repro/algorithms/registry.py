@@ -10,16 +10,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from repro.errors import ConfigError
+from repro.algorithms.kernels import StreamKernel
 from repro.algorithms.vertex_program import AlgorithmResult, VertexProgram
-from repro.algorithms.pagerank import PageRankProgram, pagerank_reference
-from repro.algorithms.bfs import BFSProgram, bfs_reference
-from repro.algorithms.sssp import SSSPProgram, sssp_reference
-from repro.algorithms.spmv import SpMVProgram, spmv_reference
+from repro.algorithms.pagerank import (PageRankKernel, PageRankProgram,
+                                       pagerank_reference)
+from repro.algorithms.bfs import BFSKernel, BFSProgram, bfs_reference
+from repro.algorithms.sssp import SSSPKernel, SSSPProgram, sssp_reference
+from repro.algorithms.spmv import SpMVKernel, SpMVProgram, spmv_reference
 from repro.algorithms.cf import CollaborativeFilteringProgram, cf_reference
-from repro.algorithms.wcc import WCCProgram, wcc_reference
+from repro.algorithms.wcc import WCCKernel, WCCProgram, wcc_reference
 from repro.graph.graph import Graph
 
-__all__ = ["get_program", "list_algorithms", "run_reference",
+__all__ = ["PROGRAM_INIT_KEYS", "get_program", "get_stream_kernel",
+           "list_algorithms", "resolve_program", "run_reference",
            "TABLE2_ROWS", "Table2Row"]
 
 
@@ -69,6 +72,30 @@ _REFERENCES: Dict[str, Callable[..., AlgorithmResult]] = {
 }
 
 
+_KERNELS: Dict[str, Callable[..., StreamKernel]] = {
+    "pagerank": PageRankKernel,
+    "bfs": BFSKernel,
+    "sssp": SSSPKernel,
+    "spmv": SpMVKernel,
+    "wcc": WCCKernel,
+}
+
+#: Run kwargs forwarded to ``initial_properties`` in functional mode
+#: (every deployment filters with the same tuple).
+PROGRAM_INIT_KEYS: Tuple[str, ...] = ("source", "x", "seed")
+
+#: Program-constructor keywords, per algorithm; everything else in a
+#: run's kwargs goes to the reference call only.
+_CTOR_KEYS: Dict[str, Tuple[str, ...]] = {
+    "pagerank": ("damping", "tolerance"),
+    "bfs": ("source",),
+    "sssp": ("source",),
+    "spmv": (),
+    "cf": ("features", "epochs"),
+    "wcc": (),
+}
+
+
 def list_algorithms() -> Tuple[str, ...]:
     """Names of every registered algorithm."""
     return tuple(_PROGRAMS)
@@ -83,6 +110,39 @@ def get_program(name: str, **kwargs) -> VertexProgram:
             f"unknown algorithm {name!r}; known: {', '.join(_PROGRAMS)}"
         )
     return _PROGRAMS[key](**kwargs)
+
+
+def resolve_program(algorithm, kwargs: Dict[str, object]):
+    """Split a run's kwargs into a constructed program + reference kwargs.
+
+    ``algorithm`` may be a registered name or a ready
+    :class:`VertexProgram`.  The program is built with its constructor
+    keywords (``features=64`` reaches the CF program, so cost charging
+    sees the same parameters the reference computes with); the full
+    kwargs are returned for the reference call, which accepts them all.
+    Returns ``(program, reference_kwargs)``.
+    """
+    if isinstance(algorithm, VertexProgram):
+        return algorithm, dict(kwargs)
+    ctor_keys = _CTOR_KEYS.get(algorithm.lower(), ())
+    ctor_kwargs = {k: v for k, v in kwargs.items() if k in ctor_keys}
+    return get_program(algorithm, **ctor_kwargs), dict(kwargs)
+
+
+def get_stream_kernel(name: str) -> Callable[..., StreamKernel]:
+    """The algorithm's chunked exact-kernel factory (out-of-core path).
+
+    Factories take ``(num_vertices, out_degrees, **reference_kwargs)``.
+    Algorithms without a streamable form (collaborative filtering's
+    matrix-valued properties) raise :class:`ConfigError`.
+    """
+    key = name.lower()
+    if key not in _KERNELS:
+        raise ConfigError(
+            f"{name!r} cannot run block-streamed out-of-core (no "
+            f"streamed kernel); available: {', '.join(_KERNELS)}"
+        )
+    return _KERNELS[key]
 
 
 def run_reference(name: str, graph: Graph, **kwargs) -> AlgorithmResult:

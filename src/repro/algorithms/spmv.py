@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.algorithms.kernels import StreamKernel
 from repro.algorithms.vertex_program import (
     AlgorithmResult,
     IterationTrace,
@@ -23,7 +24,7 @@ from repro.algorithms.vertex_program import (
 from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
 
-__all__ = ["SpMVProgram", "spmv_reference"]
+__all__ = ["SpMVProgram", "SpMVKernel", "spmv_reference"]
 
 
 class SpMVProgram(VertexProgram):
@@ -47,17 +48,62 @@ class SpMVProgram(VertexProgram):
             )
         return x
 
-    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+    def edge_coefficients(self, src: np.ndarray, values: np.ndarray,
+                          out_degrees: np.ndarray) -> np.ndarray:
         """``E.weight / outdeg(src)`` per edge."""
-        out_deg = graph.out_degrees().astype(np.float64)
-        src = np.asarray(graph.adjacency.rows)
-        weights = np.asarray(graph.adjacency.values, dtype=np.float64)
-        return weights / out_deg[src]
+        out_deg = np.asarray(out_degrees).astype(np.float64)
+        weights = np.asarray(values, dtype=np.float64)
+        return weights / out_deg[np.asarray(src)]
+
+    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+        """Whole-graph view of :meth:`edge_coefficients`."""
+        return self.edge_coefficients(graph.adjacency.rows,
+                                      graph.adjacency.values,
+                                      graph.out_degrees())
 
     def has_converged(self, old_properties: np.ndarray,
                       new_properties: np.ndarray, iteration: int) -> bool:
         """SpMV is a single pass."""
         return True
+
+
+class SpMVKernel(StreamKernel):
+    """:func:`spmv_reference`, one edge chunk at a time (single pass)."""
+
+    algorithm = "spmv"
+
+    def __init__(self, num_vertices: int, out_degrees: np.ndarray,
+                 x: Optional[np.ndarray] = None) -> None:
+        super().__init__(num_vertices)
+        n = self.num_vertices
+        if x is None:
+            x = np.ones(n)
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (n,):
+            raise GraphFormatError(f"x length {x.shape} != {n} vertices")
+        self._x = x
+        out_deg = np.asarray(out_degrees).astype(np.float64)
+        self._safe_deg = np.where(out_deg > 0, out_deg, 1.0)
+
+    def begin_pass(self) -> None:
+        self._y = np.zeros(self.num_vertices)
+        self._pass_edges = 0
+
+    def process_edges(self, src: np.ndarray, dst: np.ndarray,
+                      values: np.ndarray) -> None:
+        src = np.asarray(src)
+        weights = np.asarray(values, dtype=np.float64)
+        np.add.at(self._y, np.asarray(dst),
+                  weights / self._safe_deg[src] * self._x[src])
+        self._pass_edges += len(src)
+
+    def end_pass(self) -> None:
+        self.iterations = 1
+        self.trace.record(vertices=self.num_vertices,
+                          edges=self._pass_edges)
+        self.values = self._y
+        self.converged = True
+        self.finished = True
 
 
 def spmv_reference(graph: Graph,

@@ -18,6 +18,7 @@ import heapq
 
 import numpy as np
 
+from repro.algorithms.kernels import StreamKernel
 from repro.algorithms.vertex_program import (
     AlgorithmResult,
     IterationTrace,
@@ -27,7 +28,8 @@ from repro.algorithms.vertex_program import (
 from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
 
-__all__ = ["SSSPProgram", "sssp_reference", "dijkstra_reference", "INFINITY"]
+__all__ = ["SSSPProgram", "SSSPKernel", "sssp_reference",
+           "dijkstra_reference", "INFINITY"]
 
 #: Reserved "no edge / unreached" value — the paper's cell maximum ``M``.
 INFINITY = float((1 << 16) - 1)
@@ -58,17 +60,79 @@ class SSSPProgram(VertexProgram):
         dist[source] = 0.0
         return dist
 
-    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+    def edge_coefficients(self, src: np.ndarray, values: np.ndarray,
+                          out_degrees: np.ndarray) -> np.ndarray:
         """The edge weight ``w(u, v)`` is the crossbar cell content."""
-        weights = np.asarray(graph.adjacency.values, dtype=np.float64)
+        weights = np.asarray(values, dtype=np.float64)
         if weights.size and weights.min() < 0:
             raise GraphFormatError("SSSP requires non-negative edge weights")
         return weights
+
+    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+        """Whole-graph view of :meth:`edge_coefficients`."""
+        return self.edge_coefficients(graph.adjacency.rows,
+                                      graph.adjacency.values, None)
 
     def has_converged(self, old_properties: np.ndarray,
                       new_properties: np.ndarray, iteration: int) -> bool:
         """No distance label changed anywhere."""
         return bool(np.array_equal(old_properties, new_properties))
+
+
+class SSSPKernel(StreamKernel):
+    """:func:`sssp_reference`, one edge chunk at a time.
+
+    ``minimum.at`` is order-independent, so chunked relaxation against
+    the pass-shared ``proposed`` vector is exactly the reference's
+    min-scatter.
+    """
+
+    algorithm = "sssp"
+
+    def __init__(self, num_vertices: int, out_degrees: np.ndarray,
+                 source: int = 0, max_iterations: int = 0) -> None:
+        super().__init__(num_vertices)
+        n = self.num_vertices
+        if not 0 <= source < n:
+            raise GraphFormatError(f"source {source} out of range")
+        self._dist = np.full(n, INFINITY)
+        self._dist[source] = 0.0
+        self.frontier = np.zeros(n, dtype=bool)
+        self.frontier[source] = True
+        self._limit = max_iterations if max_iterations > 0 else n + 1
+        self.trace = IterationTrace(frontiers=[])
+        self.values = self._dist
+
+    def begin_pass(self) -> None:
+        self._proposed = self._dist.copy()
+        self._pass_edges = 0
+
+    def process_edges(self, src: np.ndarray, dst: np.ndarray,
+                      values: np.ndarray) -> None:
+        src = np.asarray(src)
+        weights = np.asarray(values, dtype=np.float64)
+        if weights.size and weights.min() < 0:
+            raise GraphFormatError(
+                "SSSP requires non-negative edge weights")
+        edge_mask = self.frontier[src]
+        self._pass_edges += int(edge_mask.sum())
+        relax_src = src[edge_mask]
+        relax_dst = np.asarray(dst)[edge_mask]
+        candidate = self._dist[relax_src] + weights[edge_mask]
+        np.minimum.at(self._proposed, relax_dst, candidate)
+
+    def end_pass(self) -> None:
+        self.iterations += 1
+        self.trace.record(vertices=int(self.frontier.sum()),
+                          edges=self._pass_edges,
+                          frontier=self.frontier)
+        improved = self._proposed < self._dist
+        self._dist = self._proposed
+        self.frontier = improved
+        self.values = self._dist
+        if not self.frontier.any() or self.iterations >= self._limit:
+            self.converged = not self.frontier.any()
+            self.finished = True
 
 
 def sssp_reference(graph: Graph, source: int = 0,

@@ -33,6 +33,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.errors import MappingError
 from repro.graph.graph import Graph
 
 __all__ = ["MappingPattern", "IterationTrace", "AlgorithmResult",
@@ -139,6 +140,22 @@ class VertexProgram(ABC):
         parallel-MAC programs this is the multiplier of ``V.prop``; for
         parallel-add-op programs it is the addend (edge weight).
         """
+
+    def edge_coefficients(self, src: np.ndarray, values: np.ndarray,
+                          out_degrees: np.ndarray) -> np.ndarray:
+        """Per-edge coefficients from raw edge arrays.
+
+        The partitioned-execution layer (out-of-core blocks, cluster
+        stripes) computes coefficients one edge chunk at a time from
+        the chunk's source ids / weights plus the *global* out-degree
+        vector, so no deployment ever needs the whole edge list in
+        memory.  Must agree elementwise with
+        :meth:`crossbar_coefficient` — programs implement this and
+        derive ``crossbar_coefficient`` from it.
+        """
+        raise MappingError(
+            f"{self.name} has no streamed coefficient computation"
+        )
 
     def source_input(self, properties: np.ndarray, graph: Graph) -> np.ndarray:
         """Value driven on the wordline for each source vertex.

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.kernels import StreamKernel
 from repro.algorithms.vertex_program import (
     AlgorithmResult,
     IterationTrace,
@@ -25,7 +26,7 @@ from repro.algorithms.vertex_program import (
 from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
 
-__all__ = ["WCCProgram", "wcc_reference", "component_sizes"]
+__all__ = ["WCCProgram", "WCCKernel", "wcc_reference", "component_sizes"]
 
 
 class WCCProgram(VertexProgram):
@@ -52,9 +53,68 @@ class WCCProgram(VertexProgram):
             )
         return np.arange(graph.num_vertices, dtype=np.float64)
 
-    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+    def edge_coefficients(self, src: np.ndarray, values: np.ndarray,
+                          out_degrees: np.ndarray) -> np.ndarray:
         """Addend zero: the label passes through unchanged."""
+        return np.zeros(len(src))
+
+    def crossbar_coefficient(self, graph: Graph) -> np.ndarray:
+        """Whole-graph view of :meth:`edge_coefficients`."""
         return np.zeros(graph.num_edges)
+
+
+class WCCKernel(StreamKernel):
+    """:func:`wcc_reference`, one edge chunk at a time.
+
+    ``symmetrize`` relaxes each directed chunk edge in both directions
+    instead of materialising the mirrored edge set — min-label
+    propagation is duplicate-insensitive, so labels, frontiers and
+    iteration counts match the reference exactly (the per-pass trace
+    ``edges`` counts directed active edges, which is what the cost
+    model streams).
+    """
+
+    algorithm = "wcc"
+
+    def __init__(self, num_vertices: int, out_degrees: np.ndarray,
+                 symmetrize: bool = True, max_iterations: int = 0) -> None:
+        super().__init__(num_vertices)
+        n = self.num_vertices
+        self._symmetrize = bool(symmetrize)
+        self._labels = np.arange(n, dtype=np.float64)
+        self.frontier = np.ones(n, dtype=bool)
+        self._limit = max_iterations if max_iterations > 0 else n + 1
+        self.trace = IterationTrace(frontiers=[])
+        self.values = self._labels
+
+    def begin_pass(self) -> None:
+        self._proposed = self._labels.copy()
+        self._pass_edges = 0
+
+    def process_edges(self, src: np.ndarray, dst: np.ndarray,
+                      values: np.ndarray) -> None:
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        mask = self.frontier[src]
+        self._pass_edges += int(mask.sum())
+        np.minimum.at(self._proposed, dst[mask], self._labels[src[mask]])
+        if self._symmetrize:
+            back = self.frontier[dst]
+            np.minimum.at(self._proposed, src[back],
+                          self._labels[dst[back]])
+
+    def end_pass(self) -> None:
+        self.iterations += 1
+        self.trace.record(vertices=int(self.frontier.sum()),
+                          edges=self._pass_edges,
+                          frontier=self.frontier)
+        improved = self._proposed < self._labels
+        self._labels = self._proposed
+        self.frontier = improved
+        self.values = self._labels
+        if not self.frontier.any() or self.iterations >= self._limit:
+            self.converged = not self.frontier.any()
+            self.finished = True
 
 
 def wcc_reference(graph: Graph, symmetrize: bool = True,

@@ -16,7 +16,11 @@ Commands
 
 ``run`` and ``figures`` accept ``--workers N`` (process-pool size) and
 ``--cache-dir PATH`` (persistent result cache); ``run``, ``batch`` and
-``datasets`` accept ``--json`` for machine-consumable output.
+``datasets`` accept ``--json`` for machine-consumable output.  ``run``
+also picks the deployment scenario: ``--deployment
+single|out-of-core|multi-node`` with ``--block-size`` (out-of-core
+``B``) and ``--num-nodes`` (cluster size); ``batch`` job files carry
+the same ``deployment`` object per entry for deployment-grid sweeps.
 """
 
 from __future__ import annotations
@@ -60,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-size", type=int, default=None,
                      help="subgraph tiles per batched functional "
                           "engine call (0 = per-tile loop)")
+    run.add_argument("--deployment", default=None,
+                     choices=["single", "out-of-core", "multi-node"],
+                     help="GraphR deployment scenario (default: "
+                          "in-memory single node)")
+    run.add_argument("--num-nodes", type=int, default=4,
+                     help="cluster size for --deployment multi-node")
+    run.add_argument("--block-size", type=int, default=None,
+                     help="out-of-core block size B in vertices "
+                          "(default: the whole graph as one block)")
     _add_runtime_flags(run)
     run.add_argument("--json", action="store_true",
                      help="print the run's stats as JSON")
@@ -111,7 +124,8 @@ def _run_command(args: argparse.Namespace) -> int:
         kwargs["epochs"] = args.epochs
 
     config = None
-    if args.mode is not None or args.batch_size is not None:
+    if args.mode is not None or args.batch_size is not None \
+            or args.block_size is not None:
         from repro.core.config import GraphRConfig
         # Seed from the runtime's analytic-mode default so that
         # --batch-size alone tunes the batch without silently flipping
@@ -119,11 +133,20 @@ def _run_command(args: argparse.Namespace) -> int:
         overrides: dict = {"mode": args.mode or "analytic"}
         if args.batch_size is not None:
             overrides["functional_batch_size"] = args.batch_size
+        if args.block_size is not None:
+            overrides["block_size"] = args.block_size
         config = GraphRConfig(**overrides)
+
+    deployment = None
+    if args.deployment is not None:
+        from repro.core.partitioned import DeploymentSpec
+        deployment = DeploymentSpec(kind=args.deployment,
+                                    num_nodes=args.num_nodes)
 
     runner = _batch_runner(args)
     stats = runner.run(args.algorithm, args.dataset,
-                       platform=args.platform, config=config, **kwargs)
+                       platform=args.platform, config=config,
+                       deployment=deployment, **kwargs)
     if args.json:
         print(json.dumps(stats_to_dict(stats), indent=2))
         return 0

@@ -19,7 +19,13 @@ from repro.core.cost import CostModel, IterationEvents
 from repro.core.registers import RegisterFile
 from repro.core.engine import GraphEngine
 from repro.core.streaming import SubgraphStreamer, Tile, TileBatch
-from repro.core.accelerator import GraphR
+from repro.core.accelerator import GraphR, choose_execution_mode
+from repro.core.partitioned import (
+    DeploymentSpec,
+    GraphPartition,
+    PartitionedFunctionalRunner,
+    partition_by_destination,
+)
 from repro.core.multinode import MultiNodeConfig, MultiNodeGraphR
 from repro.core.outofcore import (
     BlockManifest,
@@ -43,6 +49,11 @@ __all__ = [
     "BlockManifest",
     "OutOfCoreRunner",
     "prepare_on_disk",
+    "DeploymentSpec",
+    "GraphPartition",
+    "PartitionedFunctionalRunner",
+    "partition_by_destination",
+    "choose_execution_mode",
     "MultiNodeConfig",
     "MultiNodeGraphR",
     "GraphRConfig",

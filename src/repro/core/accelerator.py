@@ -16,14 +16,24 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
-from repro.algorithms.registry import get_program
+from repro.algorithms.registry import PROGRAM_INIT_KEYS, resolve_program
 from repro.algorithms.vertex_program import AlgorithmResult, VertexProgram
 from repro.core.config import GraphRConfig
 from repro.core.controller import Controller
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
 
-__all__ = ["GraphR"]
+__all__ = ["GraphR", "choose_execution_mode", "config_summary"]
+
+
+def config_summary(config: GraphRConfig):
+    """The geometry keys every GraphR run reports in ``stats.extra``."""
+    return {
+        "crossbar_size": config.crossbar_size,
+        "crossbars_per_ge": config.crossbars_per_ge,
+        "num_ges": config.num_ges,
+        "slices": config.slices,
+    }
 
 #: Auto-mode iteration estimate for active-list (add-op) algorithms:
 #: frontier-driven runs touch each subgraph for a handful of sweeps in
@@ -32,16 +42,31 @@ __all__ = ["GraphR"]
 #: their functional cost by orders of magnitude.
 _ACTIVE_LIST_SWEEPS = 4
 
-#: Program-constructor keywords, per algorithm, that ``run`` forwards to
-#: the program instance rather than the reference call.
-_CTOR_KEYS = {
-    "pagerank": ("damping", "tolerance"),
-    "bfs": ("source",),
-    "sssp": ("source",),
-    "spmv": (),
-    "cf": ("features", "epochs"),
-    "wcc": (),
-}
+
+def choose_execution_mode(config: GraphRConfig, program: VertexProgram,
+                          nonempty_subgraphs: int,
+                          max_iterations: Optional[int] = None) -> str:
+    """Resolve ``mode="auto"``: functional when the projected tile x
+    iteration work fits the budget.
+
+    Dense-sweep (MAC) programs stream every non-empty subgraph each
+    iteration; active-list programs only stream subgraphs with active
+    sources, whose total across a run is a few sweeps of the graph
+    (``_ACTIVE_LIST_SWEEPS``) rather than ``max_iterations``-many.
+    Every deployment (single node, out-of-core, multi-node) picks the
+    same way, from its own non-empty subgraph count.
+    """
+    if program.name == "cf":
+        return "analytic"
+    iterations = max_iterations or config.max_iterations
+    if program.needs_active_list:
+        projected = nonempty_subgraphs * min(iterations,
+                                             _ACTIVE_LIST_SWEEPS)
+    else:
+        projected = nonempty_subgraphs * iterations
+    if projected <= config.functional_tile_budget:
+        return "functional"
+    return "analytic"
 
 
 class GraphR:
@@ -74,14 +99,7 @@ class GraphR:
         (AlgorithmResult, RunStats)
             The computed values plus simulated time/energy.
         """
-        if isinstance(algorithm, VertexProgram):
-            program = algorithm
-            reference_kwargs = dict(kwargs)
-        else:
-            ctor_keys = _CTOR_KEYS.get(algorithm.lower(), ())
-            ctor_kwargs = {k: v for k, v in kwargs.items() if k in ctor_keys}
-            program = get_program(algorithm, **ctor_kwargs)
-            reference_kwargs = dict(kwargs)
+        program, reference_kwargs = resolve_program(algorithm, kwargs)
 
         controller = Controller(self.config, graph, program)
         max_iterations = kwargs.get("max_iterations")
@@ -90,42 +108,21 @@ class GraphR:
             chosen = self._pick_mode(controller, program, max_iterations)
         if chosen == "functional":
             program_kwargs = {k: v for k, v in kwargs.items()
-                              if k in ("source", "x", "seed")}
+                              if k in PROGRAM_INIT_KEYS}
             result, stats = controller.run_functional(
                 max_iterations=max_iterations, **program_kwargs)
         else:
             result, stats = controller.run_analytic(**reference_kwargs)
-        stats.extra["config"] = {
-            "crossbar_size": self.config.crossbar_size,
-            "crossbars_per_ge": self.config.crossbars_per_ge,
-            "num_ges": self.config.num_ges,
-            "slices": self.config.slices,
-        }
+        stats.extra["config"] = config_summary(self.config)
         return result, stats
 
     def _pick_mode(self, controller: Controller, program: VertexProgram,
                    max_iterations: Optional[int] = None) -> str:
-        """Functional when the projected tile x iteration work fits the
-        budget.
-
-        Dense-sweep (MAC) programs stream every non-empty subgraph each
-        iteration; active-list programs only stream subgraphs with
-        active sources, whose total across a run is a few sweeps of the
-        graph (``_ACTIVE_LIST_SWEEPS``) rather than
-        ``max_iterations``-many.
-        """
-        if program.name == "cf":
-            return "analytic"
-        iterations = max_iterations or self.config.max_iterations
-        per_iteration = controller.streamer.num_nonempty_subgraphs
-        if program.needs_active_list:
-            projected = per_iteration * min(iterations,
-                                            _ACTIVE_LIST_SWEEPS)
-        else:
-            projected = per_iteration * iterations
-        if projected <= self.config.functional_tile_budget:
-            return "functional"
-        return "analytic"
+        """Resolve ``auto`` from this run's streamer (see
+        :func:`choose_execution_mode`)."""
+        return choose_execution_mode(
+            self.config, program,
+            controller.streamer.num_nonempty_subgraphs, max_iterations)
 
     def __repr__(self) -> str:
         cfg = self.config

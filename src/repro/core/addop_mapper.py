@@ -15,6 +15,11 @@ into ``(batch, S, S)`` blocks for
 runs the bit-identical per-tile loop.  Parallel edges merge with
 ``min`` in both paths — the lightest of two parallel relaxations is
 the one that survives the comparator anyway.
+
+:func:`run_addop_scan` is the tile loop alone, folding into a
+caller-provided padded register; the partitioned-execution layer runs
+one scan per partition of the same pass, so partitioned and
+whole-graph iterations execute the identical tile stream.
 """
 
 from __future__ import annotations
@@ -29,37 +34,29 @@ from repro.core.engine import GraphEngine
 from repro.core.streaming import SubgraphStreamer
 from repro.graph.graph import Graph
 
-__all__ = ["run_addop_iteration"]
+__all__ = ["run_addop_iteration", "run_addop_scan"]
 
 
-def run_addop_iteration(
+def run_addop_scan(
     streamer: SubgraphStreamer,
     engine: GraphEngine,
-    program: VertexProgram,
-    graph: Graph,
-    properties: np.ndarray,
+    padded_dist: np.ndarray,
+    accum: np.ndarray,
     coefficients: np.ndarray,
+    absent: float,
     frontier: Optional[np.ndarray] = None,
     batch_size: Optional[int] = None,
-) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
-    """Execute one parallel-add-op iteration functionally.
+) -> IterationEvents:
+    """Stream one graph (or partition) of add-op tiles into ``accum``.
 
-    Returns ``(new_properties, changed_mask, events)``; the changed
-    mask is the next iteration's frontier (the paper's active
-    indicators).
+    ``padded_dist`` holds the pass's (old) source values and ``accum``
+    the folded candidates, both padded to ``padded_vertices +
+    tile_cols``; convergence/frontier bookkeeping is the caller's job.
     """
     cfg = streamer.config
     s = cfg.crossbar_size
-    n = graph.num_vertices
-    absent = float(program.reduce_identity)
-    padded = streamer.ordering.padded_vertices
     if batch_size is None:
         batch_size = cfg.functional_batch_size
-
-    padded_dist = np.full(padded + cfg.tile_cols, absent)
-    padded_dist[:n] = properties
-    accum = np.full(padded + cfg.tile_cols, absent)
-    accum[:n] = properties
 
     events = IterationEvents()
     all_rows = np.arange(s)
@@ -92,6 +89,39 @@ def run_addop_iteration(
             events.merge(tile_events)
             events.edges += batch.edges
             events.subgraphs += batch.subgraph_starts
+    events.addop = True
+    return events
+
+
+def run_addop_iteration(
+    streamer: SubgraphStreamer,
+    engine: GraphEngine,
+    program: VertexProgram,
+    graph: Graph,
+    properties: np.ndarray,
+    coefficients: np.ndarray,
+    frontier: Optional[np.ndarray] = None,
+    batch_size: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
+    """Execute one parallel-add-op iteration functionally.
+
+    Returns ``(new_properties, changed_mask, events)``; the changed
+    mask is the next iteration's frontier (the paper's active
+    indicators).
+    """
+    cfg = streamer.config
+    n = graph.num_vertices
+    absent = float(program.reduce_identity)
+    padded = streamer.ordering.padded_vertices
+
+    padded_dist = np.full(padded + cfg.tile_cols, absent)
+    padded_dist[:n] = properties
+    accum = np.full(padded + cfg.tile_cols, absent)
+    accum[:n] = properties
+
+    events = run_addop_scan(streamer, engine, padded_dist, accum,
+                            coefficients, absent, frontier=frontier,
+                            batch_size=batch_size)
 
     new_properties = accum[:n]
     changed = new_properties < properties

@@ -17,25 +17,18 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-import numpy as np
-
 from repro.algorithms.registry import run_reference
-from repro.algorithms.vertex_program import (
-    AlgorithmResult,
-    IterationTrace,
-    MappingPattern,
-    VertexProgram,
-)
-from repro.core.addop_mapper import run_addop_iteration
+from repro.algorithms.vertex_program import AlgorithmResult, VertexProgram
 from repro.core.config import GraphRConfig
 from repro.core.cost import CostModel
-from repro.core.engine import GraphEngine
-from repro.core.mac_mapper import run_mac_iteration
+from repro.core.partitioned import (
+    GraphPartition,
+    PartitionedFunctionalRunner,
+    engine_for_program,
+)
 from repro.core.streaming import SubgraphStreamer
-from repro.errors import MappingError
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
-from repro.reram.fixed_point import FixedPointFormat
 
 __all__ = ["Controller"]
 
@@ -50,17 +43,7 @@ class Controller:
         self.program = program
         self.streamer = SubgraphStreamer(graph, config)
         self.cost = CostModel(config)
-        if program.pattern is MappingPattern.PARALLEL_MAC:
-            # Probability-style programs get maximal fractional
-            # precision; general MAC programs need integer range for
-            # weighted coefficients.
-            frac = (config.data_bits - 1
-                    if program.unit_interval_coefficients
-                    else config.frac_bits)
-            fmt = FixedPointFormat(config.data_bits, frac)
-        else:
-            fmt = FixedPointFormat(config.data_bits, 0)
-        self.engine = GraphEngine(config, coeff_fmt=fmt, input_fmt=fmt)
+        self.engine = engine_for_program(config, program)
 
     # ------------------------------------------------------------------
     def run_functional(self, max_iterations: Optional[int] = None,
@@ -71,78 +54,40 @@ class Controller:
         ``max_iterations`` overrides the config's iteration budget for
         this run (the same knob ``run_kwargs`` gives the analytic
         reference), so both modes honour a job's budget identically.
+        The loop itself is the shared partitioned one, driven with a
+        single whole-graph partition — out-of-core and multi-node
+        deployments execute the identical code, which is what keeps
+        them bit-identical to this path by construction.
         """
         program = self.program
         graph = self.graph
-        budget = (self.config.max_iterations if max_iterations is None
-                  else max_iterations)
-        if program.name == "cf":
-            raise MappingError(
-                "collaborative filtering has matrix-valued properties; "
-                "use analytic mode"
-            )
         stats = RunStats(platform="graphr", algorithm=program.name,
                          dataset=graph.name)
         stats.seconds += self.config.setup_overhead_s
         stats.latency.add("setup", self.config.setup_overhead_s)
-        coefficients = program.crossbar_coefficient(graph)
-        properties = program.initial_properties(graph, **program_kwargs)
-        frontier: Optional[np.ndarray] = None
-        if program.needs_active_list:
-            frontier = properties != program.reduce_identity
 
-        trace = IterationTrace(
-            frontiers=[] if program.needs_active_list else None)
-        converged = False
-        iterations = 0
-        for iteration in range(1, budget + 1):
-            if program.needs_active_list and not frontier.any():
-                converged = True
-                break
-            iterations = iteration
-            new_props, changed, events = self._run_one(
-                properties, coefficients, frontier)
-            stats.seconds += self.cost.charge_iteration(
-                events, stats.energy, stats.latency)
-            trace.record(
-                vertices=(int(frontier.sum()) if frontier is not None
-                          else graph.num_vertices),
-                edges=events.edges,
-                frontier=frontier if program.needs_active_list else None,
-            )
-            done = program.has_converged(properties, new_props, iteration)
-            properties = new_props
-            if program.needs_active_list:
-                frontier = changed
-                done = not changed.any()
-            if done:
-                converged = True
-                break
-        stats.iterations = iterations
+        whole = GraphPartition(index=0, graph=graph,
+                               streamer=self.streamer,
+                               col_lo=0, col_hi=graph.num_vertices)
+        runner = PartitionedFunctionalRunner(
+            self.config, program, graph.num_vertices,
+            graph_view=graph, out_degrees=graph.out_degrees(),
+            partitions=lambda: (whole,), engine=self.engine,
+            persistent_partitions=True)
+
+        def charge(merged, per_partition) -> float:
+            seconds = self.cost.charge_iteration(merged, stats.energy,
+                                                 stats.latency)
+            stats.seconds += seconds
+            return seconds
+
+        result, _ = runner.run(charge, max_iterations=max_iterations,
+                               **program_kwargs)
+        stats.iterations = result.iterations
         stats.extra["mode"] = "functional"
         stats.extra["nonempty_subgraphs"] = self.streamer.num_nonempty_subgraphs
         stats.extra["subgraph_slots"] = self.streamer.total_subgraph_slots
-        result = AlgorithmResult(
-            algorithm=program.name,
-            values=properties,
-            iterations=iterations,
-            converged=converged,
-            trace=trace,
-        )
         return result, stats
-
-    def _run_one(self, properties: np.ndarray, coefficients: np.ndarray,
-                 frontier: Optional[np.ndarray]):
-        """Dispatch one iteration to the pattern's mapper."""
-        if self.program.pattern is MappingPattern.PARALLEL_MAC:
-            return run_mac_iteration(self.streamer, self.engine,
-                                     self.program, self.graph,
-                                     properties, coefficients,
-                                     frontier=None)
-        return run_addop_iteration(self.streamer, self.engine,
-                                   self.program, self.graph,
-                                   properties, coefficients,
-                                   frontier=frontier)
 
     # ------------------------------------------------------------------
     def run_analytic(self, **reference_kwargs) -> Tuple[AlgorithmResult,
@@ -161,7 +106,8 @@ class Controller:
         if program.needs_active_list and result.trace.frontiers:
             for frontier in result.trace.frontiers:
                 events = self.streamer.iteration_events(
-                    program.pattern, frontier=frontier)
+                    program.pattern, frontier=frontier,
+                    work_factor=work_factor)
                 stats.seconds += self.cost.charge_iteration(
                     events, stats.energy, stats.latency)
         else:

@@ -13,6 +13,12 @@ selects the per-tile reference loop, which walks the same crossbar
 stream one tile at a time.  Both paths are bit-identical — same
 scatter combine, same einsum reduction, same RNG draw order — which
 the unit suite asserts.
+
+:func:`run_mac_scan` is the tile loop alone, accumulating into a
+caller-provided padded register: the partitioned-execution layer runs
+one scan per partition (disk block, cluster stripe) of the same pass
+and applies once at the end, so partitioned and whole-graph iterations
+execute the identical tile stream.
 """
 
 from __future__ import annotations
@@ -27,42 +33,28 @@ from repro.core.engine import GraphEngine
 from repro.core.streaming import SubgraphStreamer
 from repro.graph.graph import Graph
 
-__all__ = ["run_mac_iteration"]
+__all__ = ["run_mac_iteration", "run_mac_scan"]
 
 
-def run_mac_iteration(
+def run_mac_scan(
     streamer: SubgraphStreamer,
     engine: GraphEngine,
-    program: VertexProgram,
-    graph: Graph,
-    properties: np.ndarray,
+    padded_inputs: np.ndarray,
+    accum: np.ndarray,
     coefficients: np.ndarray,
     frontier: Optional[np.ndarray] = None,
     batch_size: Optional[int] = None,
-) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
-    """Execute one parallel-MAC iteration functionally.
+) -> IterationEvents:
+    """Stream one graph (or partition) of MAC tiles into ``accum``.
 
-    Parameters
-    ----------
-    coefficients:
-        Per-edge crossbar coefficients, aligned with the *original*
-        edge order of ``graph.adjacency`` (``tile.edge_ids`` indexes
-        into it).  Duplicate edges sum into their shared cell, matching
-        :meth:`~repro.graph.coo.COOMatrix.to_dense`.
-    batch_size:
-        Tiles per batched engine call; ``None`` reads the config's
-        ``functional_batch_size`` and ``0`` runs the per-tile loop.
-
-    Returns ``(new_properties, changed_mask, events)``.
+    ``padded_inputs`` and ``accum`` are padded property registers of
+    length ``padded_vertices + tile_cols`` shared across every scan of
+    the same pass; the per-vertex ``apply`` step is the caller's job.
+    Returns the scan's tile/edge events (``scanned_edges`` and
+    ``apply_ops`` are pass-level quantities the caller charges).
     """
     cfg = streamer.config
     s = cfg.crossbar_size
-    n = graph.num_vertices
-    padded = streamer.ordering.padded_vertices
-    # Pad once so tiles at the matrix edge slice uniformly.
-    padded_inputs = np.zeros(padded + cfg.tile_cols)
-    padded_inputs[:n] = program.source_input(properties, graph)
-    accum = np.zeros(padded + cfg.tile_cols)
     if batch_size is None:
         batch_size = cfg.functional_batch_size
 
@@ -93,6 +85,45 @@ def run_mac_iteration(
             events.merge(tile_events)
             events.edges += batch.edges
             events.subgraphs += batch.subgraph_starts
+    return events
+
+
+def run_mac_iteration(
+    streamer: SubgraphStreamer,
+    engine: GraphEngine,
+    program: VertexProgram,
+    graph: Graph,
+    properties: np.ndarray,
+    coefficients: np.ndarray,
+    frontier: Optional[np.ndarray] = None,
+    batch_size: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, IterationEvents]:
+    """Execute one parallel-MAC iteration functionally.
+
+    Parameters
+    ----------
+    coefficients:
+        Per-edge crossbar coefficients, aligned with the *original*
+        edge order of ``graph.adjacency`` (``tile.edge_ids`` indexes
+        into it).  Duplicate edges sum into their shared cell, matching
+        :meth:`~repro.graph.coo.COOMatrix.to_dense`.
+    batch_size:
+        Tiles per batched engine call; ``None`` reads the config's
+        ``functional_batch_size`` and ``0`` runs the per-tile loop.
+
+    Returns ``(new_properties, changed_mask, events)``.
+    """
+    cfg = streamer.config
+    n = graph.num_vertices
+    padded = streamer.ordering.padded_vertices
+    # Pad once so tiles at the matrix edge slice uniformly.
+    padded_inputs = np.zeros(padded + cfg.tile_cols)
+    padded_inputs[:n] = program.source_input(properties, graph)
+    accum = np.zeros(padded + cfg.tile_cols)
+
+    events = run_mac_scan(streamer, engine, padded_inputs, accum,
+                          coefficients, frontier=frontier,
+                          batch_size=batch_size)
 
     new_properties = program.apply(accum[:n], properties, graph)
     events.apply_ops += n

@@ -4,14 +4,18 @@ Section 3.1: "multi-node: one can connect different GraphR nodes ...
 to process large graphs.  In this case, each block is processed by a
 GraphR node.  Data movements happen between GraphR nodes."  The paper
 evaluates only the out-of-core single node and leaves multi-node as
-future work; this module provides the extension.
+future work; this module provides the extension on top of the shared
+partitioned-execution layer.
 
 Model
 -----
 The vertex space is split into ``num_nodes`` contiguous destination
 stripes; node ``k`` owns every edge whose destination falls in stripe
 ``k`` (column partitioning, so each node reduces its own vertices and
-no cross-node reduction is needed).  Per iteration:
+no cross-node reduction is needed).  When the node configuration sets
+an explicit block size, stripe boundaries snap to block columns — each
+node then owns whole disk blocks, which is also what makes cluster
+event totals match a single node's exactly.  Per iteration:
 
 * every node runs streaming-apply over its stripe (its own streamer +
   the shared cost model) — nodes work in parallel, so the compute time
@@ -21,25 +25,33 @@ no cross-node reduction is needed).  Per iteration:
   (all-gather), charged at ``link_bandwidth_bps`` with a per-message
   latency.
 
-Results are computed once by the exact reference (the partitioning is
-value-preserving by construction), exactly like single-node analytic
-mode.
+Both execution modes run: analytic (reference values + event-counted
+cost, as before) and functional (every stripe's tiles through the
+shared device-model engine — stripes own disjoint destination ranges,
+so the cluster's values are bit-identical to a single-node functional
+run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.algorithms.registry import get_program, run_reference
-from repro.algorithms.vertex_program import AlgorithmResult, VertexProgram
+from repro.algorithms.registry import (PROGRAM_INIT_KEYS,
+                                       resolve_program,
+                                       run_reference)
+from repro.algorithms.vertex_program import AlgorithmResult
+from repro.core.accelerator import choose_execution_mode
 from repro.core.config import GraphRConfig
-from repro.core.cost import CostModel
-from repro.core.streaming import SubgraphStreamer
+from repro.core.cost import CostModel, IterationEvents
+from repro.core.partitioned import (
+    PartitionedFunctionalRunner,
+    partition_by_destination,
+    partition_pass_events,
+)
 from repro.errors import ConfigError
-from repro.graph.coo import COOMatrix
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
 
@@ -81,82 +93,125 @@ class MultiNodeGraphR:
 
     # ------------------------------------------------------------------
     def _stripes(self, graph: Graph) -> List[Tuple[int, int]]:
-        """Contiguous destination ranges, one per node."""
+        """Contiguous destination ranges, one per node.
+
+        With an explicit node ``block_size`` (and at least one block
+        column per node) bounds snap to block columns; otherwise the
+        vertex space splits evenly.
+        """
         n = graph.num_vertices
         k = min(self.config.num_nodes, max(1, n))
+        node_cfg = self.config.node
+        if node_cfg.block_size is not None:
+            block = node_cfg.effective_block_size(n)
+            side = -(-n // block)
+            if side >= k:
+                cuts = np.linspace(0, side, k + 1).astype(int)
+                bounds = np.minimum(cuts * block, n)
+                return [(int(bounds[i]), int(bounds[i + 1]))
+                        for i in range(k)]
         bounds = np.linspace(0, n, k + 1).astype(int)
         return [(int(bounds[i]), int(bounds[i + 1])) for i in range(k)]
 
     def _node_graph(self, graph: Graph, stripe: Tuple[int, int]) -> Graph:
-        """Subgraph of edges whose destination lies in the stripe.
-
-        Vertex ids are kept global so the streamer's frontier masks
-        line up across nodes.
-        """
-        lo, hi = stripe
-        adj = graph.adjacency
-        dst = np.asarray(adj.cols)
-        mask = (dst >= lo) & (dst < hi)
-        sub = COOMatrix(adj.shape, np.asarray(adj.rows)[mask],
-                        dst[mask], np.asarray(adj.values)[mask])
-        return Graph(adjacency=sub, name=f"{graph.name}[{lo}:{hi}]",
-                     weighted=graph.weighted,
-                     scale_factor=graph.scale_factor)
+        """Subgraph of edges whose destination lies in the stripe
+        (kept for diagnostics; vertex ids stay global so the
+        streamer's frontier masks line up across nodes)."""
+        return partition_by_destination(
+            graph, [stripe], self.config.node)[0].graph
 
     # ------------------------------------------------------------------
     def run(self, algorithm: str, graph: Graph,
+            mode: Optional[str] = None,
             **kwargs) -> Tuple[AlgorithmResult, RunStats]:
-        """Execute ``algorithm`` across the cluster (analytic mode).
+        """Execute ``algorithm`` across the cluster.
 
-        Returns the reference-exact result and the cluster-level stats:
-        per-iteration time is ``max`` over nodes plus the property
-        exchange; energy sums every node's ledger plus link energy.
+        Returns the result and the cluster-level stats: per-iteration
+        time is ``max`` over nodes plus the property exchange; energy
+        sums every node's ledger plus link energy.
         """
-        program = get_program(algorithm)
-        result = run_reference(algorithm, graph, **kwargs)
-        stats = RunStats(platform="graphr-multinode", algorithm=algorithm,
-                         dataset=graph.name, iterations=result.iterations)
-
-        stripes = self._stripes(graph)
+        program, reference_kwargs = resolve_program(algorithm, kwargs)
         node_cfg = self.config.node
-        cost = CostModel(node_cfg)
-        streamers = [SubgraphStreamer(self._node_graph(graph, s), node_cfg)
-                     for s in stripes]
+        if not node_cfg.skip_empty_subgraphs:
+            # Per-stripe streamers each report the whole grid's slot
+            # count; summing over nodes would overbill the ablation.
+            raise ConfigError(
+                "the skip_empty_subgraphs=False ablation is supported "
+                "on the in-memory single node only"
+            )
+        stats = RunStats(platform="graphr-multinode",
+                         algorithm=program.name, dataset=graph.name)
 
-        frontiers = (result.trace.frontiers
-                     if program.needs_active_list
-                     and result.trace.frontiers else None)
-        iterations = max(1, result.iterations)
+        partitions = partition_by_destination(graph,
+                                              self._stripes(graph),
+                                              node_cfg)
+        cost = CostModel(node_cfg)
 
         exchange_bytes = graph.num_vertices * PROPERTY_BYTES
         exchange_s = (exchange_bytes / self.config.link_bandwidth_bps
                       + self.config.link_latency_s)
 
-        work_factor = getattr(program, "features", 1) \
-            if algorithm == "cf" else 1
-        seconds = node_cfg.setup_overhead_s
-        for it in range(iterations):
-            frontier = frontiers[it] if frontiers is not None else None
-            node_times = []
-            for streamer in streamers:
-                events = streamer.iteration_events(
-                    program.pattern, frontier=frontier,
-                    work_factor=work_factor)
-                node_seconds = cost.charge_iteration(
-                    events, stats.energy, stats.latency)
-                node_times.append(node_seconds)
-            slowest = max(node_times)
-            seconds += slowest + exchange_s
+        def charge_round(per_node: List[IterationEvents]) -> float:
+            """One cluster iteration: slowest node + all-gather."""
+            node_times = [cost.charge_iteration(events, stats.energy,
+                                                stats.latency)
+                          for events in per_node]
             stats.latency.add("exchange", exchange_s)
             stats.energy.charge_joules(
                 "internode_links",
-                exchange_bytes * len(stripes) * 10e-12)  # ~10 pJ/byte
+                exchange_bytes * len(partitions) * 10e-12)  # ~10 pJ/byte
+            return max(node_times) + exchange_s
+
+        chosen = mode or node_cfg.mode
+        if chosen == "auto":
+            nonempty = sum(p.streamer.num_nonempty_subgraphs
+                           for p in partitions)
+            chosen = choose_execution_mode(node_cfg, program, nonempty,
+                                           kwargs.get("max_iterations"))
+
+        seconds = node_cfg.setup_overhead_s
+        if chosen == "functional":
+            runner = PartitionedFunctionalRunner(
+                node_cfg, program, graph.num_vertices,
+                graph_view=graph, out_degrees=graph.out_degrees(),
+                partitions=lambda: partitions,
+            )
+            program_kwargs = {k: v for k, v in kwargs.items()
+                              if k in PROGRAM_INIT_KEYS}
+            result, loop_seconds = runner.run(
+                lambda merged, per_node: charge_round(per_node),
+                max_iterations=kwargs.get("max_iterations"),
+                **program_kwargs)
+            seconds += loop_seconds
+        else:
+            result = run_reference(program.name, graph,
+                                   **reference_kwargs)
+            work_factor = program.features \
+                if program.name == "cf" else 1
+            frontiers = (result.trace.frontiers
+                         if program.needs_active_list
+                         and result.trace.frontiers else None)
+            iterations = max(1, result.iterations)
+            for it in range(iterations):
+                frontier = (frontiers[it] if frontiers is not None
+                            else None)
+                per_node = [partition_pass_events(p, program.pattern,
+                                                  frontier, work_factor,
+                                                  node_cfg)
+                            for p in partitions]
+                if frontier is not None \
+                        and not any(ev.edges for ev in per_node):
+                    # No node sees an active edge: charge the pass
+                    # like the single-node early return does.
+                    per_node = [IterationEvents() for _ in per_node]
+                seconds += charge_round(per_node)
 
         stats.seconds = seconds
-        stats.extra["mode"] = "multinode-analytic"
-        stats.extra["num_nodes"] = len(stripes)
-        stats.extra["stripe_edges"] = [s.graph.num_edges
-                                       for s in streamers]
+        stats.iterations = result.iterations
+        stats.extra["mode"] = f"multinode-{chosen}"
+        stats.extra["num_nodes"] = len(partitions)
+        stats.extra["stripe_edges"] = [p.graph.num_edges
+                                       for p in partitions]
         return result, stats
 
     def __repr__(self) -> str:

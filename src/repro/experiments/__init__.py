@@ -23,6 +23,7 @@ from repro.experiments.sweeps import (
     SweepPoint,
     bandwidth_sweep,
     block_size_sweep,
+    deployment_sweep,
     geometry_sweep,
     run_sweep,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "SweepPoint",
     "bandwidth_sweep",
     "block_size_sweep",
+    "deployment_sweep",
     "geometry_sweep",
     "ValidationReport",
     "validate",

@@ -18,13 +18,14 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.accelerator import GraphR
 from repro.core.config import GraphRConfig
+from repro.core.partitioned import DeploymentSpec
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
 from repro.runtime.runner import BatchRunner
 
 __all__ = ["SweepPoint", "geometry_sweep", "block_size_sweep",
-           "bandwidth_sweep", "run_sweep"]
+           "bandwidth_sweep", "deployment_sweep", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,54 @@ def block_size_sweep(graph: Union[Graph, str],
     axis = [{"block_size": int(block)} for block in block_sizes]
     return run_sweep(graph, algorithm, axis,
                      run_kwargs or {"max_iterations": 10}, runner)
+
+
+def deployment_sweep(dataset: str,
+                     algorithm: str = "pagerank",
+                     block_sizes: Iterable[int] = (1024, 4096),
+                     node_counts: Iterable[int] = (1, 2, 4),
+                     run_kwargs: Optional[Dict[str, object]] = None,
+                     runner: Optional[BatchRunner] = None
+                     ) -> List[SweepPoint]:
+    """Sweep one workload across deployment scenarios.
+
+    The grid is block sizes under the out-of-core single node plus
+    node counts under the multi-node cluster (with an in-memory
+    single-node anchor point first), all dispatched through the batch
+    runtime — deployments participate in the job content keys, so a
+    cached sweep re-prices only new points.  ``dataset`` must be a
+    Table 3 code (deployments run where the workers are).
+    """
+    if not isinstance(dataset, str):
+        raise ConfigError("deployment_sweep needs a dataset code")
+    runner = runner or BatchRunner()
+    run_kwargs = run_kwargs or {"max_iterations": 10}
+    jobs = []
+    parameters: List[Dict[str, object]] = []
+    jobs.append(runner.make_job(algorithm, dataset,
+                                config=GraphRConfig(mode="analytic"),
+                                **run_kwargs))
+    parameters.append({"deployment": "single"})
+    for block in block_sizes:
+        jobs.append(runner.make_job(
+            algorithm, dataset,
+            config=GraphRConfig(mode="analytic", block_size=int(block)),
+            deployment=DeploymentSpec(kind="out-of-core"),
+            **run_kwargs))
+        parameters.append({"deployment": "out-of-core",
+                           "block_size": int(block)})
+    for nodes in node_counts:
+        jobs.append(runner.make_job(
+            algorithm, dataset,
+            config=GraphRConfig(mode="analytic"),
+            deployment=DeploymentSpec(kind="multi-node",
+                                      num_nodes=int(nodes)),
+            **run_kwargs))
+        parameters.append({"deployment": "multi-node",
+                           "num_nodes": int(nodes)})
+    return [SweepPoint.from_stats(params, result.unwrap())
+            for params, result in zip(parameters,
+                                      runner.run_jobs(jobs))]
 
 
 def bandwidth_sweep(graph: Union[Graph, str],

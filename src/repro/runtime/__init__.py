@@ -13,6 +13,7 @@ The pieces, bottom to top:
   all three; what the experiment harness, sweeps and CLI build on.
 """
 
+from repro.core.partitioned import DeploymentSpec
 from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.job import ALGORITHMS, PLATFORMS, Job, load_jobfile
 from repro.runtime.runner import BatchRunner
@@ -24,6 +25,7 @@ __all__ = [
     "PLATFORMS",
     "BatchRunner",
     "CacheStats",
+    "DeploymentSpec",
     "Job",
     "JobResult",
     "ResultCache",

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.config import GraphRConfig
+from repro.core.partitioned import DeploymentSpec
 from repro.errors import ConfigError, JobError
 from repro.graph.datasets import PAPER_DATASETS
 
@@ -64,6 +65,12 @@ class Job:
     run_kwargs:
         Algorithm parameters forwarded to ``run`` (``source=...``,
         ``max_iterations=...``).  Values must be JSON-safe.
+    deployment:
+        Deployment scenario for GraphR jobs (``None`` means the
+        in-memory single node; ``out-of-core`` prepares blocks in a
+        scratch directory and streams them; ``multi-node`` runs the
+        stripe cluster).  Participates in the content key, so a
+        deployment sweep caches every point separately.
     weighted:
         Generate the weighted dataset analog.  ``None`` resolves to
         the algorithm's need (SSSP wants weights), mirroring the
@@ -77,6 +84,7 @@ class Job:
     platform: str = "graphr"
     config: Optional[GraphRConfig] = None
     run_kwargs: Mapping[str, object] = field(default_factory=dict)
+    deployment: Optional[DeploymentSpec] = None
     weighted: Optional[bool] = None
     dataset_seed: int = DEFAULT_DATASET_SEED
 
@@ -99,6 +107,15 @@ class Job:
         if self.config is not None and \
                 not isinstance(self.config, GraphRConfig):
             raise JobError("config must be a GraphRConfig")
+        if self.deployment is not None:
+            if not isinstance(self.deployment, DeploymentSpec):
+                raise JobError("deployment must be a DeploymentSpec")
+            if self.platform != "graphr" \
+                    and self.deployment.kind != "single":
+                raise JobError(
+                    f"deployment {self.deployment.kind!r} only applies "
+                    f"to the graphr platform"
+                )
         if self.algorithm not in ALGORITHMS:
             raise JobError(f"unknown algorithm {self.algorithm!r}; "
                            f"available: {', '.join(ALGORITHMS)}")
@@ -133,6 +150,10 @@ class Job:
         """The configuration a GraphR run will actually use."""
         return self.config or GraphRConfig(mode="analytic")
 
+    def resolved_deployment(self) -> DeploymentSpec:
+        """The deployment scenario (default: in-memory single node)."""
+        return self.deployment or DeploymentSpec(kind="single")
+
     def canonical_dict(self) -> Dict[str, object]:
         """Fully-resolved, JSON-safe description of the run.
 
@@ -150,6 +171,12 @@ class Job:
         }
         if self.platform == "graphr":
             payload["config"] = self.resolved_config().to_dict()
+            deployment = self.resolved_deployment()
+            # A "single" spec is the absent-field default; leaving it
+            # out keeps plain jobs' keys (and their cached results)
+            # stable.
+            if deployment.kind != "single":
+                payload["deployment"] = deployment.to_dict()
         return payload
 
     def content_key(self) -> str:
@@ -169,7 +196,7 @@ class Job:
     def __hash__(self) -> int:
         return hash((self.algorithm, self.dataset, self.platform,
                      self.config, _freeze(dict(self.run_kwargs)),
-                     self.weighted, self.dataset_seed))
+                     self.deployment, self.weighted, self.dataset_seed))
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -185,6 +212,8 @@ class Job:
             payload["weighted"] = self.weighted
         if self.config is not None:
             payload["config"] = self.config.to_dict()
+        if self.deployment is not None:
+            payload["deployment"] = self.deployment.to_dict()
         return payload
 
     @classmethod
@@ -199,7 +228,7 @@ class Job:
         merged: Dict[str, object] = dict(defaults or {})
         merged.update(payload)
         known = {"algorithm", "dataset", "platform", "config",
-                 "run_kwargs", "weighted", "dataset_seed"}
+                 "run_kwargs", "deployment", "weighted", "dataset_seed"}
         unknown = set(merged) - known
         if unknown:
             raise JobError(
@@ -215,6 +244,15 @@ class Job:
                 raise JobError(f"invalid job config: {exc}") from exc
         elif config is not None and not isinstance(config, GraphRConfig):
             raise JobError("config must be a mapping of field overrides")
+        deployment = merged.get("deployment")
+        if isinstance(deployment, Mapping):
+            try:
+                deployment = DeploymentSpec.from_dict(deployment)
+            except (ConfigError, TypeError, ValueError) as exc:
+                raise JobError(f"invalid job deployment: {exc}") from exc
+        elif deployment is not None \
+                and not isinstance(deployment, DeploymentSpec):
+            raise JobError("deployment must be a mapping of spec fields")
         run_kwargs = merged.get("run_kwargs", {})
         if not isinstance(run_kwargs, Mapping):
             raise JobError("run_kwargs must be a mapping")
@@ -227,6 +265,7 @@ class Job:
             platform=merged.get("platform", "graphr"),
             config=config,
             run_kwargs=dict(run_kwargs),
+            deployment=deployment,
             weighted=merged.get("weighted"),
             dataset_seed=seed,
         )

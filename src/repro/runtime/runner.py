@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.config import GraphRConfig
+from repro.core.partitioned import DeploymentSpec
 from repro.hw.stats import RunStats
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import Job
@@ -55,6 +56,7 @@ class BatchRunner:
     def make_job(self, algorithm: str, dataset: str,
                  platform: str = "graphr",
                  config: Optional[GraphRConfig] = None,
+                 deployment: Optional[DeploymentSpec] = None,
                  **run_kwargs) -> Job:
         """Build a job carrying this runner's default configuration."""
         return Job(
@@ -62,6 +64,7 @@ class BatchRunner:
             dataset=dataset,
             platform=platform,
             config=(config or self.config) if platform == "graphr" else None,
+            deployment=deployment,
             run_kwargs=run_kwargs,
         )
 
@@ -101,11 +104,13 @@ class BatchRunner:
 
     def run(self, algorithm: str, dataset: str, platform: str = "graphr",
             config: Optional[GraphRConfig] = None,
+            deployment: Optional[DeploymentSpec] = None,
             **run_kwargs) -> RunStats:
         """One-job convenience: run (or fetch) and return the stats,
         raising :class:`~repro.errors.JobError` on failure."""
         job = self.make_job(algorithm, dataset, platform=platform,
-                            config=config, **run_kwargs)
+                            config=config, deployment=deployment,
+                            **run_kwargs)
         return self.run_jobs([job])[0].unwrap()
 
     # ------------------------------------------------------------------

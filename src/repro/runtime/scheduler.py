@@ -39,10 +39,35 @@ def execute_job(job: Job) -> RunStats:
                     seed=job.dataset_seed)
     kwargs = dict(job.run_kwargs)
     if job.platform == "graphr":
-        from repro.core.accelerator import GraphR
+        deployment = job.resolved_deployment()
+        config = job.resolved_config()
+        if deployment.kind == "out-of-core":
+            import tempfile
 
-        _, stats = GraphR(job.resolved_config()).run(job.algorithm, graph,
-                                                     **kwargs)
+            from repro.core.outofcore import (OutOfCoreRunner,
+                                              prepare_on_disk)
+
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-ooc-") as scratch:
+                prepare_on_disk(graph, scratch, config)
+                runner = OutOfCoreRunner(scratch, config)
+                _, stats = runner.run(job.algorithm, **kwargs)
+        elif deployment.kind == "multi-node":
+            from repro.core.multinode import (MultiNodeConfig,
+                                              MultiNodeGraphR)
+
+            cluster = MultiNodeGraphR(MultiNodeConfig(
+                num_nodes=deployment.num_nodes,
+                node=config,
+                link_bandwidth_bps=deployment.link_bandwidth_bps,
+                link_latency_s=deployment.link_latency_s,
+            ))
+            _, stats = cluster.run(job.algorithm, graph, **kwargs)
+        else:
+            from repro.core.accelerator import GraphR
+
+            _, stats = GraphR(config).run(job.algorithm, graph,
+                                          **kwargs)
     else:
         from repro.baselines import CPUPlatform, GPUPlatform, PIMPlatform
 

@@ -57,6 +57,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "3 iterations" in out
 
+    def test_run_multi_node_deployment(self, capsys):
+        assert main(["run", "pagerank", "WV", "--iterations", "3",
+                     "--deployment", "multi-node",
+                     "--num-nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[graphr-multinode] pagerank on WV" in out
+
+    def test_run_out_of_core_deployment(self, capsys):
+        assert main(["run", "sssp", "WV", "--deployment", "out-of-core",
+                     "--block-size", "2048", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["extra"]["deployment"] == "out-of-core"
+        assert 0 < payload["extra"]["peak_edge_residency"] \
+            <= 2 * payload["extra"]["max_block_edges"]
+        assert payload["extra"]["blocks"] == 16
+
 
 class TestRuntimeCommands:
     def test_run_json(self, capsys):

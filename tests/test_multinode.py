@@ -33,6 +33,14 @@ class TestConfig:
     def test_repr(self):
         assert "nodes=4" in repr(MultiNodeGraphR())
 
+    def test_sparsity_ablation_rejected(self, graph):
+        cluster = MultiNodeGraphR(MultiNodeConfig(
+            num_nodes=2,
+            node=GraphRConfig(mode="analytic",
+                              skip_empty_subgraphs=False)))
+        with pytest.raises(ConfigError, match="skip_empty_subgraphs"):
+            cluster.run("pagerank", graph, max_iterations=2)
+
 
 class TestPartitioning:
     def test_stripes_cover_vertex_space(self, graph):

@@ -11,8 +11,11 @@ from repro.core.outofcore import (
     OutOfCoreRunner,
     prepare_on_disk,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, GraphFormatError
+from repro.graph.coo import COOMatrix
 from repro.graph.generators import rmat
+from repro.graph.graph import Graph
+from repro.graph.io import load_binary, save_binary
 
 
 @pytest.fixture
@@ -87,3 +90,121 @@ class TestRunner:
         runner = OutOfCoreRunner(tmp_path, config)
         _, stats = runner.run("spmv")
         assert stats.extra["blocks"] == runner.manifest.blocks_per_side ** 2
+
+    def test_cf_unsupported_with_clear_error(self, graph, config,
+                                             tmp_path):
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        with pytest.raises(ConfigError, match="collaborative filtering"):
+            runner.run("cf", epochs=1)
+
+    def test_unknown_mode_rejected(self, graph, config, tmp_path):
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        with pytest.raises(ConfigError, match="mode"):
+            runner.run("pagerank", mode="quantum", max_iterations=2)
+
+    def test_sparsity_ablation_rejected(self, graph, tmp_path):
+        """Per-partition streamers each count the whole grid's empty
+        slots, so the no-skip ablation is single-node only."""
+        config = GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                              num_ges=2, block_size=16,
+                              mode="analytic",
+                              skip_empty_subgraphs=False)
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        with pytest.raises(ConfigError, match="skip_empty_subgraphs"):
+            runner.run("pagerank", max_iterations=2)
+
+
+class TestModeHonoured:
+    """Regression: a functional-mode config must run functionally
+    (pre-fix, ``run`` hardcoded ``mode="analytic"`` and silently
+    misreported the execution mode)."""
+
+    def test_functional_config_runs_functionally(self, graph, tmp_path):
+        config = GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                              num_ges=2, block_size=16,
+                              mode="functional")
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        _, stats = runner.run("pagerank", max_iterations=3)
+        assert stats.extra["mode"] == "functional"
+        # Functional runs show their device work in the ledgers.
+        assert stats.energy.energy_of("crossbar_read") > 0
+
+    def test_mode_argument_overrides_config(self, graph, config,
+                                            tmp_path):
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        _, stats = runner.run("pagerank", mode="functional",
+                              max_iterations=3)
+        assert stats.extra["mode"] == "functional"
+
+    def test_auto_resolves_like_the_accelerator(self, graph, tmp_path):
+        config = GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                              num_ges=2, block_size=16, mode="auto")
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        _, stats = runner.run("pagerank", max_iterations=3)
+        assert stats.extra["mode"] == "functional"
+        budget_zero = GraphRConfig(crossbar_size=4, crossbars_per_ge=8,
+                                   num_ges=2, block_size=16,
+                                   mode="auto",
+                                   functional_tile_budget=0)
+        _, stats = OutOfCoreRunner(tmp_path, budget_zero).run(
+            "pagerank", max_iterations=3)
+        assert stats.extra["mode"] == "analytic"
+
+
+class TestBlockIntegrity:
+    """Corrupt block files must be rejected, not silently loaded."""
+
+    def _rewrite_block(self, directory, filename, shift_rows=0,
+                       drop_last=False):
+        piece = load_binary(directory / filename)
+        rows = np.asarray(piece.adjacency.rows) + shift_rows
+        cols = np.asarray(piece.adjacency.cols)
+        values = np.asarray(piece.adjacency.values)
+        if drop_last:
+            rows, cols, values = rows[:-1], cols[:-1], values[:-1]
+        n = piece.num_vertices
+        save_binary(Graph(adjacency=COOMatrix((n, n), rows, cols,
+                                              values),
+                          name=filename, weighted=piece.weighted),
+                    directory / filename)
+
+    def _nonempty_block(self, runner):
+        for index, filename in enumerate(runner.manifest.files):
+            if load_binary(runner.directory / filename).num_edges > 1:
+                return index, filename
+        raise AssertionError("fixture has no non-empty block")
+
+    def test_out_of_bounds_edges_rejected(self, graph, config,
+                                          tmp_path):
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        _, filename = self._nonempty_block(runner)
+        # Shift the block's sources into the neighbouring block row:
+        # the total edge count still matches the manifest.
+        self._rewrite_block(tmp_path, filename,
+                            shift_rows=runner.manifest.block_size)
+        with pytest.raises(GraphFormatError, match="outside block"):
+            runner.run("pagerank", max_iterations=2)
+
+    def test_missing_edges_rejected(self, graph, config, tmp_path):
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        _, filename = self._nonempty_block(runner)
+        self._rewrite_block(tmp_path, filename, drop_last=True)
+        with pytest.raises(GraphFormatError, match="manifest says"):
+            runner.run("pagerank", max_iterations=2)
+
+    def test_load_graph_validates_too(self, graph, config, tmp_path):
+        prepare_on_disk(graph, tmp_path, config)
+        runner = OutOfCoreRunner(tmp_path, config)
+        _, filename = self._nonempty_block(runner)
+        self._rewrite_block(tmp_path, filename,
+                            shift_rows=runner.manifest.block_size)
+        with pytest.raises(GraphFormatError, match="outside block"):
+            runner.load_graph()

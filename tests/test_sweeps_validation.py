@@ -9,6 +9,7 @@ from repro.experiments.sweeps import (
     SweepPoint,
     bandwidth_sweep,
     block_size_sweep,
+    deployment_sweep,
     geometry_sweep,
 )
 from repro.experiments.validation import validate, validate_matrix
@@ -54,6 +55,22 @@ class TestBandwidthSweep:
                                  run_kwargs={"max_iterations": 3})
         slow, fast = points
         assert fast.seconds <= slow.seconds
+
+
+class TestDeploymentSweep:
+    def test_grid_covers_all_scenarios(self):
+        points = deployment_sweep("WV", block_sizes=(2048,),
+                                  node_counts=(2,),
+                                  run_kwargs={"max_iterations": 2})
+        scenarios = [point.parameters["deployment"] for point in points]
+        assert scenarios == ["single", "out-of-core", "multi-node"]
+        for point in points:
+            assert point.seconds > 0
+            assert point.iterations == 2
+
+    def test_needs_dataset_code(self, graph):
+        with pytest.raises(ConfigError):
+            deployment_sweep(graph)
 
 
 class TestSweepPoint:
