@@ -7,6 +7,18 @@ Commands
     Simulate one workload on a chosen platform and print the stats.
 ``batch JOBFILE``
     Execute a JSON job file through the parallel batch runtime.
+``serve``
+    Run the persistent simulation service (job queue daemon + HTTP
+    API) until SIGINT/SIGTERM.
+``submit JOBFILE``
+    Submit a job file to a running service (``--wait`` blocks until
+    the batch drains and prints the results).
+``status [JOB_ID]``
+    One job's status, or a listing (``--state`` filters).
+``result JOB_ID``
+    A finished job's stats.
+``cache {stats,prune}``
+    Inspect or size-bound a result-cache directory.
 ``figures [fig17|fig18|fig19|fig20|fig21|all]``
     Regenerate the paper's figures as text.
 ``tables [1|2|3]``
@@ -21,6 +33,8 @@ also picks the deployment scenario: ``--deployment
 single|out-of-core|multi-node`` with ``--block-size`` (out-of-core
 ``B``) and ``--num-nodes`` (cluster size); ``batch`` job files carry
 the same ``deployment`` object per entry for deployment-grid sweeps.
+The service commands (``submit``/``status``/``result``) take ``--url``
+(default ``http://127.0.0.1:8750``) to reach the daemon.
 """
 
 from __future__ import annotations
@@ -34,6 +48,9 @@ from repro.errors import ReproError
 from repro.runtime import BatchRunner, load_jobfile
 
 __all__ = ["main", "build_parser"]
+
+#: Default address of the ``repro serve`` daemon.
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8750"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +102,70 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print every result (and cache stats) as "
                             "JSON")
 
+    serve = sub.add_parser("serve",
+                           help="run the persistent simulation service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="HTTP port (default: 8750; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="warm worker processes (default: 2)")
+    serve.add_argument("--db", default=".repro-service/jobs.db",
+                       help="SQLite job-store path "
+                            "(default: .repro-service/jobs.db)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result-cache directory "
+                            "(default: <db dir>/cache)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds "
+                            "(default: unbounded)")
+
+    submit = sub.add_parser("submit",
+                            help="submit a job file to the service")
+    submit.add_argument("jobfile", help="path to the job file (JSON)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority (higher runs first)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until every job is terminal and "
+                             "print the results")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after this many seconds")
+    _add_service_flags(submit)
+
+    status = sub.add_parser("status",
+                            help="job status (one id) or job listing")
+    status.add_argument("id", nargs="?", default=None,
+                        help="job id; omit to list jobs")
+    status.add_argument("--state", default=None,
+                        choices=["queued", "running", "done", "failed",
+                                 "cancelled"],
+                        help="restrict the listing to one state")
+    _add_service_flags(status)
+
+    result = sub.add_parser("result",
+                            help="fetch a finished job's stats")
+    result.add_argument("id", help="job id")
+    _add_service_flags(result)
+
+    cache = sub.add_parser("cache",
+                           help="inspect or prune a result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command",
+                                     required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and total bytes")
+    cache_stats.add_argument("--cache-dir", required=True,
+                             help="result-cache directory")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="print the inventory as JSON")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict oldest entries down to a size bound")
+    cache_prune.add_argument("--cache-dir", required=True,
+                             help="result-cache directory")
+    cache_prune.add_argument("--max-bytes", type=int, required=True,
+                             help="keep at most this many bytes")
+    cache_prune.add_argument("--json", action="store_true",
+                             help="print the evicted entries as JSON")
+
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("which", nargs="?", default="all",
                          choices=["fig17", "fig18", "fig19", "fig20",
@@ -106,6 +187,19 @@ def _add_runtime_flags(command: argparse.ArgumentParser) -> None:
                          help="process-pool size (default: 1, serial)")
     command.add_argument("--cache-dir", default=None,
                          help="persistent result-cache directory")
+
+
+def _add_service_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                         help=f"service base URL "
+                              f"(default: {DEFAULT_SERVICE_URL})")
+    command.add_argument("--json", action="store_true",
+                         help="machine-consumable output")
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+    return ServiceClient(args.url)
 
 
 def _batch_runner(args: argparse.Namespace) -> BatchRunner:
@@ -205,6 +299,194 @@ def _batch_command(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service import SimulationService, serve_in_thread
+
+    from repro.errors import JobError
+
+    service = SimulationService(
+        db_path=args.db, cache_dir=args.cache_dir,
+        workers=args.workers, job_timeout_s=args.job_timeout)
+    requeued = service.start()
+    try:
+        server = serve_in_thread(service, host=args.host,
+                                 port=args.port)
+    except OSError as exc:
+        service.stop(drain=False)
+        raise JobError(f"cannot bind {args.host}:{args.port}: "
+                       f"{exc}") from exc
+    line = (f"repro service listening on {server.url} — "
+            f"{args.workers} worker(s), db {service.db_path}, "
+            f"cache {service.cache.cache_dir}")
+    if requeued:
+        line += f"; requeued {len(requeued)} interrupted job(s)"
+    print(line, flush=True)
+
+    stop = threading.Event()
+
+    def _signal(signum, frame):  # noqa: ARG001 - signal API
+        stop.set()
+
+    signal.signal(signal.SIGINT, _signal)
+    signal.signal(signal.SIGTERM, _signal)
+    try:
+        while not stop.wait(0.5):
+            pass
+    finally:
+        server.shutdown()
+        service.stop(drain=False)
+        print("repro service stopped", flush=True)
+    return 0
+
+
+def _submit_command(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+
+    jobs = load_jobfile(args.jobfile)
+    client = _service_client(args)
+    submissions = client.submit(jobs, priority=args.priority)
+    if not args.wait:
+        if args.json:
+            print(json.dumps({"submissions": submissions}, indent=2))
+        else:
+            for submission in submissions:
+                suffix = " (served from cache)" \
+                    if submission["from_cache"] else ""
+                print(f"{submission['id']}  {submission['state']}"
+                      f"{suffix}")
+        return 0
+
+    details = client.wait_for([s["id"] for s in submissions],
+                              timeout_s=args.timeout)
+    failures = [d for d in details if d["state"] != "done"]
+    if args.json:
+        for submission, detail in zip(submissions, details):
+            detail["from_cache"] = submission["from_cache"]
+        print(json.dumps({"jobs": details}, indent=2))
+        return 1 if failures else 0
+
+    header = ["job", "id", "status", "seconds", "joules", "iterations"]
+    body = []
+    for submission, detail in zip(submissions, details):
+        spec = detail["spec"]
+        label = (f"{spec.get('platform', 'graphr')}:"
+                 f"{spec['algorithm']}:{spec['dataset']}")
+        stats = detail.get("stats")
+        if detail["state"] == "done" and stats:
+            status = "cached" if submission["from_cache"] else "done"
+            body.append([label, detail["id"], status,
+                         f"{stats['seconds']:.4g}",
+                         f"{stats['joules']:.4g}",
+                         str(stats['iterations'])])
+        else:
+            body.append([label, detail["id"], detail["state"].upper(),
+                         "-", "-", "-"])
+    print(render_table(header, body))
+    for detail in failures:
+        print(f"\n{detail['id']} ended {detail['state']}:"
+              f"\n{detail.get('error') or '(no error recorded)'}",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _status_command(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+
+    client = _service_client(args)
+    if args.id is not None:
+        detail = client.job(args.id)
+        if args.json:
+            print(json.dumps(detail, indent=2))
+        else:
+            spec = detail["spec"]
+            print(f"{detail['id']}: {spec.get('platform', 'graphr')}:"
+                  f"{spec['algorithm']}:{spec['dataset']} — "
+                  f"{detail['state']} "
+                  f"(attempts={detail['attempts']}, "
+                  f"priority={detail['priority']})")
+            if detail.get("error"):
+                print(detail["error"], file=sys.stderr)
+        return 0
+    listing = client.jobs(state=args.state)
+    if args.json:
+        print(json.dumps({"jobs": listing}, indent=2))
+        return 0
+    header = ["id", "job", "state", "attempts", "priority"]
+    body = [[detail["id"],
+             f"{detail['spec'].get('platform', 'graphr')}:"
+             f"{detail['spec']['algorithm']}:"
+             f"{detail['spec']['dataset']}",
+             detail["state"], str(detail["attempts"]),
+             str(detail["priority"])]
+            for detail in listing]
+    print(render_table(header, body))
+    print(f"{len(listing)} job(s)")
+    return 0
+
+
+def _result_command(args: argparse.Namespace) -> int:
+    from repro.errors import JobError
+    from repro.hw.stats import RunStats
+
+    detail = _service_client(args).job(args.id)
+    if detail["state"] != "done":
+        raise JobError(f"job {args.id} is {detail['state']}, "
+                       f"not done"
+                       + (f": {detail['error']}"
+                          if detail.get("error") else ""))
+    stats = detail.get("stats")
+    if not stats:
+        raise JobError(f"job {args.id} finished but its result left "
+                       f"the cache; resubmit to recompute")
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    reconstructed = RunStats.from_dict(stats)
+    print(reconstructed.summary())
+    print("energy breakdown (J):")
+    for component, joules in reconstructed.energy.breakdown().items():
+        print(f"  {component:20s} {joules:.6e}")
+    return 0
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        entries = cache.entries()
+        total = sum(entry.bytes for entry in entries)
+        if args.json:
+            print(json.dumps({
+                "cache_dir": str(cache.cache_dir),
+                "entries": len(entries),
+                "total_bytes": total,
+                "oldest": entries[0].as_dict() if entries else None,
+                "newest": entries[-1].as_dict() if entries else None,
+            }, indent=2))
+        else:
+            print(f"{cache.cache_dir}: {len(entries)} entr"
+                  f"{'y' if len(entries) == 1 else 'ies'}, "
+                  f"{total} bytes")
+        return 0
+    evicted = cache.prune(args.max_bytes)
+    freed = sum(entry.bytes for entry in evicted)
+    if args.json:
+        print(json.dumps({
+            "evicted": [entry.as_dict() for entry in evicted],
+            "freed_bytes": freed,
+            "remaining_bytes": cache.total_bytes(),
+        }, indent=2))
+    else:
+        print(f"evicted {len(evicted)} entr"
+              f"{'y' if len(evicted) == 1 else 'ies'} "
+              f"({freed} bytes); {cache.total_bytes()} bytes remain")
+    return 0
+
+
 def _figures_command(args: argparse.Namespace) -> int:
     from repro.experiments import (ExperimentRunner, figure17, figure18,
                                    figure19, figure20, figure21)
@@ -259,6 +541,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _run_command,
         "batch": _batch_command,
+        "serve": _serve_command,
+        "submit": _submit_command,
+        "status": _status_command,
+        "result": _result_command,
+        "cache": _cache_command,
         "figures": _figures_command,
         "tables": _tables_command,
         "datasets": _datasets_command,

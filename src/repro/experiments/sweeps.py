@@ -9,6 +9,12 @@ Sweeps accept either an in-memory :class:`~repro.graph.graph.Graph`
 latter dispatches every configuration as a job through the batch
 runtime, so a ``runner`` with ``workers > 1`` sweeps the axis across a
 process pool and a ``cache_dir`` persists the points.
+
+``runner`` may be any object with the :class:`BatchRunner` submission
+surface (``make_job`` / ``run_jobs``) — in particular a
+:class:`~repro.service.client.ServiceClient`, which executes the sweep
+on a running ``repro serve`` daemon: points dedupe against every other
+client's submissions and land in the service's shared result cache.
 """
 
 from __future__ import annotations
@@ -52,8 +58,10 @@ def run_sweep(graph: Union[Graph, str], algorithm: str,
     """Run one workload under every parameter override in ``axis``.
 
     ``graph`` may be a live :class:`Graph` (in-process execution) or a
-    dataset code (batched through ``runner``, in parallel when it has
-    workers).  Every sweep helper funnels through here.
+    dataset code (batched through ``runner`` — a :class:`BatchRunner`
+    or a service :class:`~repro.service.client.ServiceClient` — in
+    parallel when the backend has workers).  Every sweep helper
+    funnels through here.
     """
     if not axis:
         raise ConfigError("empty sweep")

@@ -14,23 +14,30 @@ The pieces, bottom to top:
 """
 
 from repro.core.partitioned import DeploymentSpec
-from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.cache import CacheEntry, CacheStats, ResultCache
 from repro.runtime.job import ALGORITHMS, PLATFORMS, Job, load_jobfile
 from repro.runtime.runner import BatchRunner
-from repro.runtime.scheduler import (JobResult, Scheduler, execute_job,
-                                     execute_payload)
+from repro.runtime.scheduler import (JobResult, Scheduler,
+                                     WorkerCrash, WorkerProcess,
+                                     WorkerTimeout, execute_job,
+                                     execute_payload, worker_loop)
 
 __all__ = [
     "ALGORITHMS",
     "PLATFORMS",
     "BatchRunner",
+    "CacheEntry",
     "CacheStats",
     "DeploymentSpec",
     "Job",
     "JobResult",
     "ResultCache",
     "Scheduler",
+    "WorkerCrash",
+    "WorkerProcess",
+    "WorkerTimeout",
     "execute_job",
     "execute_payload",
     "load_jobfile",
+    "worker_loop",
 ]

@@ -14,12 +14,13 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.hw.stats import RunStats
 from repro.runtime.job import Job
 
-__all__ = ["ResultCache", "CacheStats", "CACHE_FORMAT_VERSION"]
+__all__ = ["ResultCache", "CacheStats", "CacheEntry",
+           "CACHE_FORMAT_VERSION"]
 
 #: Bump when the persisted payload shape changes; stale entries are
 #: treated as misses and rewritten.
@@ -53,6 +54,21 @@ class CacheStats:
                 "hit_rate": self.hit_rate}
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One persisted result file, as seen by the inspection API."""
+
+    key: str
+    path: Path
+    bytes: int
+    mtime: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe row for CLI / metrics output."""
+        return {"key": self.key, "path": str(self.path),
+                "bytes": self.bytes, "mtime": self.mtime}
+
+
 class ResultCache:
     """Persists one ``RunStats`` JSON file per job content key."""
 
@@ -68,8 +84,8 @@ class ResultCache:
         key = job.content_key()
         return self.cache_dir / key[:2] / f"{key}.json"
 
-    def get(self, job: Job) -> Optional[RunStats]:
-        """The cached stats of ``job``, or ``None`` on a miss.
+    def _load(self, job: Job) -> Optional[RunStats]:
+        """Read one entry without touching the counters.
 
         *Any* unusable entry — unreadable, wrong version, foreign job,
         malformed stats — is a miss to be recomputed, never an error:
@@ -82,12 +98,28 @@ class ResultCache:
                     or payload.get("version") != CACHE_FORMAT_VERSION
                     or payload.get("job") != job.canonical_dict()):
                 raise ValueError("stale or foreign cache entry")
-            stats = RunStats.from_dict(payload["stats"])
+            return RunStats.from_dict(payload["stats"])
         except Exception:  # noqa: BLE001 - corrupt entries become misses
-            self.stats.misses += 1
             return None
-        self.stats.hits += 1
+
+    def get(self, job: Job) -> Optional[RunStats]:
+        """The cached stats of ``job``, or ``None`` on a miss
+        (counted)."""
+        stats = self._load(job)
+        if stats is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
         return stats
+
+    def peek(self, job: Job) -> Optional[RunStats]:
+        """Like :meth:`get` but without counting a hit or miss.
+
+        For observation paths (status polling, result serving) that
+        must not skew the hit-rate the metrics report — the counters
+        are meant to measure *dedup*, not polling frequency.
+        """
+        return self._load(job)
 
     def put(self, job: Job, stats: RunStats) -> Path:
         """Persist one finished run; returns the file written."""
@@ -131,6 +163,54 @@ class ResultCache:
                 pass
         self.stats.invalidations += removed
         return removed
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[CacheEntry]:
+        """Every result entry, oldest mtime first.
+
+        Only the two-level ``<key[:2]>/<key>.json`` result files are
+        listed; prepared shard directories (``shards/``) live deeper
+        and are not part of the result inventory.
+        """
+        found = []
+        for path in self.cache_dir.glob("*/*.json"):
+            try:
+                meta = path.stat()
+            except OSError:
+                continue  # pruned concurrently
+            found.append(CacheEntry(key=path.stem, path=path,
+                                    bytes=meta.st_size,
+                                    mtime=meta.st_mtime))
+        found.sort(key=lambda entry: (entry.mtime, entry.key))
+        return found
+
+    def total_bytes(self) -> int:
+        """Bytes held by all result entries."""
+        return sum(entry.bytes for entry in self.entries())
+
+    def prune(self, max_bytes: int) -> List[CacheEntry]:
+        """Evict oldest-mtime-first until at most ``max_bytes`` remain.
+
+        Returns the evicted entries (possibly empty).  Eviction is
+        size-bounding, not correctness-affecting: a pruned job simply
+        re-simulates on its next submission.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = self.entries()
+        total = sum(entry.bytes for entry in entries)
+        evicted: List[CacheEntry] = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            try:
+                entry.path.unlink()
+            except OSError:
+                continue  # raced with another pruner: already gone
+            total -= entry.bytes
+            evicted.append(entry)
+            self.stats.invalidations += 1
+        return evicted
 
     def __len__(self) -> int:
         return sum(1 for _ in self.cache_dir.glob("*/*.json"))

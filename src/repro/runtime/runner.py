@@ -34,7 +34,9 @@ class BatchRunner:
         Process-pool size; ``1`` executes in-process.
     cache_dir:
         Directory of the persistent result cache; ``None`` disables
-        caching.
+        caching.  The same directory also hosts prepared out-of-core
+        block shards (``shards/``), so repeated out-of-core jobs skip
+        the re-shard.
     config:
         Default GraphR configuration for jobs that do not carry their
         own (the analytic-mode default mirrors the experiment harness).
@@ -43,7 +45,7 @@ class BatchRunner:
     def __init__(self, workers: int = 1,
                  cache_dir: Optional[Union[str, Path]] = None,
                  config: Optional[GraphRConfig] = None) -> None:
-        self.scheduler = Scheduler(workers=workers)
+        self.scheduler = Scheduler(workers=workers, cache_dir=cache_dir)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.config = config or GraphRConfig(mode="analytic")
 

@@ -1,4 +1,4 @@
-"""Batch execution across a ``multiprocessing`` process pool.
+"""Batch execution across a pool of warm worker processes.
 
 The scheduler turns a list of :class:`~repro.runtime.job.Job` into a
 list of :class:`JobResult` in the *same order*, whatever the worker
@@ -7,31 +7,56 @@ batch is a drop-in replacement for a serial loop.  Every worker wraps
 execution in its own try/except and ships failures back as data — one
 bad job reports an error instead of killing the batch.
 
+Two failure modes are kept apart:
+
+* a **deterministic job failure** (the job itself raised — bad source
+  vertex, unsupported mode ...) comes back as ``{"ok": False}`` from
+  :func:`execute_payload` and is *never* retried: rerunning the same
+  job would fail the same way;
+* a **worker crash** (the child process died — OOM kill, segfault,
+  ``os._exit``) is detected through the pipe and retried on a fresh
+  worker up to ``max_crash_retries`` times before the job is marked
+  failed with ``crashed=True``.
+
+Both paths surface the attempt count in :attr:`JobResult.attempts`.
+
 Workers communicate in plain dictionaries (job spec out, stats dict
-back).  Both the serial and the pooled path execute the *same* worker
-function and reconstruct stats from the same JSON-safe payload, which
-is what makes serial and parallel batches bit-identical.
+back) over :func:`worker_loop` — a warm loop that serves one payload
+after another on a duplex pipe.  The persistent simulation service
+(:mod:`repro.service`) keeps long-lived workers on the very same loop,
+so batch and service execution are bit-identical by construction.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.util
 import sys
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import JobError
 from repro.hw.stats import RunStats
 from repro.runtime.job import Job
 
-__all__ = ["Scheduler", "JobResult", "execute_job", "execute_payload"]
+__all__ = ["Scheduler", "JobResult", "WorkerCrash", "WorkerTimeout",
+           "WorkerProcess", "execute_job", "execute_payload",
+           "worker_loop"]
 
 
-def execute_job(job: Job) -> RunStats:
+def execute_job(job: Job,
+                cache_dir: Optional[str] = None) -> RunStats:
     """Run one job in the current process and return its stats.
 
-    Imports lazily so forked workers only pay for what they run.
+    ``cache_dir`` (the owning runner's cache directory) enables artifact
+    reuse beyond finished results: out-of-core jobs keep their prepared
+    block directories under ``<cache_dir>/shards/`` so repeated runs
+    skip the re-shard (with ``None`` they shard into a throwaway
+    temporary directory every time).  Imports lazily so forked workers
+    only pay for what they run.
     """
     from repro.graph.datasets import dataset
 
@@ -42,16 +67,29 @@ def execute_job(job: Job) -> RunStats:
         deployment = job.resolved_deployment()
         config = job.resolved_config()
         if deployment.kind == "out-of-core":
-            import tempfile
+            from repro.core.outofcore import OutOfCoreRunner
 
-            from repro.core.outofcore import (OutOfCoreRunner,
-                                              prepare_on_disk)
+            if cache_dir is not None:
+                from repro.runtime.shards import prepared_block_dir
 
-            with tempfile.TemporaryDirectory(
-                    prefix="repro-ooc-") as scratch:
-                prepare_on_disk(graph, scratch, config)
-                runner = OutOfCoreRunner(scratch, config)
+                block_dir = prepared_block_dir(
+                    graph, config, cache_dir,
+                    dataset=job.dataset,
+                    dataset_seed=job.dataset_seed,
+                    weighted=job.resolved_weighted,
+                )
+                runner = OutOfCoreRunner(block_dir, config)
                 _, stats = runner.run(job.algorithm, **kwargs)
+            else:
+                import tempfile
+
+                from repro.core.outofcore import prepare_on_disk
+
+                with tempfile.TemporaryDirectory(
+                        prefix="repro-ooc-") as scratch:
+                    prepare_on_disk(graph, scratch, config)
+                    runner = OutOfCoreRunner(scratch, config)
+                    _, stats = runner.run(job.algorithm, **kwargs)
         elif deployment.kind == "multi-node":
             from repro.core.multinode import (MultiNodeConfig,
                                               MultiNodeGraphR)
@@ -77,8 +115,10 @@ def execute_job(job: Job) -> RunStats:
     return stats
 
 
-def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Process-pool entry point: job dict in, result dict out.
+def execute_payload(payload: Dict[str, object],
+                    cache_dir: Optional[str] = None
+                    ) -> Dict[str, object]:
+    """Worker entry point: job dict in, result dict out.
 
     Must stay importable at module top level (pickled by name) and must
     never raise — errors travel back as ``{"ok": False, ...}`` so the
@@ -86,10 +126,160 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     """
     try:
         job = Job.from_dict(payload)
-        stats = execute_job(job)
+        stats = execute_job(job, cache_dir=cache_dir)
         return {"ok": True, "stats": stats.to_dict()}
     except Exception:  # noqa: BLE001 - the whole point is containment
         return {"ok": False, "error": traceback.format_exc()}
+
+
+def worker_loop(conn, cache_dir: Optional[str] = None) -> None:
+    """Warm-worker loop: ``(tag, payload)`` in, ``(tag, outcome)`` out.
+
+    Serves payloads until the parent sends ``None`` or closes the pipe.
+    Job errors are contained by :func:`execute_payload`; pipe failures
+    just end the loop.  Both the batch :class:`Scheduler` and the
+    service's :class:`~repro.service.supervisor.WorkerSupervisor` run
+    their children on this one function.
+    """
+    try:
+        import signal
+
+        # A foreground Ctrl-C signals the whole process group; if it
+        # killed a worker mid-job the parent would misread a graceful
+        # interrupt as a worker *crash* and burn a retry.  Shutdown is
+        # the parent's job (sentinel / pipe close), so ignore SIGINT.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        tag, payload = message
+        try:
+            conn.send((tag, execute_payload(payload,
+                                            cache_dir=cache_dir)))
+        except (BrokenPipeError, OSError):
+            break
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died without delivering its result."""
+
+
+class WorkerTimeout(RuntimeError):
+    """A worker did not deliver its result within the allowed time."""
+
+
+def _pool_context():
+    """On Linux, ``fork`` lets workers inherit ``sys.path`` and the
+    warm dataset cache.  Elsewhere the platform default is kept:
+    macOS deliberately defaults to ``spawn`` because forking a
+    threaded parent (numpy/Accelerate) can deadlock or crash."""
+    return multiprocessing.get_context(
+        "fork" if sys.platform == "linux" else None)
+
+
+class WorkerProcess:
+    """One warm child process speaking the :func:`worker_loop` protocol.
+
+    The parent end of the duplex pipe lives here; :meth:`submit` sends
+    one ``(tag, payload)`` and :meth:`recv` waits for the matching
+    ``(tag, outcome)``, raising :class:`WorkerCrash` if the child dies
+    first and :class:`WorkerTimeout` if it exceeds the deadline.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 ctx=None) -> None:
+        ctx = ctx or _pool_context()
+        self.conn, child = ctx.Pipe()
+        # A forked child inherits BOTH pipe ends.  If it kept its copy
+        # of the parent end, the parent's death would never surface as
+        # EOF on recv() and an orphaned worker would block forever —
+        # pinning every other inherited fd (e.g. the service daemon's
+        # listening socket) with it.  Close the parent end in every
+        # subsequently forked child (this worker's own child included).
+        multiprocessing.util.register_after_fork(
+            self, WorkerProcess._close_parent_end)
+        self.process = ctx.Process(target=worker_loop,
+                                   args=(child, cache_dir),
+                                   daemon=True)
+        self.process.start()
+        child.close()
+
+    @staticmethod
+    def _close_parent_end(worker: "WorkerProcess") -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def alive(self) -> bool:
+        """Whether the child process is still running."""
+        return self.process.is_alive()
+
+    def submit(self, tag: object, payload: Dict[str, object]) -> None:
+        """Dispatch one payload; raises :class:`WorkerCrash` if the
+        pipe is already gone."""
+        try:
+            self.conn.send((tag, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(f"worker pipe closed: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None
+             ) -> Tuple[object, Dict[str, object]]:
+        """The next ``(tag, outcome)`` message.
+
+        Polls the pipe and the child's liveness together, so a silent
+        death (``os._exit``, OOM kill) surfaces as
+        :class:`WorkerCrash` instead of a hang; a result that raced
+        the death is still drained and returned.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            step = 0.1
+            if deadline is not None:
+                step = min(step, max(0.0, deadline - time.monotonic()))
+            try:
+                if self.conn.poll(step):
+                    return self.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrash(
+                    f"worker pipe broke: {exc}") from exc
+            if not self.process.is_alive():
+                try:
+                    if self.conn.poll(0):
+                        return self.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerCrash(
+                    f"worker exited with code {self.process.exitcode}")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise WorkerTimeout(
+                    f"no result within {timeout:.1f}s")
+
+    def stop(self, kill: bool = False,
+             join_timeout: float = 2.0) -> None:
+        """Shut the child down (politely, or with ``kill=True``)."""
+        if not kill and self.process.is_alive():
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        elif self.process.is_alive():
+            self.process.terminate()
+        self.process.join(join_timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(1.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
 
 
 @dataclass
@@ -100,6 +290,10 @@ class JobResult:
     stats: Optional[RunStats] = None
     error: Optional[str] = None
     from_cache: bool = False
+    #: Execution attempts consumed (> 1 only after worker crashes).
+    attempts: int = 1
+    #: The failure was a worker crash, not a deterministic job error.
+    crashed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -116,12 +310,31 @@ class JobResult:
 
 
 class Scheduler:
-    """Executes job batches, serially or across a process pool."""
+    """Executes job batches, serially or across a worker-process pool.
 
-    def __init__(self, workers: int = 1) -> None:
+    Parameters
+    ----------
+    workers:
+        Pool size; ``1`` executes in-process.
+    cache_dir:
+        Forwarded to :func:`execute_job` for artifact reuse (prepared
+        out-of-core shards); ``None`` disables it.
+    max_crash_retries:
+        How many times a job whose worker *crashed* is retried on a
+        fresh worker before being reported failed.  Deterministic job
+        errors are never retried.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: Optional[Union[str, "object"]] = None,
+                 max_crash_retries: int = 2) -> None:
         if workers < 1:
             raise JobError("workers must be >= 1")
+        if max_crash_retries < 0:
+            raise JobError("max_crash_retries must be >= 0")
         self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.max_crash_retries = max_crash_retries
 
     def run(self, jobs: Sequence[Job]) -> List[JobResult]:
         """Execute every job; results come back in submission order."""
@@ -132,28 +345,111 @@ class Scheduler:
         if self.workers > 1 and len(jobs) > 1:
             raw = self._run_pool(payloads)
         else:
-            raw = [execute_payload(payload) for payload in payloads]
+            raw = [execute_payload(payload, cache_dir=self.cache_dir)
+                   for payload in payloads]
         results = []
         for job, outcome in zip(jobs, raw):
+            attempts = int(outcome.get("attempts", 1))
             if outcome.get("ok"):
                 results.append(JobResult(
-                    job=job, stats=RunStats.from_dict(outcome["stats"])))
+                    job=job, stats=RunStats.from_dict(outcome["stats"]),
+                    attempts=attempts))
             else:
                 results.append(JobResult(
-                    job=job, error=outcome.get("error", "worker died")))
+                    job=job,
+                    error=outcome.get("error", "worker died"),
+                    attempts=attempts,
+                    crashed=bool(outcome.get("crashed"))))
         return results
 
     def _run_pool(self, payloads: List[Dict[str, object]]
                   ) -> List[Dict[str, object]]:
-        """Map payloads over a process pool, preserving order.
+        """Map payloads over warm workers, preserving order.
 
-        On Linux, ``fork`` lets workers inherit ``sys.path`` and the
-        warm dataset cache.  Elsewhere the platform default is kept:
-        macOS deliberately defaults to ``spawn`` because forking a
-        threaded parent (numpy/Accelerate) can deadlock or crash.
+        Each worker serves one payload at a time over its pipe; a
+        worker that dies mid-job is replaced and the job requeued (to
+        the front, so retries keep their scheduling slot) until its
+        crash budget runs out.
         """
-        ctx = multiprocessing.get_context(
-            "fork" if sys.platform == "linux" else None)
-        workers = min(self.workers, len(payloads))
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(execute_payload, payloads)
+        ctx = _pool_context()
+        limit = 1 + self.max_crash_retries
+        total = len(payloads)
+        results: List[Optional[Dict[str, object]]] = [None] * total
+        attempts = [0] * total
+        # A worker found dead at dispatch time (died idle after its
+        # previous job) never ran the payload, so that is not charged
+        # as an execution attempt — but it is bounded separately so a
+        # pathological spawn-die loop cannot spin forever.
+        dispatch_failures = [0] * total
+        pending = deque(range(total))
+        pool_size = min(self.workers, total)
+        workers: List[WorkerProcess] = []
+        busy: Dict[WorkerProcess, int] = {}
+
+        def crashed(index: int, detail: object) -> None:
+            if attempts[index] < limit:
+                pending.appendleft(index)
+            else:
+                results[index] = {
+                    "ok": False, "crashed": True,
+                    "error": (f"worker crashed while running job "
+                              f"(attempt {attempts[index]}/{limit}): "
+                              f"{detail}"),
+                }
+
+        try:
+            while pending or busy:
+                while len(workers) < pool_size and pending:
+                    workers.append(WorkerProcess(
+                        cache_dir=self.cache_dir, ctx=ctx))
+                for worker in list(workers):
+                    if worker in busy or not pending:
+                        continue
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    try:
+                        worker.submit(index, payloads[index])
+                    except WorkerCrash as exc:
+                        workers.remove(worker)
+                        worker.stop(kill=True)
+                        attempts[index] -= 1  # never actually ran
+                        dispatch_failures[index] += 1
+                        if dispatch_failures[index] > limit + 2:
+                            results[index] = {
+                                "ok": False, "crashed": True,
+                                "error": (f"could not dispatch job: "
+                                          f"workers died before "
+                                          f"accepting it ({exc})"),
+                            }
+                        else:
+                            pending.appendleft(index)
+                        continue
+                    busy[worker] = index
+                progressed = False
+                for worker in list(busy):
+                    try:
+                        if not worker.conn.poll(0):
+                            if worker.process.is_alive():
+                                continue
+                            if not worker.conn.poll(0):
+                                raise WorkerCrash(
+                                    f"worker exited with code "
+                                    f"{worker.process.exitcode}")
+                        tag, outcome = worker.conn.recv()
+                    except (WorkerCrash, EOFError, OSError) as exc:
+                        index = busy.pop(worker)
+                        workers.remove(worker)
+                        worker.stop(kill=True)
+                        crashed(index, exc)
+                        progressed = True
+                        continue
+                    index = busy.pop(worker)
+                    results[index] = dict(outcome)
+                    progressed = True
+                if busy and not progressed:
+                    time.sleep(0.02)
+            return [dict(outcome, attempts=attempts[index])
+                    for index, outcome in enumerate(results)]
+        finally:
+            for worker in workers:
+                worker.stop()

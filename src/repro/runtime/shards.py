@@ -1,0 +1,89 @@
+"""Prepared-shard reuse for out-of-core jobs.
+
+:func:`~repro.core.outofcore.prepare_on_disk` is deterministic: the
+block files depend only on the dataset analog (code, seed, weighting)
+and the parts of the :class:`~repro.core.config.GraphRConfig` that
+shape the preprocessing order (block size and crossbar geometry).
+Re-sharding the same graph for every out-of-core job is therefore pure
+waste — this module keys finished block directories by those inputs
+and keeps them under ``<cache_dir>/shards/<digest>/`` so repeated jobs
+stream straight from the existing shard.
+
+Publication is atomic: a shard is built in a per-process scratch
+directory and renamed into place only after its manifest (written
+last) exists, so readers never see a half-built shard and concurrent
+builders race harmlessly — the loser discards its identical copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Union
+
+from repro.core.config import GraphRConfig
+from repro.core.outofcore import _MANIFEST as MANIFEST_NAME
+from repro.core.outofcore import prepare_on_disk
+from repro.graph.graph import Graph
+
+__all__ = ["SHARD_LAYOUT_VERSION", "shard_key", "prepared_block_dir"]
+
+#: Bump when the on-disk block layout changes; old shards are simply
+#: never matched again (prune the cache dir to reclaim the space).
+SHARD_LAYOUT_VERSION = 1
+
+
+def shard_key(dataset: str, dataset_seed: int, weighted: bool,
+              config: GraphRConfig) -> str:
+    """Stable digest naming one prepared block directory.
+
+    Covers everything :func:`prepare_on_disk` reads: the dataset analog
+    identity plus the config fields that shape the block/subgraph
+    ordering.  Cost-model knobs deliberately stay out — they change
+    what a run *charges*, not what lands on disk.
+    """
+    payload = {
+        "layout_version": SHARD_LAYOUT_VERSION,
+        "dataset": dataset,
+        "dataset_seed": dataset_seed,
+        "weighted": bool(weighted),
+        "block_size": config.block_size,
+        "crossbar_size": config.crossbar_size,
+        "crossbars_per_ge": config.logical_crossbars_per_ge,
+        "num_ges": config.num_ges,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def prepared_block_dir(graph: Graph, config: GraphRConfig,
+                       cache_root: Union[str, Path], *,
+                       dataset: str, dataset_seed: int,
+                       weighted: bool) -> Path:
+    """A complete block directory for ``(dataset, config)``.
+
+    Returns the cached shard when one exists (a present manifest means
+    the rename-after-build completed), otherwise shards ``graph`` into
+    a scratch directory and atomically publishes it.
+    """
+    root = Path(cache_root) / "shards"
+    final = root / shard_key(dataset, dataset_seed, weighted, config)
+    if (final / MANIFEST_NAME).exists():
+        return final
+    root.mkdir(parents=True, exist_ok=True)
+    scratch = final.with_name(f"{final.name}.tmp.{os.getpid()}")
+    if scratch.exists():
+        shutil.rmtree(scratch)
+    prepare_on_disk(graph, scratch, config)
+    try:
+        scratch.replace(final)
+    except OSError:
+        # Lost the publication race: another process renamed its
+        # (bit-identical) copy first.  Use theirs, drop ours.
+        if not (final / MANIFEST_NAME).exists():
+            raise
+        shutil.rmtree(scratch, ignore_errors=True)
+    return final

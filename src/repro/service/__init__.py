@@ -1,0 +1,37 @@
+"""Persistent simulation service: queue daemon, HTTP API, client.
+
+The pieces, bottom to top:
+
+* :class:`~repro.service.store.JobStore` — durable SQLite job table
+  (states, priorities, timestamps, attempt counts) with content-key
+  dedup and restart recovery.
+* :class:`~repro.service.supervisor.WorkerSupervisor` — warm worker
+  processes (on the scheduler's shared ``worker_loop``) draining a
+  priority queue, with per-job timeout and bounded crash retries.
+* :class:`~repro.service.daemon.SimulationService` — the daemon core:
+  store + result cache + supervisor, transport-independent.
+* :mod:`~repro.service.http` — stdlib ``ThreadingHTTPServer`` JSON API
+  (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``GET /v1/metrics`` ...).
+* :class:`~repro.service.client.ServiceClient` — ``urllib`` client and
+  BatchRunner-compatible backend for sweeps and the harness.
+
+``repro serve`` starts the daemon; ``repro submit`` / ``status`` /
+``result`` talk to it.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import SimulationService
+from repro.service.http import ServiceHTTPServer, serve_in_thread
+from repro.service.store import JOB_STATES, JobRecord, JobStore
+from repro.service.supervisor import WorkerSupervisor
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobStore",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "SimulationService",
+    "WorkerSupervisor",
+    "serve_in_thread",
+]

@@ -1,0 +1,241 @@
+"""HTTP client for the simulation service.
+
+:class:`ServiceClient` is both the CLI's transport (``repro submit`` /
+``status`` / ``result``) and a drop-in *sweep backend*: it exposes the
+same ``make_job`` / ``run_jobs`` / ``run`` surface as
+:class:`~repro.runtime.runner.BatchRunner`, so the sweep utilities and
+the experiment harness can execute their grids against a running
+daemon instead of a private process pool:
+
+>>> from repro.experiments.sweeps import geometry_sweep
+>>> client = ServiceClient("http://127.0.0.1:8750")
+>>> points = geometry_sweep("WV", runner=client)   # doctest: +SKIP
+
+Everything speaks stdlib ``urllib`` — no extra dependencies — and all
+transport or protocol failures surface as
+:class:`~repro.errors.JobError`, the runtime's existing error
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.config import GraphRConfig
+from repro.core.partitioned import DeploymentSpec
+from repro.errors import JobError
+from repro.hw.stats import RunStats
+from repro.runtime.job import Job
+from repro.runtime.scheduler import JobResult
+
+__all__ = ["ServiceClient", "TERMINAL_STATES"]
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Talk to a ``repro serve`` daemon over its JSON API.
+
+    Parameters
+    ----------
+    base_url:
+        The daemon's root, e.g. ``"http://127.0.0.1:8750"``.
+    timeout_s:
+        Socket timeout per request.
+    poll_interval_s:
+        Sleep between polls while waiting on jobs.
+    config:
+        Default GraphR configuration :meth:`make_job` stamps on jobs
+        without one (mirrors :class:`BatchRunner`).
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0,
+                 poll_interval_s: float = 0.2,
+                 config: Optional[GraphRConfig] = None) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.poll_interval_s = poll_interval_s
+        self.config = config or GraphRConfig(mode="analytic")
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[object] = None) -> Dict[str, object]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, method=method,
+                                         headers=headers)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                body = response.read().decode()
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode()).get("error")
+            except Exception:  # noqa: BLE001 - body is best-effort
+                detail = None
+            message = f"service {method} {path} failed: HTTP {exc.code}"
+            if detail:
+                message += f" ({detail})"
+            raise JobError(message) from exc
+        except urllib.error.URLError as exc:
+            raise JobError(f"cannot reach service at {self.base_url}: "
+                           f"{exc.reason}") from exc
+        try:
+            return json.loads(body) if body else {}
+        except ValueError as exc:
+            raise JobError(
+                f"service returned non-JSON from {path}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def health(self) -> bool:
+        """Whether the daemon answers its liveness probe."""
+        try:
+            return bool(self._request("GET", "/v1/health").get("ok"))
+        except JobError:
+            return False
+
+    def submit(self, jobs: Union[Job, Mapping, Sequence],
+               defaults: Optional[Mapping] = None,
+               priority: int = 0) -> List[Dict[str, object]]:
+        """Submit one job (or entry dict) or a batch; returns the
+        submission dicts (``id``, ``key``, ``state``,
+        ``from_cache``)."""
+        if isinstance(jobs, (Job, Mapping)):
+            jobs = [jobs]
+        entries = [job.to_dict() if isinstance(job, Job) else dict(job)
+                   for job in jobs]
+        payload: Dict[str, object] = {"jobs": entries}
+        if defaults:
+            payload["defaults"] = dict(defaults)
+        if priority:
+            payload["priority"] = int(priority)
+        reply = self._request("POST", "/v1/jobs", payload)
+        return list(reply.get("submissions", []))
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """Status (and stats, when done) of one job."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None,
+             limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """List jobs, optionally one state only."""
+        query = []
+        if state is not None:
+            query.append(f"state={state}")
+        if limit is not None:
+            query.append(f"limit={int(limit)}")
+        path = "/v1/jobs" + (f"?{'&'.join(query)}" if query else "")
+        return list(self._request("GET", path).get("jobs", []))
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job (:class:`JobError` once it left the
+        queue)."""
+        reply = self._request("DELETE", f"/v1/jobs/{job_id}")
+        return bool(reply.get("cancelled"))
+
+    def metrics(self) -> Dict[str, object]:
+        """The daemon's live metrics."""
+        return self._request("GET", "/v1/metrics")
+
+    def wait_for(self, job_ids: Sequence[str],
+                 timeout_s: Optional[float] = None
+                 ) -> List[Dict[str, object]]:
+        """Poll until every id is terminal; details in input order.
+
+        Duplicate ids (deduped submissions) are polled once.  Raises
+        :class:`JobError` when ``timeout_s`` elapses first.
+        """
+        deadline = (None if timeout_s is None
+                    else time.monotonic() + timeout_s)
+        details: Dict[str, Dict[str, object]] = {}
+        while True:
+            for job_id in job_ids:
+                if job_id in details:
+                    continue
+                detail = self.job(job_id)
+                if detail.get("state") in TERMINAL_STATES:
+                    details[job_id] = detail
+            if len(details) == len(set(job_ids)):
+                return [details[job_id] for job_id in job_ids]
+            if deadline is not None and time.monotonic() >= deadline:
+                waiting = sorted(set(job_ids) - set(details))
+                raise JobError(
+                    f"timed out after {timeout_s:.1f}s waiting for "
+                    f"job(s): {', '.join(waiting)}")
+            time.sleep(self.poll_interval_s)
+
+    # ------------------------------------------------------------------
+    # BatchRunner-compatible backend surface (sweeps / harness).
+    def make_job(self, algorithm: str, dataset: str,
+                 platform: str = "graphr",
+                 config: Optional[GraphRConfig] = None,
+                 deployment: Optional[DeploymentSpec] = None,
+                 **run_kwargs) -> Job:
+        """Build a job carrying this client's default configuration
+        (mirrors :meth:`BatchRunner.make_job`)."""
+        return Job(
+            algorithm=algorithm,
+            dataset=dataset,
+            platform=platform,
+            config=(config or self.config) if platform == "graphr"
+            else None,
+            deployment=deployment,
+            run_kwargs=run_kwargs,
+        )
+
+    def run_jobs(self, jobs: Sequence[Job],
+                 timeout_s: Optional[float] = None
+                 ) -> List[JobResult]:
+        """Submit a batch and block until it drains.
+
+        The returned list matches ``jobs`` in length and order with
+        either stats or a captured error per job — the
+        :meth:`BatchRunner.run_jobs` contract, served remotely.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        submissions = self.submit(jobs)
+        details = self.wait_for([sub["id"] for sub in submissions],
+                                timeout_s=timeout_s)
+        results = []
+        for job, submission, detail in zip(jobs, submissions, details):
+            attempts = int(detail.get("attempts") or 1)
+            from_cache = bool(submission.get("from_cache"))
+            if detail.get("state") == "done" and detail.get("stats"):
+                results.append(JobResult(
+                    job=job,
+                    stats=RunStats.from_dict(detail["stats"]),
+                    from_cache=from_cache,
+                    attempts=attempts))
+            else:
+                error = detail.get("error") or (
+                    f"job {detail.get('id')} ended in state "
+                    f"{detail.get('state')!r} with no stats")
+                results.append(JobResult(job=job, error=error,
+                                         attempts=attempts))
+        return results
+
+    def run(self, algorithm: str, dataset: str,
+            platform: str = "graphr",
+            config: Optional[GraphRConfig] = None,
+            deployment: Optional[DeploymentSpec] = None,
+            **run_kwargs) -> RunStats:
+        """One-job convenience: submit, wait, unwrap."""
+        job = self.make_job(algorithm, dataset, platform=platform,
+                            config=config, deployment=deployment,
+                            **run_kwargs)
+        return self.run_jobs([job])[0].unwrap()
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.base_url!r})"

@@ -1,0 +1,222 @@
+"""The persistent simulation service tying store, cache and workers.
+
+:class:`SimulationService` is the daemon's core, independent of any
+transport: the HTTP layer (:mod:`repro.service.http`) and tests drive
+exactly the same object.  It owns
+
+* a :class:`~repro.service.store.JobStore` (durable state, dedup,
+  restart recovery),
+* a :class:`~repro.runtime.cache.ResultCache` (finished stats by
+  content key — shared with ``repro batch``, so a batch-warmed cache
+  serves the service and vice versa),
+* a :class:`~repro.service.supervisor.WorkerSupervisor` (warm worker
+  processes draining the priority queue).
+
+Submission semantics: the content key decides everything.  A key whose
+stats already sit in the result cache is recorded ``done`` and served
+immediately (no execution); a key already ``queued``/``running``/
+``done`` dedupes to the existing job; only genuinely new work (or a
+revived ``failed``/``cancelled`` job, or a ``done`` job whose cached
+result was pruned) is enqueued.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import JobError
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import Job
+from repro.service.store import JobRecord, JobStore
+from repro.service.supervisor import WorkerSupervisor
+
+__all__ = ["SimulationService"]
+
+
+class SimulationService:
+    """Long-running simulation back end with durable queueing.
+
+    Parameters
+    ----------
+    db_path:
+        SQLite job-store file (created with parents as needed).
+    cache_dir:
+        Result-cache directory; defaults to ``<db dir>/cache``.
+    workers:
+        Warm worker-process count (``0`` queues without executing).
+    job_timeout_s / max_crash_retries:
+        Forwarded to the :class:`WorkerSupervisor`.
+    """
+
+    def __init__(self, db_path: Union[str, Path],
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 workers: int = 2,
+                 job_timeout_s: Optional[float] = None,
+                 max_crash_retries: int = 2) -> None:
+        self.db_path = Path(db_path)
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_dir = Path(cache_dir) if cache_dir is not None \
+            else self.db_path.parent / "cache"
+        self.cache = ResultCache(cache_dir)
+        self.store = JobStore(self.db_path)
+        self.supervisor = WorkerSupervisor(
+            self.store, self.cache, workers=workers,
+            cache_dir=str(cache_dir), job_timeout_s=job_timeout_s,
+            max_crash_retries=max_crash_retries)
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._submissions = 0
+        self._cache_served = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> List[JobRecord]:
+        """Recover the queue from the store and start the workers.
+
+        Jobs the previous daemon left ``running`` are requeued (and
+        returned, for logging); every ``queued`` row is re-offered to
+        the priority queue.  Durable state drives the in-memory queue,
+        never the other way round — that is the restart guarantee.
+        """
+        requeued = self.store.recover()
+        for record in self.store.queued_records():
+            self.supervisor.enqueue(record)
+        self.supervisor.start()
+        self._started_at = time.time()
+        return requeued
+
+    def stop(self, drain: bool = False,
+             timeout: Optional[float] = None) -> None:
+        """Stop the workers (finishing in-flight jobs; ``drain=True``
+        empties the queue first) and close the store.
+
+        If a ``timeout`` left a slot thread mid-job the store stays
+        open — closing it under a live worker would drop its result;
+        the daemon-thread slot dies with the process instead.
+        """
+        clean = self.supervisor.stop(drain=drain, timeout=timeout)
+        if clean:
+            self.store.close()
+
+    # ------------------------------------------------------------------
+    def submit(self, entries: Union[Mapping, Sequence],
+               defaults: Optional[Mapping] = None,
+               priority: int = 0) -> List[Dict[str, object]]:
+        """Submit one entry or a batch; one submission dict per entry.
+
+        Each entry is a job-file dictionary (``defaults`` merged
+        underneath, exactly like :func:`~repro.runtime.job.
+        load_jobfile`) or a ready :class:`Job`.  Invalid entries raise
+        :class:`JobError` before anything is recorded — a batch is
+        accepted or rejected atomically.
+        """
+        if isinstance(entries, Mapping):
+            entries = [entries]
+        entries = list(entries)
+        if not entries:
+            raise JobError("no jobs submitted")
+        jobs = [entry if isinstance(entry, Job)
+                else Job.from_dict(entry, defaults)
+                for entry in entries]
+        out = []
+        for job in jobs:
+            with self._lock:
+                self._submissions += 1
+            served_from_cache = self.cache.get(job) is not None
+            if served_from_cache:
+                record, _ = self.store.submit(job, priority=priority,
+                                              from_cache=True)
+                with self._lock:
+                    self._cache_served += 1
+                created = False
+            else:
+                record, created = self.store.submit(job,
+                                                    priority=priority)
+                if not created and record.state == "done":
+                    # The row is done but its result left the cache
+                    # (pruned): the only way to honour the submission
+                    # is to recompute.
+                    if self.store.requeue(record.id):
+                        record = self.store.get(record.id)
+                        created = True
+                if created and record.state == "queued":
+                    self.supervisor.enqueue(record)
+            out.append({
+                "id": record.id,
+                "key": record.content_key,
+                "state": record.state,
+                "from_cache": served_from_cache or record.from_cache,
+                "created": created,
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    def job_detail(self, job_id: str) -> Optional[Dict[str, object]]:
+        """Full job row, plus its stats when ``done`` (``None`` for an
+        unknown id).  ``stats`` is ``null`` if the cached result was
+        pruned after completion — resubmitting the job recomputes it.
+        """
+        record = self.store.get(job_id)
+        if record is None:
+            return None
+        payload = record.to_dict()
+        if record.state == "done":
+            # peek, not get: status polling must not skew the
+            # hit-rate, which measures dedup.
+            stats = self.cache.peek(record.job())
+            payload["stats"] = stats.to_dict() if stats is not None \
+                else None
+        return payload
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: Optional[int] = None
+                  ) -> List[Dict[str, object]]:
+        """Job rows (without stats), newest first."""
+        return [record.to_dict()
+                for record in self.store.list(state=state, limit=limit)]
+
+    def cancel(self, job_id: str) -> Optional[bool]:
+        """Cancel a queued job (see :meth:`JobStore.cancel`)."""
+        return self.store.cancel(job_id)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """Live service metrics for ``GET /v1/metrics``."""
+        counts = self.store.counts()
+        now = time.time()
+        with self._lock:
+            submissions = self._submissions
+            cache_served = self._cache_served
+        done_last_minute = self.store.done_since(now - 60.0)
+        inventory = self.cache.entries()  # one walk for both numbers
+        return {
+            "uptime_s": (now - self._started_at
+                         if self._started_at else 0.0),
+            "queue_depth": counts["queued"],
+            "running": counts["running"],
+            "counts": counts,
+            "workers": {
+                "total": self.supervisor.workers,
+                "busy": self.supervisor.busy_workers,
+                "utilisation": self.supervisor.utilisation(),
+            },
+            "jobs": {
+                "submitted": submissions,
+                "served_from_cache": cache_served,
+                "completed": self.supervisor.completed,
+                "failed": self.supervisor.failed,
+                "done_last_minute": done_last_minute,
+                "per_sec_1m": done_last_minute / 60.0,
+            },
+            "cache": dict(self.cache.stats.as_dict(),
+                          entries=len(inventory),
+                          total_bytes=sum(entry.bytes
+                                          for entry in inventory)),
+        }
+
+    def __repr__(self) -> str:
+        return (f"SimulationService(db={str(self.db_path)!r}, "
+                f"workers={self.supervisor.workers}, "
+                f"jobs={len(self.store)})")

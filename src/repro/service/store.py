@@ -1,0 +1,360 @@
+"""Durable job store for the persistent simulation service.
+
+One SQLite database (stdlib :mod:`sqlite3`, WAL journaling) records
+every submitted job: its canonical spec, content key, state machine
+(``queued → running → done|failed``, plus ``cancelled`` for queued
+jobs), priority, timestamps, attempt count and error text.  The store
+is the service's source of truth — the in-memory priority queue is
+rebuilt from it on every daemon start, and jobs found ``running`` at
+startup (the previous daemon died mid-execution) are requeued, so a
+restart loses nothing.
+
+Dedup lives here too: ``content_key`` is UNIQUE, so two clients
+submitting the same canonical job — concurrently or days apart — share
+one row and one execution.  Results are *not* stored in SQLite; a
+``done`` row references its stats through the content key, which is
+exactly the :class:`~repro.runtime.cache.ResultCache` file name.
+
+All methods are thread-safe (one connection, one lock): the HTTP
+handler threads and the worker-slot threads hit the same store.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import JobError
+from repro.runtime.job import Job
+
+__all__ = ["JobStore", "JobRecord", "JOB_STATES"]
+
+#: The job state machine's vocabulary.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id           TEXT PRIMARY KEY,
+    content_key  TEXT NOT NULL UNIQUE,
+    spec         TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    error        TEXT,
+    from_cache   INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
+"""
+
+_COLUMNS = ("id", "content_key", "spec", "state", "priority",
+            "attempts", "error", "from_cache", "submitted_at",
+            "started_at", "finished_at")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job row, decoded."""
+
+    id: str
+    content_key: str
+    spec: Dict[str, object]
+    state: str
+    priority: int
+    attempts: int
+    error: Optional[str]
+    from_cache: bool
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+
+    def job(self) -> Job:
+        """Reconstruct the canonical :class:`Job` from the stored
+        spec."""
+        return Job.from_dict(self.spec)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe row (the HTTP API's job representation)."""
+        return {
+            "id": self.id,
+            "key": self.content_key,
+            "spec": dict(self.spec),
+            "state": self.state,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "error": self.error,
+            "from_cache": self.from_cache,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def job_id_for_key(content_key: str) -> str:
+    """Deterministic short id of a content key (dedup-friendly: the
+    same canonical job always maps to the same id)."""
+    return f"j{content_key[:16]}"
+
+
+class JobStore:
+    """SQLite-backed job table shared by the HTTP front end and the
+    worker supervisor."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path),
+                                     check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(row: sqlite3.Row) -> JobRecord:
+        return JobRecord(
+            id=row["id"],
+            content_key=row["content_key"],
+            spec=json.loads(row["spec"]),
+            state=row["state"],
+            priority=row["priority"],
+            attempts=row["attempts"],
+            error=row["error"],
+            from_cache=bool(row["from_cache"]),
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+        )
+
+    def _fetch(self, where: str, params: Tuple) -> Optional[JobRecord]:
+        row = self._conn.execute(
+            f"SELECT * FROM jobs WHERE {where}", params).fetchone()
+        return self._record(row) if row is not None else None
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, priority: int = 0,
+               from_cache: bool = False) -> Tuple[JobRecord, bool]:
+        """Record one submission; returns ``(record, created)``.
+
+        ``created`` is ``True`` when this call put the job on the
+        queue (a brand-new row, or a ``failed``/``cancelled`` row
+        revived, or a queued row escalated to a higher priority) — the
+        caller must enqueue exactly the submissions it created, which
+        is what makes two racing clients share one execution.
+        ``queued``/``running``/``done`` rows otherwise dedupe: the
+        existing record comes back untouched.  With ``from_cache=True``
+        the job is recorded as already ``done`` (the result was served
+        straight from the result cache) and never queued.
+        """
+        key = job.content_key()
+        job_id = job_id_for_key(key)
+        now = time.time()
+        state = "done" if from_cache else "queued"
+        finished = now if from_cache else None
+        with self._lock, self._conn:
+            existing = self._fetch("content_key = ?", (key,))
+            if existing is None:
+                try:
+                    self._conn.execute(
+                        "INSERT INTO jobs (id, content_key, spec, "
+                        "state, priority, attempts, from_cache, "
+                        "submitted_at, finished_at) "
+                        "VALUES (?, ?, ?, ?, ?, 0, ?, ?, ?)",
+                        (job_id, key,
+                         json.dumps(job.to_dict(), sort_keys=True),
+                         state, int(priority), int(from_cache), now,
+                         finished))
+                except sqlite3.IntegrityError:
+                    # Raced with another submitter between fetch and
+                    # insert; their row wins.
+                    existing = self._fetch("content_key = ?", (key,))
+                else:
+                    return self._fetch("id = ?", (job_id,)), \
+                        not from_cache
+            if existing.state == "queued" and not from_cache \
+                    and int(priority) > existing.priority:
+                # An urgent resubmission of a queued job escalates it:
+                # the row keeps its identity but jumps the queue
+                # (created=True so the caller re-enqueues; the stale
+                # low-priority queue entry loses the claim race).
+                self._conn.execute(
+                    "UPDATE jobs SET priority = ? "
+                    "WHERE id = ? AND state = 'queued'",
+                    (int(priority), existing.id))
+                return self._fetch("id = ?", (existing.id,)), True
+            if existing.state in ("queued", "running", "done"):
+                return existing, False
+            # failed/cancelled: revive the row under the new submission.
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, priority = ?, attempts = 0,"
+                " error = NULL, from_cache = ?, submitted_at = ?, "
+                "started_at = NULL, finished_at = ? WHERE id = ?",
+                (state, int(priority), int(from_cache), now, finished,
+                 existing.id))
+            return self._fetch("id = ?", (existing.id,)), not from_cache
+
+    def requeue(self, job_id: str) -> bool:
+        """Put a terminal job back on the queue (e.g. its cached result
+        was pruned); ``True`` if the row changed."""
+        with self._lock, self._conn:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state = 'queued', attempts = 0, "
+                "error = NULL, from_cache = 0, submitted_at = ?, "
+                "started_at = NULL, finished_at = NULL "
+                "WHERE id = ? AND state IN ('done', 'failed', "
+                "'cancelled')",
+                (time.time(), job_id))
+            return cur.rowcount == 1
+
+    def claim(self, job_id: str) -> bool:
+        """Atomically move one queued job to ``running``.
+
+        The compare-and-swap is what lets several worker slots (and a
+        duplicate priority-queue entry) pop the same id safely: exactly
+        one claim succeeds.
+        """
+        with self._lock, self._conn:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ? "
+                "WHERE id = ? AND state = 'queued'",
+                (time.time(), job_id))
+            return cur.rowcount == 1
+
+    def bump_attempts(self, job_id: str) -> int:
+        """Count one execution attempt; returns the new total."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET attempts = attempts + 1 WHERE id = ?",
+                (job_id,))
+            row = self._conn.execute(
+                "SELECT attempts FROM jobs WHERE id = ?",
+                (job_id,)).fetchone()
+            if row is None:
+                raise JobError(f"unknown job {job_id!r}")
+            return row["attempts"]
+
+    def finish(self, job_id: str, ok: bool,
+               error: Optional[str] = None) -> bool:
+        """Terminal transition of a running job; ``True`` on success."""
+        with self._lock, self._conn:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state = ?, error = ?, finished_at = ? "
+                "WHERE id = ? AND state = 'running'",
+                ("done" if ok else "failed", error, time.time(),
+                 job_id))
+            return cur.rowcount == 1
+
+    def cancel(self, job_id: str) -> Optional[bool]:
+        """Cancel a queued job.
+
+        ``None`` for an unknown id, ``False`` when the job exists but
+        already left the queue, ``True`` when it was cancelled.
+        """
+        with self._lock, self._conn:
+            if self._fetch("id = ?", (job_id,)) is None:
+                return None
+            cur = self._conn.execute(
+                "UPDATE jobs SET state = 'cancelled', finished_at = ? "
+                "WHERE id = ? AND state = 'queued'",
+                (time.time(), job_id))
+            return cur.rowcount == 1
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """One job by id."""
+        with self._lock:
+            return self._fetch("id = ?", (job_id,))
+
+    def get_by_key(self, content_key: str) -> Optional[JobRecord]:
+        """One job by content key."""
+        with self._lock:
+            return self._fetch("content_key = ?", (content_key,))
+
+    def list(self, state: Optional[str] = None,
+             limit: Optional[int] = None) -> List[JobRecord]:
+        """Jobs, newest submission first, optionally one state only."""
+        if state is not None and state not in JOB_STATES:
+            raise JobError(f"unknown job state {state!r}; available: "
+                           f"{', '.join(JOB_STATES)}")
+        sql = "SELECT * FROM jobs"
+        params: Tuple = ()
+        if state is not None:
+            sql += " WHERE state = ?"
+            params = (state,)
+        sql += " ORDER BY submitted_at DESC, id"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [self._record(row) for row in rows]
+
+    def queued_records(self) -> List[JobRecord]:
+        """Queued jobs in dispatch order (priority, then submission)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE state = 'queued' "
+                "ORDER BY priority DESC, submitted_at ASC, id"
+            ).fetchall()
+        return [self._record(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Row count per state (states with no jobs report 0)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        out = {state: 0 for state in JOB_STATES}
+        out.update({row["state"]: row["n"] for row in rows})
+        return out
+
+    def done_since(self, since: float) -> int:
+        """How many jobs finished successfully after ``since``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE state = 'done' "
+                "AND finished_at >= ?", (since,)).fetchone()
+        return row["n"]
+
+    # ------------------------------------------------------------------
+    def recover(self) -> List[JobRecord]:
+        """Requeue every job the previous daemon left ``running``.
+
+        Call once at daemon startup, before workers start: jobs that
+        were mid-execution when the process died go back to the queue
+        (their attempt counts survive, so a crash-looping job still
+        exhausts its retry budget across restarts).
+        """
+        with self._lock, self._conn:
+            rows = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = 'running'"
+            ).fetchall()
+            ids = [row["id"] for row in rows]
+            if ids:
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'queued', "
+                    "started_at = NULL WHERE state = 'running'")
+        return [self.get(job_id) for job_id in ids]
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs").fetchone()
+        return row["n"]
+
+    def __repr__(self) -> str:
+        return f"JobStore({str(self.path)!r}, jobs={len(self)})"

@@ -1,0 +1,234 @@
+"""Warm worker pool draining the service's priority queue.
+
+One supervisor thread per worker slot, each owning one long-lived
+child process on the scheduler's :func:`~repro.runtime.scheduler.
+worker_loop` — workers stay warm across jobs (imports paid once, the
+dataset cache stays hot), which is the point of running a daemon
+instead of `repro batch`.
+
+Each slot loops: pop the highest-priority job id, *claim* it in the
+store (the atomic queued→running compare-and-swap — a cancelled or
+duplicate entry simply fails the claim and is skipped), execute it on
+the slot's worker, and record the outcome:
+
+* ``{"ok": True}`` — stats go to the result cache, the row goes
+  ``done``;
+* ``{"ok": False}`` — a deterministic :class:`~repro.errors.JobError`
+  inside the job; it would fail identically on retry, so the row goes
+  ``failed`` immediately;
+* worker crash (pipe broke / child exited) — the worker is respawned
+  and the job retried up to ``max_crash_retries`` times;
+* timeout — the worker is killed and the job marked ``failed``
+  (a deterministic simulation that exceeded the budget once will
+  exceed it again).
+
+Shutdown is graceful: slots finish their in-flight job; with
+``drain=True`` they first empty the queue.  Whatever stays ``queued``
+in the store is re-enqueued by the next daemon's
+:meth:`~repro.service.daemon.SimulationService.start`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import List, Optional, Set
+
+from repro.errors import JobError
+from repro.hw.stats import RunStats
+from repro.runtime.cache import ResultCache
+from repro.runtime.scheduler import (WorkerCrash, WorkerProcess,
+                                     WorkerTimeout)
+from repro.service.store import JobRecord, JobStore
+
+__all__ = ["WorkerSupervisor"]
+
+
+class WorkerSupervisor:
+    """Keeps ``workers`` warm processes executing queued jobs.
+
+    Parameters
+    ----------
+    store:
+        The durable job store (claims, attempts, terminal states).
+    cache:
+        Result cache finished stats are written to; ``None`` disables
+        result persistence (tests only — the service always passes
+        one).
+    workers:
+        Worker-slot count.  ``0`` is allowed: the service then only
+        queues (useful for tests and for a dedicated front-end
+        process).
+    cache_dir:
+        Forwarded to the workers for artifact reuse (prepared
+        out-of-core shards).
+    job_timeout_s:
+        Per-job wall-clock budget; ``None`` means unbounded.
+    max_crash_retries:
+        Crash retry budget per job (deterministic failures are never
+        retried).
+    """
+
+    def __init__(self, store: JobStore,
+                 cache: Optional[ResultCache] = None,
+                 workers: int = 2,
+                 cache_dir: Optional[str] = None,
+                 job_timeout_s: Optional[float] = None,
+                 max_crash_retries: int = 2) -> None:
+        if workers < 0:
+            raise JobError("workers must be >= 0")
+        if max_crash_retries < 0:
+            raise JobError("max_crash_retries must be >= 0")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise JobError("job_timeout_s must be positive or None")
+        self.store = store
+        self.cache = cache
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.job_timeout_s = job_timeout_s
+        self.max_crash_retries = max_crash_retries
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._seq = itertools.count()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._drain = threading.Event()
+        self._busy: Set[int] = set()
+        self._counter_lock = threading.Lock()
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, record: JobRecord) -> None:
+        """Offer one queued job to the slots (higher priority first,
+        FIFO within a priority)."""
+        self._queue.put((-record.priority, next(self._seq), record.id))
+
+    def start(self) -> None:
+        """Spawn the slot threads (idempotent while running)."""
+        if self._threads:
+            return
+        self._stop.clear()
+        self._drain.clear()
+        for slot in range(self.workers):
+            thread = threading.Thread(target=self._slot_loop,
+                                      args=(slot,),
+                                      name=f"repro-worker-{slot}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, drain: bool = False,
+             timeout: Optional[float] = None) -> bool:
+        """Stop the pool, finishing each slot's in-flight job.
+
+        ``drain=True`` first empties the queue; otherwise queued jobs
+        stay ``queued`` in the store for the next daemon.  Returns
+        ``True`` when every slot thread actually exited; with a
+        ``timeout`` a slot mid-job may outlive the call — it is kept
+        in the roster (so a later ``start()`` cannot double-spawn) and
+        the caller must not tear down shared state under it.
+        """
+        if drain:
+            self._drain.set()
+        else:
+            self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._stop.set()
+        self._threads = [thread for thread in self._threads
+                         if thread.is_alive()]
+        return not self._threads
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_workers(self) -> int:
+        """Slots currently executing a job."""
+        with self._counter_lock:
+            return len(self._busy)
+
+    @property
+    def queue_backlog(self) -> int:
+        """Entries sitting in the in-memory priority queue."""
+        return self._queue.qsize()
+
+    def utilisation(self) -> float:
+        """Busy slots over total slots (0.0 with no workers)."""
+        return self.busy_workers / self.workers if self.workers else 0.0
+
+    # ------------------------------------------------------------------
+    def _slot_loop(self, slot: int) -> None:
+        worker: Optional[WorkerProcess] = None
+        try:
+            while not self._stop.is_set():
+                try:
+                    _, _, job_id = self._queue.get(timeout=0.1)
+                except queue.Empty:
+                    if self._drain.is_set():
+                        break
+                    continue
+                if not self.store.claim(job_id):
+                    continue  # cancelled, done, or a duplicate entry
+                record = self.store.get(job_id)
+                with self._counter_lock:
+                    self._busy.add(slot)
+                try:
+                    worker = self._run_job(worker, record)
+                finally:
+                    with self._counter_lock:
+                        self._busy.discard(slot)
+        finally:
+            if worker is not None:
+                worker.stop()
+
+    def _spawn(self) -> WorkerProcess:
+        return WorkerProcess(cache_dir=self.cache_dir)
+
+    def _run_job(self, worker: Optional[WorkerProcess],
+                 record: JobRecord) -> Optional[WorkerProcess]:
+        """Execute one claimed job; returns the slot's (possibly
+        respawned) warm worker for the next job."""
+        job = record.job()
+        limit = 1 + self.max_crash_retries
+        while True:
+            attempts = self.store.bump_attempts(record.id)
+            if worker is None or not worker.alive():
+                worker = self._spawn()
+            try:
+                worker.submit(record.id, record.spec)
+                _, outcome = worker.recv(timeout=self.job_timeout_s)
+            except WorkerTimeout:
+                worker.stop(kill=True)
+                self._finish(record, job, ok=False,
+                             error=(f"job timed out after "
+                                    f"{self.job_timeout_s:.1f}s "
+                                    f"(attempt {attempts})"))
+                return None
+            except WorkerCrash as exc:
+                worker.stop(kill=True)
+                worker = None
+                if attempts < limit:
+                    continue
+                self._finish(record, job, ok=False,
+                             error=(f"worker crashed after {attempts} "
+                                    f"attempt(s): {exc}"))
+                return None
+            if outcome.get("ok"):
+                if self.cache is not None:
+                    self.cache.put(job,
+                                   RunStats.from_dict(outcome["stats"]))
+                self._finish(record, job, ok=True)
+            else:
+                self._finish(record, job, ok=False,
+                             error=outcome.get("error",
+                                               "unknown worker error"))
+            return worker
+
+    def _finish(self, record: JobRecord, job, ok: bool,
+                error: Optional[str] = None) -> None:
+        self.store.finish(record.id, ok=ok, error=error)
+        with self._counter_lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1

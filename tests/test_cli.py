@@ -132,3 +132,117 @@ class TestRuntimeCommands:
     def test_bad_jobfile_is_an_error_exit(self, capsys, tmp_path):
         assert main(["batch", str(tmp_path / "absent.json")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    def warm(self, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["run", "spmv", "WV", "--cache-dir", str(cache),
+                     "--json"]) == 0
+        return cache
+
+    def test_cache_stats(self, capsys, tmp_path):
+        cache = self.warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["total_bytes"] > 0
+        assert payload["oldest"]["key"] == payload["newest"]["key"]
+
+    def test_cache_prune(self, capsys, tmp_path):
+        cache = self.warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", str(cache),
+                     "--max-bytes", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["evicted"]) == 1
+        assert payload["remaining_bytes"] == 0
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestServiceCLI:
+    """Parser coverage plus one live serve/submit/status/result loop
+    (the HTTP server runs in-thread; the daemon's workers are real
+    processes)."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8750
+        assert args.workers == 2
+        assert args.db == ".repro-service/jobs.db"
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            ["submit", "jobs.json", "--wait", "--priority", "3",
+             "--url", "http://127.0.0.1:9999"])
+        assert args.wait and args.priority == 3
+        assert args.url == "http://127.0.0.1:9999"
+
+    def test_unreachable_service_is_an_error_exit(self, capsys,
+                                                  tmp_path):
+        jobfile = tmp_path / "jobs.json"
+        jobfile.write_text(json.dumps(
+            [{"algorithm": "spmv", "dataset": "WV"}]))
+        assert main(["submit", str(jobfile),
+                     "--url", "http://127.0.0.1:1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_status_result_against_live_service(self, capsys,
+                                                       tmp_path):
+        from repro.service import SimulationService, serve_in_thread
+
+        service = SimulationService(tmp_path / "svc" / "jobs.db",
+                                    workers=2)
+        service.start()
+        server = serve_in_thread(service)
+        try:
+            jobfile = tmp_path / "jobs.json"
+            jobfile.write_text(json.dumps({
+                "jobs": [
+                    {"algorithm": "spmv", "dataset": "WV"},
+                    {"algorithm": "bfs", "dataset": "WV",
+                     "platform": "cpu",
+                     "run_kwargs": {"source": 0}},
+                ],
+            }))
+            argv = ["submit", str(jobfile), "--url", server.url,
+                    "--wait", "--json"]
+            assert main(argv) == 0
+            details = json.loads(capsys.readouterr().out)["jobs"]
+            assert [d["state"] for d in details] == ["done", "done"]
+
+            # Bit-identical to the batch runtime on the same job file.
+            cache = tmp_path / "batch-cache"
+            assert main(["batch", str(jobfile), "--cache-dir",
+                         str(cache), "--json"]) == 0
+            batch = json.loads(capsys.readouterr().out)["results"]
+            for via_service, via_batch in zip(details, batch):
+                assert via_service["stats"] == via_batch["stats"]
+
+            # A warm resubmit is served from cache.
+            assert main(argv) == 0
+            details = json.loads(capsys.readouterr().out)["jobs"]
+            assert all(d["from_cache"] for d in details)
+
+            assert main(["status", "--url", server.url,
+                         "--json"]) == 0
+            listing = json.loads(capsys.readouterr().out)["jobs"]
+            assert len(listing) == 2
+
+            job_id = details[0]["id"]
+            assert main(["status", job_id, "--url", server.url]) == 0
+            assert "done" in capsys.readouterr().out
+            assert main(["result", job_id, "--url", server.url,
+                         "--json"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats == details[0]["stats"]
+        finally:
+            server.shutdown()
+            service.stop()

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "validate_and_size",
     "design_space",
     "batch_runtime",
+    "service_client",
 ]
 
 

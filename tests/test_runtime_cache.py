@@ -68,6 +68,70 @@ class TestInvalidation:
         assert len(cache) == 0
 
 
+class TestPeek:
+    def test_peek_reads_without_counting(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        assert cache.peek(job) is None
+        cache.put(job, make_stats())
+        got = cache.peek(job)
+        assert got is not None
+        assert got.to_dict() == make_stats().to_dict()
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+
+class TestInventoryAndPrune:
+    def put_aged(self, cache, job, age):
+        """Store one entry and backdate its mtime by ``age`` seconds."""
+        import os
+        import time
+
+        path = cache.put(job, make_stats())
+        stamp = time.time() - age
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_entries_oldest_first(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        newer = Job("spmv", "WV")
+        self.put_aged(cache, job, age=100)
+        self.put_aged(cache, newer, age=10)
+        entries = cache.entries()
+        assert [e.key for e in entries] == [job.content_key(),
+                                            newer.content_key()]
+        assert all(e.bytes > 0 for e in entries)
+        assert cache.total_bytes() == sum(e.bytes for e in entries)
+
+    def test_prune_evicts_oldest_first(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        newer = Job("spmv", "WV")
+        self.put_aged(cache, job, age=100)
+        keep = self.put_aged(cache, newer, age=10)
+        evicted = cache.prune(keep.stat().st_size)
+        assert [e.key for e in evicted] == [job.content_key()]
+        assert cache.get(newer) is not None
+        assert cache.get(job) is None
+        assert cache.stats.invalidations == 1
+
+    def test_prune_zero_clears_everything(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        cache.put(Job("spmv", "WV"), make_stats())
+        assert len(cache.prune(0)) == 2
+        assert cache.total_bytes() == 0
+        assert len(cache) == 0
+
+    def test_prune_noop_under_budget(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        assert cache.prune(10 ** 9) == []
+        assert len(cache) == 1
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune(-1)
+
+
 class TestPoisonedEntries:
     def test_corrupt_file_is_a_miss(self, tmp_path, job):
         cache = ResultCache(tmp_path)

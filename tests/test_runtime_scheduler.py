@@ -1,10 +1,14 @@
-"""Tests for the batch scheduler and its process pool."""
+"""Tests for the batch scheduler and its warm worker pool."""
 
 from __future__ import annotations
+
+import os
+import sys
 
 import pytest
 
 from repro.errors import JobError
+from repro.runtime import scheduler as scheduler_module
 from repro.runtime.job import Job
 from repro.runtime.scheduler import JobResult, Scheduler
 
@@ -58,6 +62,86 @@ class TestParallel:
         for s, p in zip(serial, parallel):
             assert s.job == p.job
             assert p.stats.to_dict() == s.stats.to_dict()
+
+
+def crashing_execute_payload(marker_algorithm, crash_flag_path=None):
+    """An execute_payload that kills its worker process on one
+    algorithm.  With ``crash_flag_path``, it crashes only until the
+    flag file exists (crash once, then succeed)."""
+    real = scheduler_module.execute_payload
+
+    def wrapper(payload, cache_dir=None):
+        if payload["algorithm"] == marker_algorithm:
+            if crash_flag_path is None or not os.path.exists(
+                    crash_flag_path):
+                if crash_flag_path is not None:
+                    with open(crash_flag_path, "w") as flag:
+                        flag.write("crashed once")
+                os._exit(42)  # simulate segfault/OOM kill
+        return real(payload, cache_dir=cache_dir)
+
+    return wrapper
+
+
+@pytest.mark.skipif(sys.platform != "linux",
+                    reason="crash injection relies on fork inheriting "
+                           "the monkeypatched module")
+class TestCrashRecovery:
+    """Worker crashes are retryable and bounded; deterministic
+    JobErrors fail fast — and JobResult tells them apart."""
+
+    def test_crash_is_retried_then_reported(self, monkeypatch):
+        monkeypatch.setattr(scheduler_module, "execute_payload",
+                            crashing_execute_payload("spmv"))
+        jobs = [Job("spmv", "WV"),
+                Job("bfs", "WV", run_kwargs={"source": 0})]
+        results = Scheduler(workers=2, max_crash_retries=2).run(jobs)
+        crashed, healthy = results
+        assert not crashed.ok
+        assert crashed.crashed
+        assert crashed.attempts == 3        # 1 try + 2 retries
+        assert "crashed" in crashed.error
+        assert healthy.ok
+        assert not healthy.crashed
+        assert healthy.attempts == 1
+
+    def test_crash_once_then_succeed(self, monkeypatch, tmp_path):
+        flag = tmp_path / "crashed-once"
+        monkeypatch.setattr(
+            scheduler_module, "execute_payload",
+            crashing_execute_payload("spmv", str(flag)))
+        jobs = [Job("spmv", "WV"),
+                Job("bfs", "WV", run_kwargs={"source": 0})]
+        results = Scheduler(workers=2).run(jobs)
+        assert all(result.ok for result in results)
+        assert results[0].attempts == 2     # crashed, then recovered
+        assert results[1].attempts == 1
+        # The recovered result is the real one.
+        clean = Scheduler(workers=1).run([jobs[0]])[0]
+        assert results[0].stats.to_dict() == clean.stats.to_dict()
+
+    def test_deterministic_failure_is_never_retried(self):
+        jobs = [Job("sssp", "WV", run_kwargs={"source": 10 ** 9}),
+                Job("spmv", "WV")]
+        results = Scheduler(workers=2, max_crash_retries=2).run(jobs)
+        assert not results[0].ok
+        assert not results[0].crashed       # a JobError, not a crash
+        assert results[0].attempts == 1
+        assert results[1].ok
+
+    def test_zero_retry_budget(self, monkeypatch):
+        monkeypatch.setattr(scheduler_module, "execute_payload",
+                            crashing_execute_payload("spmv"))
+        jobs = [Job("spmv", "WV"),
+                Job("bfs", "WV", run_kwargs={"source": 0})]
+        results = Scheduler(workers=2, max_crash_retries=0).run(jobs)
+        assert not results[0].ok
+        assert results[0].attempts == 1
+        assert results[1].ok
+
+    def test_bad_retry_budget_rejected(self):
+        with pytest.raises(JobError):
+            Scheduler(workers=2, max_crash_retries=-1)
 
 
 class TestJobResult:

@@ -1,0 +1,134 @@
+"""Tests for prepared-shard reuse of out-of-core jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GraphRConfig
+from repro.core.partitioned import DeploymentSpec
+from repro.graph.datasets import dataset
+from repro.runtime import BatchRunner, shards as shards_module
+from repro.runtime.job import Job
+from repro.runtime.scheduler import execute_job
+from repro.runtime.shards import prepared_block_dir, shard_key
+
+OOC_JOB = Job(
+    "pagerank", "WV",
+    config=GraphRConfig(mode="analytic", block_size=2048),
+    deployment=DeploymentSpec(kind="out-of-core"),
+    run_kwargs={"max_iterations": 3},
+)
+
+
+def counting_prepare(counter):
+    real = shards_module.prepare_on_disk
+
+    def wrapper(graph, directory, config):
+        counter.append(directory)
+        return real(graph, directory, config)
+
+    return wrapper
+
+
+class TestShardKey:
+    def test_deterministic(self):
+        config = GraphRConfig(mode="analytic", block_size=2048)
+        assert shard_key("WV", 7, False, config) == \
+            shard_key("WV", 7, False, config)
+
+    def test_sensitive_to_layout_inputs(self):
+        config = GraphRConfig(mode="analytic", block_size=2048)
+        base = shard_key("WV", 7, False, config)
+        assert shard_key("SD", 7, False, config) != base
+        assert shard_key("WV", 8, False, config) != base
+        assert shard_key("WV", 7, True, config) != base
+        assert shard_key(
+            "WV", 7, False,
+            GraphRConfig(mode="analytic", block_size=1024)) != base
+        assert shard_key(
+            "WV", 7, False,
+            GraphRConfig(mode="analytic", block_size=2048,
+                         crossbar_size=4)) != base
+
+    def test_insensitive_to_cost_knobs(self):
+        config = GraphRConfig(mode="analytic", block_size=2048)
+        tweaked = GraphRConfig(mode="analytic", block_size=2048,
+                               mem_bandwidth_bps=1e9)
+        assert shard_key("WV", 7, False, config) == \
+            shard_key("WV", 7, False, tweaked)
+
+
+class TestPreparedBlockDir:
+    def test_second_call_reuses_the_shard(self, tmp_path,
+                                          monkeypatch):
+        calls = []
+        monkeypatch.setattr(shards_module, "prepare_on_disk",
+                            counting_prepare(calls))
+        graph = dataset("WV")
+        config = GraphRConfig(mode="analytic", block_size=2048)
+        first = prepared_block_dir(graph, config, tmp_path,
+                                   dataset="WV", dataset_seed=7,
+                                   weighted=False)
+        second = prepared_block_dir(graph, config, tmp_path,
+                                    dataset="WV", dataset_seed=7,
+                                    weighted=False)
+        assert first == second
+        assert len(calls) == 1
+        assert (first / "manifest.json").exists()
+        assert first.parent == tmp_path / "shards"
+
+    def test_no_stray_scratch_dirs(self, tmp_path):
+        graph = dataset("WV")
+        config = GraphRConfig(mode="analytic", block_size=2048)
+        prepared_block_dir(graph, config, tmp_path, dataset="WV",
+                           dataset_seed=7, weighted=False)
+        leftovers = [p for p in (tmp_path / "shards").iterdir()
+                     if ".tmp." in p.name]
+        assert leftovers == []
+
+
+class TestExecuteJobReuse:
+    def test_second_out_of_core_run_skips_the_reshard(self, tmp_path,
+                                                      monkeypatch):
+        calls = []
+        monkeypatch.setattr(shards_module, "prepare_on_disk",
+                            counting_prepare(calls))
+        first = execute_job(OOC_JOB, cache_dir=str(tmp_path))
+        second = execute_job(OOC_JOB, cache_dir=str(tmp_path))
+        assert len(calls) == 1          # the regression guard
+        assert second.to_dict() == first.to_dict()
+
+    def test_shard_path_matches_tempdir_path_bit_for_bit(self,
+                                                         tmp_path):
+        via_shard_cache = execute_job(OOC_JOB,
+                                      cache_dir=str(tmp_path))
+        via_tempdir = execute_job(OOC_JOB)
+        assert via_shard_cache.to_dict() == via_tempdir.to_dict()
+
+    def test_batch_runner_threads_its_cache_dir(self, tmp_path,
+                                                monkeypatch):
+        calls = []
+        monkeypatch.setattr(shards_module, "prepare_on_disk",
+                            counting_prepare(calls))
+        runner = BatchRunner(cache_dir=tmp_path)
+        fresh = runner.run_jobs([OOC_JOB])[0]
+        assert fresh.ok
+        assert len(calls) == 1
+        assert (tmp_path / "shards").exists()
+        # Result entries and shards coexist: the result cache's
+        # inventory must not list shard files.
+        keys = {entry.key for entry in runner.cache.entries()}
+        assert keys == {OOC_JOB.content_key()}
+
+    def test_different_block_size_gets_its_own_shard(self, tmp_path):
+        execute_job(OOC_JOB, cache_dir=str(tmp_path))
+        other = Job(
+            "pagerank", "WV",
+            config=GraphRConfig(mode="analytic", block_size=1024),
+            deployment=DeploymentSpec(kind="out-of-core"),
+            run_kwargs={"max_iterations": 3},
+        )
+        execute_job(other, cache_dir=str(tmp_path))
+        shards = [p for p in (tmp_path / "shards").iterdir()
+                  if p.is_dir()]
+        assert len(shards) == 2

@@ -1,0 +1,336 @@
+"""Tests for the simulation-service daemon core.
+
+Covers the acceptance-critical behaviours: bit-identical results to
+the batch runtime, content-key dedup under concurrent submission,
+cache-served resubmission, priority ordering, restart durability
+(running jobs requeue, nothing is lost), and the crash/deterministic
+failure split.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobError
+from repro.runtime import BatchRunner
+from repro.runtime import scheduler as scheduler_module
+from repro.runtime.job import Job
+from repro.service import SimulationService
+
+ENTRIES = [
+    {"algorithm": "spmv", "dataset": "WV"},
+    {"algorithm": "bfs", "dataset": "WV", "platform": "cpu",
+     "run_kwargs": {"source": 0}},
+    {"algorithm": "pagerank", "dataset": "WV",
+     "run_kwargs": {"max_iterations": 3}},
+]
+
+
+def drain(service: SimulationService, timeout: float = 90.0) -> None:
+    """Wait until no job is queued or running."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        counts = service.store.counts()
+        if counts["queued"] == 0 and counts["running"] == 0:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"queue did not drain: "
+                         f"{service.store.counts()}")
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = SimulationService(tmp_path / "svc" / "jobs.db",
+                                workers=2)
+    service.start()
+    yield service
+    service.stop()
+
+
+class TestEndToEnd:
+    def test_submit_executes_and_matches_batch_runner(self, service):
+        submissions = service.submit(ENTRIES)
+        assert [s["state"] for s in submissions] == ["queued"] * 3
+        drain(service)
+
+        jobs = [Job.from_dict(entry) for entry in ENTRIES]
+        batch = BatchRunner().run_jobs(jobs)
+        for submission, job, expected in zip(submissions, jobs, batch):
+            detail = service.job_detail(submission["id"])
+            assert detail["state"] == "done"
+            assert detail["key"] == job.content_key()
+            assert detail["stats"] == expected.stats.to_dict()
+
+    def test_resubmission_is_served_from_cache(self, service):
+        first = service.submit(ENTRIES[:1])
+        drain(service)
+        second = service.submit(ENTRIES[:1])
+        assert second[0]["id"] == first[0]["id"]
+        assert second[0]["state"] == "done"
+        assert second[0]["from_cache"]
+        # Served instantly: nothing went back on the queue.
+        assert service.store.counts()["queued"] == 0
+
+    def test_duplicate_entries_in_one_batch_share_one_job(self,
+                                                          service):
+        submissions = service.submit([ENTRIES[0], dict(ENTRIES[0])])
+        assert submissions[0]["id"] == submissions[1]["id"]
+        drain(service)
+        assert service.cache.stats.stores == 1
+        assert service.store.get(submissions[0]["id"]).attempts == 1
+
+    def test_deterministic_failure_fails_fast(self, service):
+        submission = service.submit([{
+            "algorithm": "sssp", "dataset": "WV",
+            "run_kwargs": {"source": 10 ** 9},
+        }])[0]
+        drain(service)
+        detail = service.job_detail(submission["id"])
+        assert detail["state"] == "failed"
+        assert detail["attempts"] == 1  # JobErrors are never retried
+        assert "Traceback" in detail["error"]
+        assert service.cache.stats.stores == 0
+
+    def test_defaults_merge_like_jobfiles(self, service):
+        submission = service.submit(
+            [{"algorithm": "bfs", "dataset": "WV",
+              "run_kwargs": {"source": 0}}],
+            defaults={"platform": "cpu"})[0]
+        drain(service)
+        assert service.job_detail(
+            submission["id"])["spec"]["platform"] == "cpu"
+
+    def test_invalid_entry_rejects_whole_batch(self, service):
+        with pytest.raises(JobError):
+            service.submit([ENTRIES[0],
+                            {"algorithm": "dfs", "dataset": "WV"}])
+        assert len(service.store) == 0
+
+    def test_status_polling_does_not_skew_hit_rate(self, service):
+        submission = service.submit(ENTRIES[:1])[0]
+        drain(service)
+        before = service.metrics()["cache"]
+        for _ in range(5):  # a --wait client polling the done job
+            assert service.job_detail(
+                submission["id"])["stats"] is not None
+        after = service.metrics()["cache"]
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_metrics_shape(self, service):
+        service.submit(ENTRIES)
+        drain(service)
+        metrics = service.metrics()
+        assert metrics["queue_depth"] == 0
+        assert metrics["counts"]["done"] == 3
+        assert metrics["workers"]["total"] == 2
+        assert 0.0 <= metrics["workers"]["utilisation"] <= 1.0
+        assert metrics["jobs"]["submitted"] == 3
+        assert metrics["jobs"]["per_sec_1m"] > 0
+        assert metrics["cache"]["entries"] == 3
+        assert metrics["cache"]["total_bytes"] > 0
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        service = SimulationService(tmp_path / "jobs.db", workers=0)
+        service.start()
+        try:
+            submission = service.submit(ENTRIES[:1])[0]
+            assert service.cancel(submission["id"]) is True
+            assert service.job_detail(
+                submission["id"])["state"] == "cancelled"
+            assert service.cancel(submission["id"]) is False
+            assert service.cancel("jdeadbeef") is None
+        finally:
+            service.stop()
+
+    def test_cancelled_job_is_skipped_by_workers(self, tmp_path):
+        service = SimulationService(tmp_path / "jobs.db", workers=0)
+        service.start()
+        submission = service.submit(ENTRIES[:1])[0]
+        service.cancel(submission["id"])
+        service.supervisor.stop()
+        # Restart with workers: the cancelled job must not run.
+        service.supervisor.workers = 2
+        service.supervisor.start()
+        try:
+            time.sleep(0.5)
+            assert service.job_detail(
+                submission["id"])["state"] == "cancelled"
+            assert service.cache.stats.stores == 0
+        finally:
+            service.stop()
+
+
+class TestPriorities:
+    def test_higher_priority_runs_first(self, tmp_path):
+        service = SimulationService(tmp_path / "jobs.db", workers=0)
+        service.start()
+        low = service.submit([ENTRIES[0]], priority=0)[0]
+        high = service.submit([ENTRIES[2]], priority=9)[0]
+        service.supervisor.stop()
+        # One worker drains strictly in priority order.
+        service.supervisor.workers = 1
+        service.supervisor.start()
+        # Re-offer the queue in store order (the daemon does this on
+        # start); the priority queue must still run 'high' first.
+        for record in service.store.queued_records():
+            service.supervisor.enqueue(record)
+        try:
+            drain(service)
+            first = service.job_detail(high["id"])["finished_at"]
+            second = service.job_detail(low["id"])["finished_at"]
+            assert first <= second
+        finally:
+            service.stop()
+
+
+class TestDurability:
+    def test_restart_requeues_running_and_keeps_queue(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        first = SimulationService(db, workers=0)
+        first.start()
+        submissions = first.submit(ENTRIES)
+        # Simulate a daemon killed mid-job: one job claimed (running),
+        # the rest still queued, then the process "dies" (no drain).
+        assert first.store.claim(submissions[0]["id"])
+        first.stop()
+
+        second = SimulationService(db, workers=2)
+        requeued = second.start()
+        try:
+            assert [r.id for r in requeued] == [submissions[0]["id"]]
+            drain(second)
+            for submission in submissions:
+                detail = second.job_detail(submission["id"])
+                assert detail["state"] == "done"
+                assert detail["stats"] is not None
+            # Dedup still holds after the restart: resubmitting is
+            # served from cache, not re-executed.
+            again = second.submit(ENTRIES)
+            assert all(s["from_cache"] for s in again)
+            assert [s["id"] for s in again] == \
+                [s["id"] for s in submissions]
+        finally:
+            second.stop()
+
+    def test_results_match_batch_runner_after_restart(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        first = SimulationService(db, workers=0)
+        first.start()
+        submission = first.submit([ENTRIES[2]])[0]
+        first.stop()
+
+        second = SimulationService(db, workers=1)
+        second.start()
+        try:
+            drain(second)
+            expected = BatchRunner().run_jobs(
+                [Job.from_dict(ENTRIES[2])])[0]
+            assert second.job_detail(submission["id"])["stats"] == \
+                expected.stats.to_dict()
+        finally:
+            second.stop()
+
+    def test_pruned_result_is_recomputed_on_resubmit(self, service):
+        submission = service.submit(ENTRIES[:1])[0]
+        drain(service)
+        assert service.cache.prune(0)  # drop every cached result
+        again = service.submit(ENTRIES[:1])[0]
+        assert not again["from_cache"]
+        assert again["state"] == "queued"
+        drain(service)
+        assert service.job_detail(
+            submission["id"])["stats"] is not None
+
+
+@pytest.mark.skipif(sys.platform != "linux",
+                    reason="crash injection relies on fork inheriting "
+                           "the monkeypatched module")
+class TestWorkerFailures:
+    def test_crash_is_retried_on_a_fresh_worker(self, tmp_path,
+                                                monkeypatch):
+        from test_runtime_scheduler import crashing_execute_payload
+
+        flag = tmp_path / "crashed-once"
+        monkeypatch.setattr(
+            scheduler_module, "execute_payload",
+            crashing_execute_payload("spmv", str(flag)))
+        service = SimulationService(tmp_path / "jobs.db", workers=1)
+        service.start()
+        try:
+            submission = service.submit(ENTRIES[:1])[0]
+            drain(service)
+            detail = service.job_detail(submission["id"])
+            assert detail["state"] == "done"
+            assert detail["attempts"] == 2  # crashed once, recovered
+            assert detail["stats"] == BatchRunner().run_jobs(
+                [Job.from_dict(ENTRIES[0])])[0].stats.to_dict()
+        finally:
+            service.stop()
+
+    def test_crash_budget_exhausts_to_failed(self, tmp_path,
+                                             monkeypatch):
+        from test_runtime_scheduler import crashing_execute_payload
+
+        monkeypatch.setattr(scheduler_module, "execute_payload",
+                            crashing_execute_payload("spmv"))
+        service = SimulationService(tmp_path / "jobs.db", workers=1,
+                                    max_crash_retries=1)
+        service.start()
+        try:
+            submission = service.submit(ENTRIES[:1])[0]
+            drain(service)
+            detail = service.job_detail(submission["id"])
+            assert detail["state"] == "failed"
+            assert detail["attempts"] == 2  # 1 try + 1 retry
+            assert "crashed" in detail["error"]
+        finally:
+            service.stop()
+
+    def test_job_timeout_kills_and_fails(self, tmp_path):
+        service = SimulationService(tmp_path / "jobs.db", workers=1,
+                                    job_timeout_s=0.01)
+        service.start()
+        try:
+            submission = service.submit([ENTRIES[2]])[0]
+            drain(service)
+            detail = service.job_detail(submission["id"])
+            assert detail["state"] == "failed"
+            assert "timed out" in detail["error"]
+        finally:
+            service.stop()
+
+
+class TestConcurrentSubmission:
+    def test_racing_clients_share_one_execution(self, service):
+        entry = {"algorithm": "pagerank", "dataset": "WV",
+                 "run_kwargs": {"max_iterations": 2}}
+        barrier = threading.Barrier(8)
+        outcomes = []
+        lock = threading.Lock()
+
+        def client():
+            barrier.wait()
+            submission = service.submit([entry])[0]
+            with lock:
+                outcomes.append(submission)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        drain(service)
+
+        ids = {submission["id"] for submission in outcomes}
+        assert len(ids) == 1
+        record = service.store.get(ids.pop())
+        assert record.state == "done"
+        assert record.attempts == 1          # exactly one execution
+        assert service.cache.stats.stores == 1

@@ -1,0 +1,187 @@
+"""Tests for the durable SQLite job store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobError
+from repro.runtime.job import Job
+from repro.service.store import JOB_STATES, JobStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "jobs.db")
+    yield store
+    store.close()
+
+
+JOB = Job("spmv", "WV")
+OTHER = Job("pagerank", "WV", run_kwargs={"max_iterations": 3})
+
+
+class TestSubmit:
+    def test_new_submission_is_queued(self, store):
+        record, created = store.submit(JOB)
+        assert created
+        assert record.state == "queued"
+        assert record.attempts == 0
+        assert record.content_key == JOB.content_key()
+        assert record.job().content_key() == JOB.content_key()
+
+    def test_identical_content_keys_dedupe(self, store):
+        first, created_first = store.submit(JOB)
+        second, created_second = store.submit(JOB)
+        assert created_first and not created_second
+        assert first.id == second.id
+        assert len(store) == 1
+
+    def test_equivalent_spellings_share_one_row(self, store):
+        store.submit(Job("spmv", "WV"))
+        _, created = store.submit(Job("spmv", "wv"))
+        assert not created
+        assert len(store) == 1
+
+    def test_from_cache_submission_is_done_instantly(self, store):
+        record, created = store.submit(JOB, from_cache=True)
+        assert not created
+        assert record.state == "done"
+        assert record.from_cache
+        assert record.finished_at is not None
+
+    def test_failed_job_is_revived_by_resubmission(self, store):
+        record, _ = store.submit(JOB)
+        assert store.claim(record.id)
+        store.bump_attempts(record.id)
+        store.finish(record.id, ok=False, error="boom")
+        assert store.get(record.id).state == "failed"
+
+        revived, created = store.submit(JOB, priority=7)
+        assert created
+        assert revived.id == record.id
+        assert revived.state == "queued"
+        assert revived.attempts == 0
+        assert revived.error is None
+        assert revived.priority == 7
+
+    def test_done_job_is_not_revived(self, store):
+        record, _ = store.submit(JOB)
+        store.claim(record.id)
+        store.finish(record.id, ok=True)
+        again, created = store.submit(JOB)
+        assert not created
+        assert again.state == "done"
+
+
+class TestStateMachine:
+    def test_claim_is_single_winner(self, store):
+        record, _ = store.submit(JOB)
+        assert store.claim(record.id)
+        assert not store.claim(record.id)
+        assert store.get(record.id).state == "running"
+        assert store.get(record.id).started_at is not None
+
+    def test_finish_requires_running(self, store):
+        record, _ = store.submit(JOB)
+        assert not store.finish(record.id, ok=True)
+        store.claim(record.id)
+        assert store.finish(record.id, ok=True)
+        assert store.get(record.id).state == "done"
+
+    def test_cancel_only_queued(self, store):
+        record, _ = store.submit(JOB)
+        assert store.cancel(record.id) is True
+        assert store.get(record.id).state == "cancelled"
+        assert store.cancel(record.id) is False
+        assert store.cancel("jdeadbeef") is None
+
+    def test_bump_attempts_counts_and_unknown_raises(self, store):
+        record, _ = store.submit(JOB)
+        assert store.bump_attempts(record.id) == 1
+        assert store.bump_attempts(record.id) == 2
+        with pytest.raises(JobError):
+            store.bump_attempts("jdeadbeef")
+
+    def test_requeue_terminal_rows_only(self, store):
+        record, _ = store.submit(JOB)
+        assert not store.requeue(record.id)  # still queued
+        store.claim(record.id)
+        store.finish(record.id, ok=True)
+        assert store.requeue(record.id)
+        requeued = store.get(record.id)
+        assert requeued.state == "queued"
+        assert requeued.attempts == 0
+
+
+class TestRecovery:
+    def test_running_jobs_requeue_on_recover(self, store):
+        record, _ = store.submit(JOB)
+        other, _ = store.submit(OTHER)
+        store.claim(record.id)
+        store.bump_attempts(record.id)
+
+        requeued = store.recover()
+        assert [r.id for r in requeued] == [record.id]
+        assert store.get(record.id).state == "queued"
+        # Attempts survive the restart: a crash-looping job still
+        # exhausts its budget.
+        assert store.get(record.id).attempts == 1
+        assert store.get(other.id).state == "queued"
+
+    def test_store_survives_reopen(self, tmp_path):
+        first = JobStore(tmp_path / "jobs.db")
+        record, _ = first.submit(JOB)
+        first.claim(record.id)
+        first.close()
+
+        second = JobStore(tmp_path / "jobs.db")
+        assert second.get(record.id).state == "running"
+        assert [r.id for r in second.recover()] == [record.id]
+        # Dedup still holds across the restart.
+        _, created = second.submit(JOB)
+        assert not created
+        second.close()
+
+
+class TestQueries:
+    def test_counts_cover_every_state(self, store):
+        assert store.counts() == {state: 0 for state in JOB_STATES}
+        store.submit(JOB)
+        assert store.counts()["queued"] == 1
+
+    def test_list_filters_and_validates_state(self, store):
+        record, _ = store.submit(JOB)
+        store.submit(OTHER)
+        assert len(store.list()) == 2
+        assert [r.id for r in store.list(state="queued",
+                                         limit=1)] != []
+        store.cancel(record.id)
+        assert [r.id for r in store.list(state="cancelled")] == \
+            [record.id]
+        with pytest.raises(JobError):
+            store.list(state="exploded")
+
+    def test_resubmit_escalates_queued_priority(self, store):
+        record, _ = store.submit(JOB, priority=0)
+        escalated, created = store.submit(JOB, priority=10)
+        assert created                      # caller must re-enqueue
+        assert escalated.id == record.id
+        assert escalated.priority == 10
+        # Lower or equal priority never de-escalates.
+        same, created = store.submit(JOB, priority=3)
+        assert not created
+        assert same.priority == 10
+
+    def test_queued_records_priority_order(self, store):
+        low, _ = store.submit(JOB, priority=0)
+        high, _ = store.submit(OTHER, priority=9)
+        assert [r.id for r in store.queued_records()] == \
+            [high.id, low.id]
+
+    def test_done_since(self, store):
+        record, _ = store.submit(JOB)
+        store.claim(record.id)
+        store.finish(record.id, ok=True)
+        assert store.done_since(0.0) == 1
+        assert store.done_since(store.get(record.id).finished_at
+                                + 1.0) == 0
