@@ -21,10 +21,14 @@ from repro.algorithms.bfs import BFSProgram, bfs_reference
 from repro.algorithms.sssp import SSSPProgram, sssp_reference
 from repro.algorithms.spmv import SpMVProgram, spmv_reference
 from repro.algorithms.cf import CollaborativeFilteringProgram, cf_reference, cf_rmse
+from repro.algorithms.kcore import KCoreProgram, kcore_reference
+from repro.algorithms.sswp import SSWPProgram, sswp_reference
+from repro.algorithms.ppr import PPRProgram, ppr_reference
 from repro.algorithms.registry import (
     get_program,
     list_algorithms,
     run_reference,
+    weighted_algorithms,
 )
 
 __all__ = [
@@ -43,7 +47,14 @@ __all__ = [
     "CollaborativeFilteringProgram",
     "cf_reference",
     "cf_rmse",
+    "KCoreProgram",
+    "kcore_reference",
+    "SSWPProgram",
+    "sswp_reference",
+    "PPRProgram",
+    "ppr_reference",
     "get_program",
     "list_algorithms",
     "run_reference",
+    "weighted_algorithms",
 ]

@@ -19,11 +19,14 @@ from repro.algorithms.sssp import SSSPKernel, SSSPProgram, sssp_reference
 from repro.algorithms.spmv import SpMVKernel, SpMVProgram, spmv_reference
 from repro.algorithms.cf import CollaborativeFilteringProgram, cf_reference
 from repro.algorithms.wcc import WCCKernel, WCCProgram, wcc_reference
+from repro.algorithms.kcore import KCoreKernel, KCoreProgram, kcore_reference
+from repro.algorithms.sswp import SSWPKernel, SSWPProgram, sswp_reference
+from repro.algorithms.ppr import PPRKernel, PPRProgram, ppr_reference
 from repro.graph.graph import Graph
 
 __all__ = ["PROGRAM_INIT_KEYS", "get_program", "get_stream_kernel",
            "list_algorithms", "resolve_program", "run_reference",
-           "TABLE2_ROWS", "Table2Row"]
+           "weighted_algorithms", "TABLE2_ROWS", "Table2Row"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +63,9 @@ _PROGRAMS: Dict[str, Callable[..., VertexProgram]] = {
     "spmv": SpMVProgram,
     "cf": CollaborativeFilteringProgram,
     "wcc": WCCProgram,
+    "kcore": KCoreProgram,
+    "sswp": SSWPProgram,
+    "ppr": PPRProgram,
 }
 
 _REFERENCES: Dict[str, Callable[..., AlgorithmResult]] = {
@@ -69,6 +75,9 @@ _REFERENCES: Dict[str, Callable[..., AlgorithmResult]] = {
     "spmv": spmv_reference,
     "cf": cf_reference,
     "wcc": wcc_reference,
+    "kcore": kcore_reference,
+    "sswp": sswp_reference,
+    "ppr": ppr_reference,
 }
 
 
@@ -78,7 +87,14 @@ _KERNELS: Dict[str, Callable[..., StreamKernel]] = {
     "sssp": SSSPKernel,
     "spmv": SpMVKernel,
     "wcc": WCCKernel,
+    "kcore": KCoreKernel,
+    "sswp": SSWPKernel,
+    "ppr": PPRKernel,
 }
+
+#: Algorithms whose semantics need edge weights (the dataset analogs
+#: default to weighted generation for these).
+_WEIGHTED: Tuple[str, ...] = ("sssp", "sswp")
 
 #: Run kwargs forwarded to ``initial_properties`` in functional mode
 #: (every deployment filters with the same tuple).
@@ -93,12 +109,20 @@ _CTOR_KEYS: Dict[str, Tuple[str, ...]] = {
     "spmv": (),
     "cf": ("features", "epochs"),
     "wcc": (),
+    "kcore": ("k",),
+    "sswp": ("source",),
+    "ppr": ("source", "damping", "tolerance"),
 }
 
 
 def list_algorithms() -> Tuple[str, ...]:
     """Names of every registered algorithm."""
     return tuple(_PROGRAMS)
+
+
+def weighted_algorithms() -> Tuple[str, ...]:
+    """Algorithms that need weighted dataset analogs."""
+    return _WEIGHTED
 
 
 def get_program(name: str, **kwargs) -> VertexProgram:

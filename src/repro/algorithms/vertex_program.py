@@ -178,6 +178,18 @@ class VertexProgram(ABC):
         return bool(np.allclose(old_properties, new_properties,
                                 atol=1e-10, rtol=0.0))
 
+    def improved(self, new_properties: np.ndarray,
+                 old_properties: np.ndarray) -> np.ndarray:
+        """Mask of vertices whose add-op fold improved their property —
+        the next iteration's frontier.  Direction follows
+        :attr:`reduce_op` (``min`` relaxes downward, ``max`` widens
+        upward); one definition shared by the single-node mapper and
+        the partitioned runner keeps deployments bit-identical.
+        """
+        if self.reduce_op == "max":
+            return np.asarray(new_properties) > np.asarray(old_properties)
+        return np.asarray(new_properties) < np.asarray(old_properties)
+
     # ------------------------------------------------------------------
     @property
     def parallelism_degree_exponent(self) -> int:

@@ -61,19 +61,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from repro.algorithms.registry import list_algorithms
+
     run = sub.add_parser("run", help="simulate one workload")
-    run.add_argument("algorithm",
-                     choices=["pagerank", "bfs", "sssp", "spmv", "cf",
-                              "wcc"])
+    # Derived from the registry, so a newly registered algorithm is
+    # immediately runnable (pre-fix the list was hardcoded here and
+    # silently went stale).
+    run.add_argument("algorithm", choices=list(list_algorithms()))
     run.add_argument("dataset", help="Table 3 code, e.g. WV")
     run.add_argument("--platform", default="graphr",
                      choices=["graphr", "cpu", "gpu", "pim"])
-    run.add_argument("--iterations", type=int, default=20,
-                     help="iteration budget for iterative algorithms")
+    run.add_argument("--iterations", type=int, default=None,
+                     help="iteration budget for iterative algorithms "
+                          "(default: 20 for pagerank/ppr; frontier "
+                          "algorithms run to convergence)")
     run.add_argument("--source", type=int, default=0,
-                     help="source vertex for BFS/SSSP")
+                     help="source vertex for BFS/SSSP/SSWP and the "
+                          "PPR restart vertex")
     run.add_argument("--epochs", type=int, default=3,
                      help="training epochs for CF")
+    run.add_argument("--k", type=int, default=2,
+                     help="core threshold for k-core decomposition")
     run.add_argument("--mode", default=None,
                      choices=["auto", "functional", "analytic"],
                      help="GraphR execution mode (default: the "
@@ -210,12 +218,24 @@ def _run_command(args: argparse.Namespace) -> int:
     from repro.experiments.persistence import stats_to_dict
 
     kwargs: dict = {}
-    if args.algorithm in ("bfs", "sssp"):
+    if args.algorithm in ("bfs", "sssp", "sswp", "ppr"):
         kwargs["source"] = args.source
-    elif args.algorithm == "pagerank":
-        kwargs["max_iterations"] = args.iterations
     elif args.algorithm == "cf":
         kwargs["epochs"] = args.epochs
+    elif args.algorithm == "kcore":
+        kwargs["k"] = args.k
+    if args.algorithm in ("pagerank", "ppr"):
+        # The dense power iterations always carry a budget (their
+        # references default to 100, far past the shipped benchmarks).
+        kwargs["max_iterations"] = (20 if args.iterations is None
+                                    else args.iterations)
+    elif args.iterations is not None \
+            and args.algorithm in ("bfs", "sssp", "sswp", "kcore",
+                                   "wcc"):
+        # Frontier algorithms run to convergence unless the user
+        # explicitly bounds them (an unconditional default of 20 would
+        # silently truncate deep graphs).
+        kwargs["max_iterations"] = args.iterations
 
     config = None
     if args.mode is not None or args.batch_size is not None \
@@ -458,19 +478,31 @@ def _cache_command(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
         entries = cache.entries()
-        total = sum(entry.bytes for entry in entries)
+        shards = cache.shard_entries()
+        result_bytes = sum(entry.bytes for entry in entries)
+        shard_bytes = sum(entry.bytes for entry in shards)
+        # oldest/newest span the combined inventory — the same order
+        # prune evicts in, so "oldest" really is the first victim.
+        combined = sorted(entries + shards,
+                          key=lambda entry: (entry.mtime, entry.key))
         if args.json:
             print(json.dumps({
                 "cache_dir": str(cache.cache_dir),
                 "entries": len(entries),
-                "total_bytes": total,
-                "oldest": entries[0].as_dict() if entries else None,
-                "newest": entries[-1].as_dict() if entries else None,
+                "result_bytes": result_bytes,
+                "shard_count": len(shards),
+                "shard_bytes": shard_bytes,
+                "total_bytes": result_bytes + shard_bytes,
+                "oldest": combined[0].as_dict() if combined else None,
+                "newest": combined[-1].as_dict() if combined else None,
             }, indent=2))
         else:
             print(f"{cache.cache_dir}: {len(entries)} entr"
                   f"{'y' if len(entries) == 1 else 'ies'}, "
-                  f"{total} bytes")
+                  f"{result_bytes} bytes; {len(shards)} shard "
+                  f"dir{'' if len(shards) == 1 else 's'}, "
+                  f"{shard_bytes} bytes "
+                  f"({result_bytes + shard_bytes} bytes total)")
         return 0
     evicted = cache.prune(args.max_bytes)
     freed = sum(entry.bytes for entry in evicted)

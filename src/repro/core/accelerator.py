@@ -17,7 +17,9 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 from repro.algorithms.registry import PROGRAM_INIT_KEYS, resolve_program
-from repro.algorithms.vertex_program import AlgorithmResult, VertexProgram
+from repro.algorithms.vertex_program import (AlgorithmResult,
+                                             MappingPattern,
+                                             VertexProgram)
 from repro.core.config import GraphRConfig
 from repro.core.controller import Controller
 from repro.graph.graph import Graph
@@ -50,16 +52,21 @@ def choose_execution_mode(config: GraphRConfig, program: VertexProgram,
     iteration work fits the budget.
 
     Dense-sweep (MAC) programs stream every non-empty subgraph each
-    iteration; active-list programs only stream subgraphs with active
-    sources, whose total across a run is a few sweeps of the graph
-    (``_ACTIVE_LIST_SWEEPS``) rather than ``max_iterations``-many.
-    Every deployment (single node, out-of-core, multi-node) picks the
-    same way, from its own non-empty subgraph count.
+    iteration; add-op active-list programs only stream subgraphs with
+    active sources, whose total across a run is a few sweeps of the
+    graph (``_ACTIVE_LIST_SWEEPS``) rather than ``max_iterations``-many.
+    An active-list program on the *MAC* pattern (k-core peeling) gets
+    no such discount: the MAC functional path has no frontier skip, so
+    every peel round streams every non-empty subgraph and the dense
+    projection is the honest one.  Every deployment (single node,
+    out-of-core, multi-node) picks the same way, from its own
+    non-empty subgraph count.
     """
     if program.name == "cf":
         return "analytic"
     iterations = max_iterations or config.max_iterations
-    if program.needs_active_list:
+    if program.needs_active_list \
+            and program.pattern is MappingPattern.PARALLEL_ADD_OP:
         projected = nonempty_subgraphs * min(iterations,
                                              _ACTIVE_LIST_SWEEPS)
     else:

@@ -46,37 +46,44 @@ def run_addop_scan(
     absent: float,
     frontier: Optional[np.ndarray] = None,
     batch_size: Optional[int] = None,
+    reduce_op: str = "min",
 ) -> IterationEvents:
     """Stream one graph (or partition) of add-op tiles into ``accum``.
 
     ``padded_dist`` holds the pass's (old) source values and ``accum``
     the folded candidates, both padded to ``padded_vertices +
     tile_cols``; convergence/frontier bookkeeping is the caller's job.
+    ``reduce_op`` selects the comparator polarity: ``"min"`` relaxes
+    (SSSP/BFS/WCC), ``"max"`` widens (SSWP) — parallel edges merge with
+    the same operation, since only the winning candidate survives the
+    fold either way.
     """
     cfg = streamer.config
     s = cfg.crossbar_size
     if batch_size is None:
         batch_size = cfg.functional_batch_size
 
+    fold_at = np.minimum.at if reduce_op == "min" else np.maximum.at
+    fold = np.minimum if reduce_op == "min" else np.maximum
     events = IterationEvents()
     all_rows = np.arange(s)
     if batch_size > 0:
         for batch in streamer.iter_tile_batches(
                 coefficients, batch_size, frontier=frontier,
-                fill_value=absent, combine="min"):
+                fill_value=absent, combine=reduce_op):
             source_values = padded_dist[batch.row_bases[:, None]
                                         + all_rows]
             out, tile_events = engine.addop_batch(batch.dense,
-                                                  source_values, absent)
-            np.minimum.at(accum, batch.col_bases[:, None] + all_rows,
-                          out)
+                                                  source_values, absent,
+                                                  reduce_op=reduce_op)
+            fold_at(accum, batch.col_bases[:, None] + all_rows, out)
             events.merge(tile_events)
             events.edges += batch.edges
             events.subgraphs += batch.subgraph_starts
     else:
         for batch in streamer.iter_tile_batches(
                 coefficients, 1, frontier=frontier,
-                fill_value=absent, combine="min"):
+                fill_value=absent, combine=reduce_op):
             row = int(batch.row_bases[0])
             col = int(batch.col_bases[0])
             source_values = padded_dist[row:row + s]
@@ -84,8 +91,9 @@ def run_addop_scan(
             # row is equivalent to presenting only the active ones.
             out, tile_events = engine.addop_tile(batch.dense[0],
                                                  source_values,
-                                                 all_rows, absent)
-            accum[col:col + s] = np.minimum(accum[col:col + s], out)
+                                                 all_rows, absent,
+                                                 reduce_op=reduce_op)
+            accum[col:col + s] = fold(accum[col:col + s], out)
             events.merge(tile_events)
             events.edges += batch.edges
             events.subgraphs += batch.subgraph_starts
@@ -121,10 +129,11 @@ def run_addop_iteration(
 
     events = run_addop_scan(streamer, engine, padded_dist, accum,
                             coefficients, absent, frontier=frontier,
-                            batch_size=batch_size)
+                            batch_size=batch_size,
+                            reduce_op=program.reduce_op)
 
     new_properties = accum[:n]
-    changed = new_properties < properties
+    changed = program.improved(new_properties, properties)
     events.apply_ops += int(changed.sum())
     events.scanned_edges = graph.num_edges
     events.addop = True

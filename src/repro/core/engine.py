@@ -130,33 +130,58 @@ class GraphEngine:
                     source_values: np.ndarray,
                     absent_value: float,
                     active_mask: Optional[np.ndarray] = None,
+                    reduce_op: str = "min",
                     ) -> Tuple[np.ndarray, IterationEvents]:
         """Parallel-add-op presentations for a stack of tiles.
 
-        For every tile ``b`` and row ``r``, compute
-        ``w[b, r, :] + source_values[b, r]`` with absent cells pinned at
+        With ``reduce_op="min"`` (SSSP-style relaxation): for every
+        tile ``b`` and row ``r``, compute ``w[b, r, :] +
+        source_values[b, r]`` with absent cells pinned at
         ``absent_value`` (the reserved cell maximum ``M``), then fold
         rows with elementwise minimum — the comparator array the sALU
-        provides.  Rows whose cells are all absent contribute only the
-        identity, so folding every row is equivalent to folding the
-        active ones; ``active_mask`` (``(B, S)`` booleans) additionally
-        silences rows that hold edges but whose sources are inactive.
-        Returns the folded ``(B, W)`` candidate block.
+        provides.  With ``reduce_op="max"`` (SSWP-style widening):
+        candidates are ``min(w[b, r, :], source_values[b, r])`` — the
+        bottleneck of extending row ``r``'s path over each cell — with
+        absent cells pinned at ``absent_value`` (the reserved width 0),
+        folded with elementwise maximum (the same comparators, other
+        polarity).  In both polarities rows whose cells are all absent
+        contribute only the identity, so folding every row is
+        equivalent to folding the active ones; ``active_mask``
+        (``(B, S)`` booleans) additionally silences rows that hold
+        edges but whose sources are inactive.  Returns the folded
+        ``(B, W)`` candidate block.
         """
+        if reduce_op not in ("min", "max"):
+            raise DeviceError(f"unsupported add-op reduce {reduce_op!r}")
         w = np.asarray(dense_tiles, dtype=np.float64)
         src = np.asarray(source_values, dtype=np.float64)
         if w.ndim != 3 or src.shape != w.shape[:2]:
             raise DeviceError("weights/source shape mismatch")
-        candidates = w + src[:, :, None]
-        # Saturating add: anything involving an absent cell stays absent.
-        absent_cells = w >= absent_value
-        candidates = np.where(absent_cells, absent_value, candidates)
-        candidates = np.minimum(candidates, absent_value)
+        if reduce_op == "min":
+            candidates = w + src[:, :, None]
+            # Saturating add: anything involving an absent cell stays
+            # absent.
+            absent_cells = w >= absent_value
+            candidates = np.where(absent_cells, absent_value, candidates)
+            candidates = np.minimum(candidates, absent_value)
+        else:
+            candidates = np.minimum(w, src[:, :, None])
+            absent_cells = w <= absent_value
+            candidates = np.where(absent_cells, absent_value, candidates)
+            candidates = np.maximum(candidates, absent_value)
         if active_mask is not None:
             candidates = np.where(active_mask[:, :, None], candidates,
                                   absent_value)
-        out = candidates.min(axis=1)
-        out = self._maybe_noise(out, clip_max=absent_value)
+        if reduce_op == "min":
+            out = candidates.min(axis=1)
+            out = self._maybe_noise(out, clip_max=absent_value)
+        else:
+            out = candidates.max(axis=1)
+            # The comparator output still saturates at the physical
+            # cell maximum (the min polarity's absent value), so noisy
+            # widths cannot exceed what a real read can produce.
+            out = self._maybe_noise(
+                out, clip_max=float(2 ** self.config.data_bits - 1))
 
         # A cell is "stored" when an edge exists (absent cells hold M
         # but belong to the same written rows).
@@ -172,7 +197,9 @@ class GraphEngine:
     def addop_tile(self, dense_weights: np.ndarray,
                    source_values: np.ndarray,
                    active_rows: np.ndarray,
-                   absent_value: float) -> Tuple[np.ndarray, IterationEvents]:
+                   absent_value: float,
+                   reduce_op: str = "min"
+                   ) -> Tuple[np.ndarray, IterationEvents]:
         """Single-tile parallel-add-op presentations.
 
         ``active_rows`` lists the source rows driven this iteration;
@@ -190,7 +217,8 @@ class GraphEngine:
         mask = np.zeros((1, w.shape[0]), dtype=bool)
         mask[0, active] = True
         out, events = self.addop_batch(w[None], src[None], absent_value,
-                                       active_mask=mask)
+                                       active_mask=mask,
+                                       reduce_op=reduce_op)
         return out[0], events
 
     # ------------------------------------------------------------------

@@ -355,6 +355,7 @@ class PartitionedFunctionalRunner:
         cfg = self.config
         n = self.num_vertices
         absent = float(self.program.reduce_identity)
+        reduce_op = self.program.reduce_op
         padded_dist = np.full(self._padded + cfg.tile_cols, absent)
         padded_dist[:n] = properties
         accum = np.full(self._padded + cfg.tile_cols, absent)
@@ -367,13 +368,14 @@ class PartitionedFunctionalRunner:
                 partition.streamer, self.engine, padded_dist, accum,
                 self._coefficients(partition), absent,
                 frontier=frontier,
-                batch_size=cfg.functional_batch_size)
+                batch_size=cfg.functional_batch_size,
+                reduce_op=reduce_op)
             events.scanned_edges = partition.graph.num_edges
             per_partition.append(events)
             spans.append((partition.col_lo, partition.col_hi))
             merge_events_apply_aside(merged, events)
         new_properties = accum[:n]
-        changed = new_properties < properties
+        changed = self.program.improved(new_properties, properties)
         for (lo, hi), events in zip(spans, per_partition):
             events.apply_ops = int(changed[lo:hi].sum())
         merged.apply_ops = int(changed.sum())

@@ -263,15 +263,16 @@ class SubgraphStreamer:
         :meth:`iter_subgraphs` drops subgraphs.  Duplicate coordinates
         are merged by ``combine`` — ``"add"`` sums parallel edges (MAC
         semantics, matching
-        :meth:`~repro.graph.coo.COOMatrix.to_dense`) and ``"min"``
-        keeps the lightest (relaxation semantics).  The ``dense`` block
-        of each yielded batch is a view into one reused scratch buffer
-        (initialised to ``fill_value``), so consumers must finish with
-        a batch before advancing the iterator.
+        :meth:`~repro.graph.coo.COOMatrix.to_dense`), ``"min"`` keeps
+        the lightest (relaxation semantics) and ``"max"`` the widest
+        (bottleneck semantics).  The ``dense`` block of each yielded
+        batch is a view into one reused scratch buffer (initialised to
+        ``fill_value``), so consumers must finish with a batch before
+        advancing the iterator.
         """
         if batch_size <= 0:
             raise PartitionError("batch_size must be positive")
-        if combine not in ("add", "min"):
+        if combine not in ("add", "min", "max"):
             raise PartitionError(f"unknown combine mode {combine!r}")
         values = np.asarray(coefficients, dtype=np.float64)[self._perm]
         ordinals = self._cb_ordinal_of_edge
@@ -308,7 +309,8 @@ class SubgraphStreamer:
         if self._batch_buffer is None or \
                 self._batch_buffer.shape[0] < min(batch_size, active.size):
             self._batch_buffer = np.empty((batch_size, s, s))
-        scatter = np.add.at if combine == "add" else np.minimum.at
+        scatter = {"add": np.add.at, "min": np.minimum.at,
+                   "max": np.maximum.at}[combine]
         for base in range(0, active.size, batch_size):
             stop = min(base + batch_size, active.size)
             dense = self._batch_buffer[:stop - base]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.algorithms.registry import weighted_algorithms
 from repro.core.config import GraphRConfig
 from repro.errors import ConfigError
 from repro.graph.datasets import dataset
@@ -36,6 +37,10 @@ DEFAULT_RUN_KWARGS: Dict[str, dict] = {
     "sssp": {"source": 0},
     "spmv": {},
     "cf": {"epochs": 3},
+    "wcc": {},
+    "kcore": {"k": 2},
+    "sswp": {"source": 0},
+    "ppr": {"source": 0, "max_iterations": 20},
 }
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -102,7 +107,8 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def graph_for(self, algorithm: str, code: str) -> Graph:
         """Dataset analog with the weighting the algorithm needs."""
-        return dataset(code, weighted=(algorithm == "sssp"))
+        return dataset(code,
+                       weighted=(algorithm in weighted_algorithms()))
 
     def _job(self, platform: str, algorithm: str, code: str):
         if platform not in PLATFORMS:

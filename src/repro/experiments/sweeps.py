@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.algorithms.registry import list_algorithms
 from repro.core.accelerator import GraphR
 from repro.core.config import GraphRConfig
 from repro.core.partitioned import DeploymentSpec
@@ -31,7 +32,8 @@ from repro.hw.stats import RunStats
 from repro.runtime.runner import BatchRunner
 
 __all__ = ["SweepPoint", "geometry_sweep", "block_size_sweep",
-           "bandwidth_sweep", "deployment_sweep", "run_sweep"]
+           "bandwidth_sweep", "deployment_sweep", "run_sweep",
+           "workload_sweep"]
 
 
 @dataclass(frozen=True)
@@ -60,8 +62,10 @@ def run_sweep(graph: Union[Graph, str], algorithm: str,
     ``graph`` may be a live :class:`Graph` (in-process execution) or a
     dataset code (batched through ``runner`` — a :class:`BatchRunner`
     or a service :class:`~repro.service.client.ServiceClient` — in
-    parallel when the backend has workers).  Every sweep helper
-    funnels through here.
+    parallel when the backend has workers).  The config-axis helpers
+    funnel through here; :func:`deployment_sweep` and
+    :func:`workload_sweep` build their heterogeneous job lists
+    directly on the same runner surface.
     """
     if not axis:
         raise ConfigError("empty sweep")
@@ -155,6 +159,47 @@ def deployment_sweep(dataset: str,
             **run_kwargs))
         parameters.append({"deployment": "multi-node",
                            "num_nodes": int(nodes)})
+    return [SweepPoint.from_stats(params, result.unwrap())
+            for params, result in zip(parameters,
+                                      runner.run_jobs(jobs))]
+
+
+def workload_sweep(dataset: str,
+                   algorithms: Optional[Iterable[str]] = None,
+                   run_kwargs: Optional[Dict[str, Dict[str, object]]]
+                   = None,
+                   runner: Optional[BatchRunner] = None
+                   ) -> List[SweepPoint]:
+    """Sweep the *algorithm* axis on one dataset.
+
+    Runs every registered algorithm (or an explicit subset) on the
+    analytic accelerator through the batch runtime, with each
+    algorithm's shipped default parameters
+    (:data:`~repro.experiments.harness.DEFAULT_RUN_KWARGS`) unless
+    ``run_kwargs`` overrides them per algorithm.  One call prices a
+    whole workload portfolio — including registry additions, which
+    appear here automatically.
+    """
+    from repro.experiments.harness import DEFAULT_RUN_KWARGS
+
+    if not isinstance(dataset, str):
+        raise ConfigError("workload_sweep needs a dataset code")
+    chosen = tuple(algorithms) if algorithms is not None \
+        else list_algorithms()
+    if not chosen:
+        raise ConfigError("empty sweep")
+    runner = runner or BatchRunner()
+    overrides = run_kwargs or {}
+    jobs = []
+    parameters: List[Dict[str, object]] = []
+    for algorithm in chosen:
+        kwargs = dict(overrides.get(algorithm,
+                                    DEFAULT_RUN_KWARGS.get(algorithm,
+                                                           {})))
+        jobs.append(runner.make_job(
+            algorithm, dataset,
+            config=GraphRConfig(mode="analytic"), **kwargs))
+        parameters.append({"algorithm": algorithm, **kwargs})
     return [SweepPoint.from_stats(params, result.unwrap())
             for params, result in zip(parameters,
                                       runner.run_jobs(jobs))]

@@ -91,7 +91,9 @@ def validate(algorithm: str, graph: Graph,
 
     error = float(np.max(np.abs(functional.values - reference.values),
                          initial=0.0))
-    exact_required = algorithm in ("bfs", "sssp", "wcc")
+    # min/max relaxations and unit-coefficient peeling are exact on the
+    # device chain; only genuinely accumulating MAC programs quantise.
+    exact_required = algorithm in ("bfs", "sssp", "wcc", "sswp", "kcore")
     values_match = error == 0.0 if exact_required else error <= MAC_ATOL
 
     # Compare costs only when both modes executed the same number of
@@ -119,10 +121,19 @@ def validate(algorithm: str, graph: Graph,
 def validate_matrix(graph: Graph,
                     config: Optional[GraphRConfig] = None
                     ) -> Dict[str, ValidationReport]:
-    """Validate every functional-capable algorithm on one graph."""
+    """Validate every functional-capable algorithm on one graph.
+
+    k-core is excluded from the matrix: its functional path sweeps
+    every edge each pass (the MAC mapper has no active-list skip)
+    while the analytic path charges the firing frontier, so the two
+    cost views legitimately diverge; its value equality is asserted by
+    the algorithm's own test suite instead.
+    """
     reports = {}
-    for algorithm in ("pagerank", "bfs", "sssp", "spmv", "wcc"):
-        kwargs = {"source": 0} if algorithm in ("bfs", "sssp") else {}
+    for algorithm in ("pagerank", "bfs", "sssp", "spmv", "wcc",
+                      "sswp", "ppr"):
+        kwargs = {"source": 0} if algorithm in ("bfs", "sssp", "sswp",
+                                                "ppr") else {}
         work = graph.symmetrized() if algorithm == "wcc" else graph
         if algorithm == "wcc":
             kwargs["symmetrize"] = False

@@ -6,12 +6,22 @@ Completed :class:`~repro.hw.stats.RunStats` are persisted as JSON under
 job's canonical dictionary so a lookup can verify it really belongs to
 the requesting job (guarding against truncated writes, hand-edited
 files or a future format change) before trusting it.
+
+The same directory hosts prepared out-of-core block shards under
+``<cache_dir>/shards/<digest>/`` (see :mod:`repro.runtime.shards`).
+Shard directories are part of the cache's disk footprint: they are
+counted in :meth:`ResultCache.total_bytes`, evicted oldest-mtime-first
+alongside result entries by :meth:`ResultCache.prune`, and removed by
+:meth:`ResultCache.clear` — a long-lived service can therefore bound
+its *entire* cache directory, not just the result files.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -56,17 +66,59 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One persisted result file, as seen by the inspection API."""
+    """One persisted artifact — a result file or a prepared shard
+    directory — as seen by the inspection API."""
 
     key: str
     path: Path
     bytes: int
     mtime: float
+    #: ``"result"`` for a stats file, ``"shard"`` for a block directory.
+    kind: str = "result"
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-safe row for CLI / metrics output."""
         return {"key": self.key, "path": str(self.path),
-                "bytes": self.bytes, "mtime": self.mtime}
+                "bytes": self.bytes, "mtime": self.mtime,
+                "kind": self.kind}
+
+
+def _tree_bytes(directory: Path) -> int:
+    """Recursive file-size total of one directory (0 if it vanished)."""
+    total = 0
+    for root, _, files in os.walk(directory):
+        for name in files:
+            try:
+                total += (Path(root) / name).stat().st_size
+            except OSError:
+                continue  # pruned concurrently
+    return total
+
+
+#: A scratch build older than this is abandoned even if its pid number
+#: is occupied — pids get recycled, and no real shard build takes an
+#: hour, so the age cutoff bounds the leak a lucky recycle would cause.
+_SCRATCH_GRACE_S = 3600.0
+
+
+def _scratch_in_use(name: str, mtime: float) -> bool:
+    """Whether a ``<digest>.tmp.<pid>`` scratch directory still belongs
+    to a live builder: its pid must be running *and* the directory must
+    be recent (False for malformed names)."""
+    if time.time() - mtime > _SCRATCH_GRACE_S:
+        return False
+    _, _, pid_text = name.rpartition(".")
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass  # e.g. EPERM: the pid exists but belongs to someone else
+    return True
 
 
 class ResultCache:
@@ -76,6 +128,12 @@ class ResultCache:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        # A published shard's contents are immutable (and deterministic
+        # per digest), so its tree walk is memoised by name — metrics
+        # polls must not re-stat every block file of every shard on
+        # each request, and reuse touching the dir mtime must not
+        # invalidate the memo.
+        self._shard_sizes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def path_for(self, job: Job) -> Path:
@@ -110,6 +168,13 @@ class ResultCache:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+            try:
+                # A hit refreshes the entry's mtime so prune's
+                # oldest-first order sees reuse — hot results age like
+                # hot shards, not like their write date.
+                os.utime(self.path_for(job))
+            except OSError:
+                pass
         return stats
 
     def peek(self, job: Job) -> Optional[RunStats]:
@@ -153,7 +218,9 @@ class ResultCache:
         return True
 
     def clear(self) -> int:
-        """Drop every entry; returns the number of files removed."""
+        """Drop every artifact — result files *and* prepared shard
+        directories; returns the number removed (each shard directory
+        counts once)."""
         removed = 0
         for entry in self.cache_dir.glob("*/*.json"):
             try:
@@ -161,7 +228,12 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for shard in self.shard_entries():
+            shutil.rmtree(shard.path, ignore_errors=True)
+            if not shard.path.exists():
+                removed += 1
         self.stats.invalidations += removed
+        self._sweep_empty_dirs()
         return removed
 
     # ------------------------------------------------------------------
@@ -169,8 +241,9 @@ class ResultCache:
         """Every result entry, oldest mtime first.
 
         Only the two-level ``<key[:2]>/<key>.json`` result files are
-        listed; prepared shard directories (``shards/``) live deeper
-        and are not part of the result inventory.
+        listed here; prepared shard directories have their own
+        inventory (:meth:`shard_entries`) and both feed
+        :meth:`total_bytes` / :meth:`prune`.
         """
         found = []
         for path in self.cache_dir.glob("*/*.json"):
@@ -184,32 +257,95 @@ class ResultCache:
         found.sort(key=lambda entry: (entry.mtime, entry.key))
         return found
 
+    def shard_entries(self) -> List[CacheEntry]:
+        """Every prepared shard directory, oldest mtime first.
+
+        Includes abandoned ``*.tmp.<pid>`` scratch directories from
+        dead (or hour-stale) builders — they consume the same disk and
+        are reclaimed by the same eviction; a fresh scratch directory
+        whose builder is still running is in active use and stays
+        invisible.
+        """
+        root = self.cache_dir / "shards"
+        found = []
+        seen = set()
+        if root.is_dir():
+            for path in root.iterdir():
+                if not path.is_dir():
+                    continue
+                try:
+                    meta = path.stat()
+                except OSError:
+                    continue  # pruned concurrently
+                if ".tmp." in path.name \
+                        and _scratch_in_use(path.name, meta.st_mtime):
+                    continue
+                seen.add(path.name)
+                size = self._shard_sizes.get(path.name)
+                if size is None:
+                    size = _tree_bytes(path)
+                    self._shard_sizes[path.name] = size
+                found.append(CacheEntry(key=path.name, path=path,
+                                        bytes=size,
+                                        mtime=meta.st_mtime,
+                                        kind="shard"))
+        for stale in set(self._shard_sizes) - seen:
+            # pop, not del: concurrent metrics polls race this sweep.
+            self._shard_sizes.pop(stale, None)
+        found.sort(key=lambda entry: (entry.mtime, entry.key))
+        return found
+
     def total_bytes(self) -> int:
-        """Bytes held by all result entries."""
-        return sum(entry.bytes for entry in self.entries())
+        """Bytes held by all artifacts (results plus shard dirs)."""
+        return (sum(entry.bytes for entry in self.entries())
+                + sum(entry.bytes for entry in self.shard_entries()))
+
+    def _sweep_empty_dirs(self) -> None:
+        """Remove fan-out/shard directories eviction emptied, so a
+        prune-to-zero leaves the cache directory itself empty."""
+        for child in self.cache_dir.iterdir():
+            if child.is_dir():
+                try:
+                    child.rmdir()
+                except OSError:
+                    pass  # still holds entries
 
     def prune(self, max_bytes: int) -> List[CacheEntry]:
         """Evict oldest-mtime-first until at most ``max_bytes`` remain.
 
-        Returns the evicted entries (possibly empty).  Eviction is
-        size-bounding, not correctness-affecting: a pruned job simply
-        re-simulates on its next submission.
+        Result entries and prepared shard directories share one
+        eviction order (shard reuse refreshes the directory mtime, so
+        hot shards age like hot results; scratch dirs of live builders
+        are skipped).  Returns the evicted entries (possibly empty).
+        Eviction is size-bounding, not correctness-affecting: a pruned
+        job simply re-simulates (and re-shards) on its next
+        submission.  Note that a shard evicted *while a job is
+        streaming it* fails that one run — prune an active service's
+        cache to a bound above its working set, or when it is idle.
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
-        entries = self.entries()
+        entries = sorted(self.entries() + self.shard_entries(),
+                         key=lambda entry: (entry.mtime, entry.key))
         total = sum(entry.bytes for entry in entries)
         evicted: List[CacheEntry] = []
         for entry in entries:
             if total <= max_bytes:
                 break
-            try:
-                entry.path.unlink()
-            except OSError:
-                continue  # raced with another pruner: already gone
+            if entry.kind == "shard":
+                shutil.rmtree(entry.path, ignore_errors=True)
+                if entry.path.exists():
+                    continue  # raced with a concurrent builder
+            else:
+                try:
+                    entry.path.unlink()
+                except OSError:
+                    continue  # raced with another pruner: already gone
             total -= entry.bytes
             evicted.append(entry)
             self.stats.invalidations += 1
+        if evicted:
+            self._sweep_empty_dirs()
         return evicted
 
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.algorithms.registry import list_algorithms, weighted_algorithms
 from repro.core.config import GraphRConfig
 from repro.core.partitioned import DeploymentSpec
 from repro.errors import ConfigError, JobError
@@ -26,9 +27,10 @@ __all__ = ["Job", "PLATFORMS", "ALGORITHMS", "load_jobfile"]
 #: Platforms a job may target (``graphr`` plus the three baselines).
 PLATFORMS: Tuple[str, ...] = ("graphr", "cpu", "gpu", "pim")
 
-#: Algorithms the registry can run.
-ALGORITHMS: Tuple[str, ...] = ("pagerank", "bfs", "sssp", "spmv", "cf",
-                               "wcc")
+#: Algorithms a job may run — always the registry's inventory, so a
+#: registered algorithm is submittable everywhere (CLI, job files,
+#: service) without touching this module.
+ALGORITHMS: Tuple[str, ...] = list_algorithms()
 
 #: Dataset-generator seed used by every shipped benchmark.
 DEFAULT_DATASET_SEED = 7
@@ -144,7 +146,7 @@ class Job:
         """Whether the dataset analog carries edge weights."""
         if self.weighted is not None:
             return self.weighted
-        return self.algorithm == "sssp"
+        return self.algorithm in weighted_algorithms()
 
     def resolved_config(self) -> GraphRConfig:
         """The configuration a GraphR run will actually use."""

@@ -72,6 +72,13 @@ def prepared_block_dir(graph: Graph, config: GraphRConfig,
     root = Path(cache_root) / "shards"
     final = root / shard_key(dataset, dataset_seed, weighted, config)
     if (final / MANIFEST_NAME).exists():
+        try:
+            # Refresh the mtime so the cache's oldest-mtime-first
+            # eviction sees reuse: without this a day-one shard hit by
+            # every job would still be pruned before idle newcomers.
+            os.utime(final)
+        except OSError:
+            pass
         return final
     root.mkdir(parents=True, exist_ok=True)
     scratch = final.with_name(f"{final.name}.tmp.{os.getpid()}")

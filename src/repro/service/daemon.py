@@ -191,6 +191,7 @@ class SimulationService:
             cache_served = self._cache_served
         done_last_minute = self.store.done_since(now - 60.0)
         inventory = self.cache.entries()  # one walk for both numbers
+        shards = self.cache.shard_entries()
         return {
             "uptime_s": (now - self._started_at
                          if self._started_at else 0.0),
@@ -210,10 +211,15 @@ class SimulationService:
                 "done_last_minute": done_last_minute,
                 "per_sec_1m": done_last_minute / 60.0,
             },
-            "cache": dict(self.cache.stats.as_dict(),
-                          entries=len(inventory),
-                          total_bytes=sum(entry.bytes
-                                          for entry in inventory)),
+            "cache": dict(
+                self.cache.stats.as_dict(),
+                entries=len(inventory),
+                result_bytes=sum(entry.bytes for entry in inventory),
+                shard_count=len(shards),
+                shard_bytes=sum(entry.bytes for entry in shards),
+                total_bytes=(sum(entry.bytes for entry in inventory)
+                             + sum(entry.bytes for entry in shards)),
+            ),
         }
 
     def __repr__(self) -> str:

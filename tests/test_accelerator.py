@@ -70,6 +70,24 @@ class TestModeSelection:
         _, stats = accel.run("spmv", graph)
         assert stats.extra["mode"] == "analytic"
 
+    def test_kcore_gets_no_frontier_discount(self):
+        """The MAC functional path has no active-list skip, so k-core
+        must be projected densely: a budget the few-sweep discount
+        would satisfy still falls back to analytic."""
+        from repro.algorithms.registry import get_program
+        from repro.core.accelerator import choose_execution_mode
+
+        config = GraphRConfig(max_iterations=100,
+                              functional_tile_budget=1000)
+        # 100 subgraphs x 100 iterations = 10000 > 1000; the add-op
+        # discount (100 x 4 = 400) would wrongly fit the budget.
+        assert choose_execution_mode(config, get_program("kcore"),
+                                     nonempty_subgraphs=100) \
+            == "analytic"
+        assert choose_execution_mode(config, get_program("sssp"),
+                                     nonempty_subgraphs=100) \
+            == "functional"
+
     def test_cf_always_analytic(self, accel):
         from repro.graph.generators import bipartite_rating_graph
         ratings = bipartite_rating_graph(30, 10, 120, seed=1)

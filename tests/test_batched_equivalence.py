@@ -35,6 +35,9 @@ ALGORITHMS = [
     ("bfs", {"source": 0}),
     ("sssp", {"source": 0}),
     ("wcc", {}),
+    ("kcore", {"k": 3}),
+    ("sswp", {"source": 0}),
+    ("ppr", {"source": 0}),
 ]
 
 NONIDEALITIES = [

@@ -13,7 +13,9 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "pagerank", "WV"])
         assert args.platform == "graphr"
-        assert args.iterations == 20
+        # None means "no explicit budget": pagerank/ppr fall back to
+        # 20, frontier algorithms run to convergence.
+        assert args.iterations is None
 
     def test_run_options(self):
         args = build_parser().parse_args(
@@ -24,6 +26,17 @@ class TestParser:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "dfs", "WV"])
+
+    def test_run_choices_track_the_registry(self):
+        """Regression: the choices were hardcoded, so registry
+        additions silently never surfaced on the CLI."""
+        from repro.algorithms.registry import list_algorithms
+        run_action = None
+        for action in build_parser()._subparsers._group_actions:
+            run_action = action.choices["run"]._actions
+        choices = next(a.choices for a in run_action
+                       if a.dest == "algorithm")
+        assert tuple(choices) == list_algorithms()
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -56,6 +69,22 @@ class TestCommands:
         assert main(["run", "pagerank", "WV", "--iterations", "3"]) == 0
         out = capsys.readouterr().out
         assert "3 iterations" in out
+
+    def test_explicit_iterations_bound_frontier_algorithms(self,
+                                                           capsys):
+        """Regression: --iterations used to be silently dropped for
+        every algorithm except pagerank/ppr."""
+        for algorithm in ("sswp", "kcore"):
+            assert main(["run", algorithm, "WV",
+                         "--iterations", "2", "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["iterations"] == 2, algorithm
+
+    def test_default_runs_frontier_algorithms_to_convergence(self,
+                                                             capsys):
+        assert main(["run", "sswp", "WV", "--json"]) == 0
+        bounded = json.loads(capsys.readouterr().out)
+        assert bounded["iterations"] > 2
 
     def test_run_multi_node_deployment(self, capsys):
         assert main(["run", "pagerank", "WV", "--iterations", "3",
@@ -165,6 +194,32 @@ class TestCacheCommands:
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
+
+    def test_cache_stats_and_prune_cover_shards(self, capsys, tmp_path):
+        """An out-of-core run leaves a prepared shard directory; stats
+        must report it and prune --max-bytes 0 must reclaim it."""
+        cache = tmp_path / "cache"
+        assert main(["run", "pagerank", "WV", "--iterations", "2",
+                     "--deployment", "out-of-core",
+                     "--block-size", "2048",
+                     "--cache-dir", str(cache), "--json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["shard_count"] == 1
+        assert payload["shard_bytes"] > 0
+        assert payload["total_bytes"] == \
+            payload["result_bytes"] + payload["shard_bytes"]
+        assert main(["cache", "prune", "--cache-dir", str(cache),
+                     "--max-bytes", "0", "--json"]) == 0
+        pruned = json.loads(capsys.readouterr().out)
+        assert pruned["remaining_bytes"] == 0
+        kinds = {entry["kind"] for entry in pruned["evicted"]}
+        assert kinds == {"result", "shard"}
+        # The cache directory is left truly empty, shards/ included.
+        assert list(cache.iterdir()) == []
 
 
 class TestServiceCLI:

@@ -61,6 +61,9 @@ class TestOutOfCoreAnalyticEquivalence:
         ("sssp", {"source": 0}),
         ("bfs", {"source": 0}),
         ("wcc", {}),
+        ("kcore", {"k": 3}),
+        ("sswp", {"source": 0}),
+        ("ppr", {"source": 0, "max_iterations": 5}),
     ])
     def test_bit_identical_to_in_memory(self, graph, analytic_disk,
                                         algorithm, kwargs):
@@ -82,12 +85,15 @@ class TestOutOfCoreAnalyticEquivalence:
     @pytest.mark.parametrize("algorithm,kwargs", [
         ("sssp", {"source": 0}),
         ("bfs", {"source": 0}),
+        ("sswp", {"source": 0}),
+        ("kcore", {"k": 3}),
     ])
     def test_min_algorithms_match_original_order_too(self, graph,
                                                      analytic_disk,
                                                      algorithm, kwargs):
-        """min-reduction is order-independent, so streamed values also
-        equal the reference on the *unordered* original graph."""
+        """min/max-reduction is order-independent (and k-core's unit
+        sums are exact integers), so streamed values also equal the
+        reference on the *unordered* original graph."""
         config = GraphRConfig(mode="analytic", **CONFIG)
         runner = OutOfCoreRunner(analytic_disk, config)
         ooc_result, _ = runner.run(algorithm, **kwargs)
@@ -103,6 +109,9 @@ class TestOutOfCoreFunctionalEquivalence:
         ("spmv", {}),
         ("sssp", {"source": 0}),
         ("bfs", {"source": 0}),
+        ("kcore", {"k": 3}),
+        ("sswp", {"source": 0}),
+        ("ppr", {"source": 0, "max_iterations": 5}),
     ])
     def test_bit_identical_to_in_memory(self, graph, tmp_path,
                                         algorithm, kwargs):
@@ -215,9 +224,15 @@ class TestMultiNodeEquivalence:
     @pytest.mark.parametrize("mode,algorithm,kwargs", [
         ("analytic", "pagerank", {"max_iterations": 5}),
         ("analytic", "sssp", {"source": 0}),
+        ("analytic", "kcore", {"k": 3}),
+        ("analytic", "sswp", {"source": 0}),
+        ("analytic", "ppr", {"source": 0, "max_iterations": 5}),
         ("functional", "pagerank", {"max_iterations": 5}),
         ("functional", "sssp", {"source": 0}),
         ("functional", "bfs", {"source": 0}),
+        ("functional", "kcore", {"k": 3}),
+        ("functional", "sswp", {"source": 0}),
+        ("functional", "ppr", {"source": 0, "max_iterations": 5}),
     ])
     def test_values_and_event_counts_match_single_node(self, graph,
                                                        mode, algorithm,

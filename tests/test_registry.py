@@ -22,7 +22,8 @@ from repro.errors import ConfigError
 class TestRegistry:
     def test_all_algorithms_listed(self):
         assert set(list_algorithms()) == {"pagerank", "bfs", "sssp",
-                                          "spmv", "cf", "wcc"}
+                                          "spmv", "cf", "wcc",
+                                          "kcore", "sswp", "ppr"}
 
     def test_get_program_case_insensitive(self):
         assert get_program("PageRank").name == "pagerank"

@@ -68,6 +68,32 @@ class TestInvalidation:
         assert len(cache) == 0
 
 
+class TestHitRecency:
+    def test_get_refreshes_entry_mtime(self, tmp_path, job):
+        """A hit keeps the entry young in prune's oldest-first order
+        (shard reuse refreshes shard mtimes the same way)."""
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, make_stats())
+        stamp = time.time() - 500
+        os.utime(path, (stamp, stamp))
+        assert cache.get(job) is not None
+        assert path.stat().st_mtime > stamp + 100
+
+    def test_peek_leaves_mtime_alone(self, tmp_path, job):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, make_stats())
+        stamp = time.time() - 500
+        os.utime(path, (stamp, stamp))
+        assert cache.peek(job) is not None
+        assert path.stat().st_mtime == pytest.approx(stamp, abs=1.0)
+
+
 class TestPeek:
     def test_peek_reads_without_counting(self, tmp_path, job):
         cache = ResultCache(tmp_path)
@@ -130,6 +156,146 @@ class TestInventoryAndPrune:
     def test_prune_rejects_negative_budget(self, tmp_path):
         with pytest.raises(ValueError):
             ResultCache(tmp_path).prune(-1)
+
+
+class TestShardAccounting:
+    """Regression: prepared shard directories (``shards/<digest>/``)
+    used to be invisible to entries()/total_bytes()/prune()/clear()
+    and grew without bound on long-lived services."""
+
+    def make_shard(self, cache, name="a" * 64, payload=4096, age=0.0):
+        import os
+        import time
+
+        shard = cache.cache_dir / "shards" / name
+        shard.mkdir(parents=True)
+        (shard / "block_0_0.bin").write_bytes(b"\0" * payload)
+        (shard / "manifest.json").write_text("{}")
+        if age:
+            stamp = time.time() - age
+            os.utime(shard, (stamp, stamp))
+        return shard
+
+    def test_shards_counted_in_stats(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        shard = self.make_shard(cache)
+        shards = cache.shard_entries()
+        assert [entry.key for entry in shards] == [shard.name]
+        assert shards[0].kind == "shard"
+        assert shards[0].bytes >= 4096
+        assert cache.total_bytes() == \
+            sum(e.bytes for e in cache.entries()) + shards[0].bytes
+
+    def test_prune_below_shard_size_evicts_the_shard(self, tmp_path,
+                                                     job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        shard = self.make_shard(cache, age=100)  # older than the entry
+        budget = cache.total_bytes() - 1
+        evicted = cache.prune(budget)
+        assert [entry.key for entry in evicted] == [shard.name]
+        assert not shard.exists()
+        assert cache.get(job) is not None
+        assert cache.total_bytes() <= budget
+
+    def dead_pid(self):
+        import subprocess
+
+        child = subprocess.Popen(["true"])
+        child.wait()
+        return child.pid
+
+    def test_prune_zero_leaves_directory_empty(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        self.make_shard(cache)
+        # Abandoned scratch dir from a crashed (dead-pid) builder.
+        self.make_shard(cache,
+                        name=f"{'b' * 60}.tmp.{self.dead_pid()}")
+        evicted = cache.prune(0)
+        assert len(evicted) == 3
+        assert cache.total_bytes() == 0
+        assert list(cache.cache_dir.iterdir()) == []
+
+    def test_live_builder_scratch_dir_is_protected(self, tmp_path,
+                                                   job):
+        import os
+
+        cache = ResultCache(tmp_path)
+        scratch = self.make_shard(
+            cache, name=f"{'d' * 60}.tmp.{os.getpid()}")
+        assert cache.shard_entries() == []
+        assert cache.prune(0) == []
+        assert scratch.exists()
+
+    def test_hour_stale_scratch_dir_is_evictable(self, tmp_path, job):
+        """A recycled pid must not protect an abandoned build forever:
+        past the grace period the scratch dir is reclaimed even though
+        its pid number is occupied (by this very test process)."""
+        import os
+
+        cache = ResultCache(tmp_path)
+        scratch = self.make_shard(
+            cache, name=f"{'e' * 60}.tmp.{os.getpid()}", age=7200)
+        assert [entry.key for entry in cache.shard_entries()] == \
+            [scratch.name]
+        assert len(cache.prune(0)) == 1
+        assert not scratch.exists()
+
+    def test_shard_reuse_refreshes_eviction_age(self, tmp_path, job):
+        """A reused shard must not be evicted before idle entries."""
+        from repro.core.config import GraphRConfig
+        from repro.core.outofcore import prepare_on_disk
+        from repro.graph.generators import rmat
+        from repro.runtime.shards import prepared_block_dir, shard_key
+
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        config = GraphRConfig(mode="analytic", block_size=16)
+        graph = rmat(5, 80, seed=3, weighted=False, name="shardy")
+        shard = prepared_block_dir(graph, config, tmp_path,
+                                   dataset="WV", dataset_seed=7,
+                                   weighted=False)
+        stamp = time.time() - 500
+        os.utime(shard, (stamp, stamp))
+        path = cache.put(job, make_stats())
+        os.utime(path, (time.time() - 100,) * 2)
+        # Reuse touches the shard, making it the *newest* artifact.
+        again = prepared_block_dir(graph, config, tmp_path,
+                                   dataset="WV", dataset_seed=7,
+                                   weighted=False)
+        assert again == shard
+        budget = cache.shard_entries()[0].bytes
+        evicted = cache.prune(budget)
+        assert [e.key for e in evicted] == [job.content_key()]
+        assert shard.exists()
+
+    def test_prune_eviction_order_interleaves_kinds(self, tmp_path,
+                                                    job):
+        cache = ResultCache(tmp_path)
+        older = self.make_shard(cache, age=200)
+        path = cache.put(job, make_stats())
+        import os
+        import time
+        stamp = time.time() - 100
+        os.utime(path, (stamp, stamp))
+        newer = self.make_shard(cache, name="c" * 64, age=10)
+        budget = cache.shard_entries()[-1].bytes  # keep newest shard
+        evicted = cache.prune(budget)
+        assert [e.key for e in evicted] == [older.name,
+                                            job.content_key()]
+        assert newer.exists()
+
+    def test_clear_removes_shards(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        cache.put(job, make_stats())
+        self.make_shard(cache)
+        assert cache.clear() == 2
+        assert cache.total_bytes() == 0
+        assert not (tmp_path / "shards").exists()
 
 
 class TestPoisonedEntries:

@@ -11,6 +11,7 @@ from repro.experiments.sweeps import (
     block_size_sweep,
     deployment_sweep,
     geometry_sweep,
+    workload_sweep,
 )
 from repro.experiments.validation import validate, validate_matrix
 from repro.graph.generators import rmat
@@ -73,6 +74,30 @@ class TestDeploymentSweep:
             deployment_sweep(graph)
 
 
+class TestWorkloadSweep:
+    def test_covers_whole_registry_by_default(self):
+        from repro.algorithms.registry import list_algorithms
+        points = workload_sweep("WV")
+        assert [p.parameters["algorithm"] for p in points] == \
+            list(list_algorithms())
+        for point in points:
+            assert point.seconds > 0
+            assert point.joules > 0
+
+    def test_subset_and_overrides(self):
+        points = workload_sweep(
+            "WV", algorithms=("kcore", "ppr"),
+            run_kwargs={"kcore": {"k": 3},
+                        "ppr": {"source": 1, "max_iterations": 2}})
+        assert points[0].parameters == {"algorithm": "kcore", "k": 3}
+        assert points[1].parameters["source"] == 1
+        assert points[1].iterations == 2
+
+    def test_needs_dataset_code(self, graph):
+        with pytest.raises(ConfigError):
+            workload_sweep(graph)
+
+
 class TestSweepPoint:
     def test_from_stats(self):
         from repro.hw.stats import RunStats
@@ -107,6 +132,7 @@ class TestValidation:
     def test_validate_matrix_all_pass(self):
         graph = rmat(5, 100, seed=6, weighted=True, name="vm")
         reports = validate_matrix(graph)
-        assert set(reports) == {"pagerank", "bfs", "sssp", "spmv", "wcc"}
+        assert set(reports) == {"pagerank", "bfs", "sssp", "spmv",
+                                "wcc", "sswp", "ppr"}
         for name, report in reports.items():
             assert report.passed, report.describe()
