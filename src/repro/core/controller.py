@@ -29,6 +29,7 @@ from repro.core.partitioned import (
 from repro.core.streaming import SubgraphStreamer
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
+from repro.obs import tracing
 
 __all__ = ["Controller"]
 
@@ -99,23 +100,28 @@ class Controller:
                          dataset=graph.name)
         stats.seconds += self.config.setup_overhead_s
         stats.latency.add("setup", self.config.setup_overhead_s)
-        result = run_reference(program.name, graph, **reference_kwargs)
+        with tracing.span("reference", algorithm=program.name):
+            result = run_reference(program.name, graph,
+                                   **reference_kwargs)
 
         work_factor = getattr(program, "features", 1) \
             if program.name == "cf" else 1
-        if program.needs_active_list and result.trace.frontiers:
-            for frontier in result.trace.frontiers:
+        with tracing.span("merge",
+                          iterations=max(1, result.iterations)):
+            if program.needs_active_list and result.trace.frontiers:
+                for frontier in result.trace.frontiers:
+                    events = self.streamer.iteration_events(
+                        program.pattern, frontier=frontier,
+                        work_factor=work_factor)
+                    stats.seconds += self.cost.charge_iteration(
+                        events, stats.energy, stats.latency)
+            else:
                 events = self.streamer.iteration_events(
-                    program.pattern, frontier=frontier,
+                    program.pattern, frontier=None,
                     work_factor=work_factor)
-                stats.seconds += self.cost.charge_iteration(
-                    events, stats.energy, stats.latency)
-        else:
-            events = self.streamer.iteration_events(
-                program.pattern, frontier=None, work_factor=work_factor)
-            for _ in range(max(1, result.iterations)):
-                stats.seconds += self.cost.charge_iteration(
-                    events, stats.energy, stats.latency)
+                for _ in range(max(1, result.iterations)):
+                    stats.seconds += self.cost.charge_iteration(
+                        events, stats.energy, stats.latency)
         stats.iterations = result.iterations
         stats.extra["mode"] = "analytic"
         stats.extra["nonempty_subgraphs"] = self.streamer.num_nonempty_subgraphs

@@ -20,6 +20,7 @@ stay bit-identical.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
@@ -27,6 +28,7 @@ import numpy as np
 from repro.core.config import GraphRConfig
 from repro.core.cost import IterationEvents
 from repro.errors import DeviceError
+from repro.obs import metrics
 from repro.reram.fixed_point import FixedPointFormat
 from repro.reram.variation import VariationModel
 
@@ -94,6 +96,8 @@ class GraphEngine:
                 f"tile batch {tiles.shape} incompatible with inputs "
                 f"{x.shape}"
             )
+        observing = metrics.enabled()
+        t0 = time.perf_counter() if observing else 0.0
         coeff_codes = self.coeff_fmt.encode(tiles)
         input_codes = self.input_fmt.encode(x)
         effective = coeff_codes.astype(np.float64)
@@ -105,6 +109,19 @@ class GraphEngine:
         out = self._maybe_noise(out)
         events = self._batch_events(coeff_codes != 0,
                                     presentations_per_tile=1)
+        if observing:
+            registry = metrics.get_registry()
+            registry.counter(
+                "repro_engine_mac_batches_total",
+                "Batched parallel-MAC contractions executed").inc()
+            registry.counter(
+                "repro_engine_tiles_total",
+                "Dense tiles pushed through the functional engine").inc(
+                    tiles.shape[0])
+            registry.counter(
+                "repro_engine_einsum_seconds_total",
+                "Host seconds inside the functional tile kernels").inc(
+                    time.perf_counter() - t0)
         return out, events
 
     def mac_tile(self, dense_tile: np.ndarray,
@@ -153,6 +170,8 @@ class GraphEngine:
         """
         if reduce_op not in ("min", "max"):
             raise DeviceError(f"unsupported add-op reduce {reduce_op!r}")
+        observing = metrics.enabled()
+        t0 = time.perf_counter() if observing else 0.0
         w = np.asarray(dense_tiles, dtype=np.float64)
         src = np.asarray(source_values, dtype=np.float64)
         if w.ndim != 3 or src.shape != w.shape[:2]:
@@ -192,6 +211,19 @@ class GraphEngine:
         # hold that row's edges.
         events.presentations = events.touched_rows
         events.reduce_ops = events.presentations * self.config.crossbar_size
+        if observing:
+            registry = metrics.get_registry()
+            registry.counter(
+                "repro_engine_addop_batches_total",
+                "Batched parallel-add-op folds executed").inc()
+            registry.counter(
+                "repro_engine_tiles_total",
+                "Dense tiles pushed through the functional engine").inc(
+                    w.shape[0])
+            registry.counter(
+                "repro_engine_einsum_seconds_total",
+                "Host seconds inside the functional tile kernels").inc(
+                    time.perf_counter() - t0)
         return out, events
 
     def addop_tile(self, dense_weights: np.ndarray,

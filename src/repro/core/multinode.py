@@ -54,6 +54,7 @@ from repro.core.partitioned import (
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
 from repro.hw.stats import RunStats
+from repro.obs import tracing
 
 __all__ = ["MultiNodeConfig", "MultiNodeGraphR"]
 
@@ -184,8 +185,9 @@ class MultiNodeGraphR:
                 **program_kwargs)
             seconds += loop_seconds
         else:
-            result = run_reference(program.name, graph,
-                                   **reference_kwargs)
+            with tracing.span("reference", algorithm=program.name):
+                result = run_reference(program.name, graph,
+                                       **reference_kwargs)
             work_factor = program.features \
                 if program.name == "cf" else 1
             frontiers = (result.trace.frontiers
@@ -195,16 +197,19 @@ class MultiNodeGraphR:
             for it in range(iterations):
                 frontier = (frontiers[it] if frontiers is not None
                             else None)
-                per_node = [partition_pass_events(p, program.pattern,
-                                                  frontier, work_factor,
-                                                  node_cfg)
-                            for p in partitions]
-                if frontier is not None \
-                        and not any(ev.edges for ev in per_node):
-                    # No node sees an active edge: charge the pass
-                    # like the single-node early return does.
-                    per_node = [IterationEvents() for _ in per_node]
-                seconds += charge_round(per_node)
+                with tracing.span("iteration", index=it + 1):
+                    with tracing.span("sweep"):
+                        per_node = [partition_pass_events(
+                            p, program.pattern, frontier, work_factor,
+                            node_cfg) for p in partitions]
+                    if frontier is not None \
+                            and not any(ev.edges for ev in per_node):
+                        # No node sees an active edge: charge the pass
+                        # like the single-node early return does.
+                        per_node = [IterationEvents()
+                                    for _ in per_node]
+                    with tracing.span("merge"):
+                        seconds += charge_round(per_node)
 
         stats.seconds = seconds
         stats.iterations = result.iterations

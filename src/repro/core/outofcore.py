@@ -57,6 +57,7 @@ from repro.graph.partition import BlockPartition
 from repro.graph.preprocess import GraphROrdering, preprocess_edge_list
 from repro.hw.params import DiskParams
 from repro.hw.stats import RunStats
+from repro.obs import metrics, tracing
 
 __all__ = ["prepare_on_disk", "OutOfCoreRunner", "BlockManifest"]
 
@@ -369,7 +370,9 @@ class OutOfCoreRunner:
             )
         self._resident_edges = 0
         self._peak_residency = 0
-        meta = self._scan_metadata()
+        with tracing.span("scan-metadata",
+                          blocks=len(self.manifest.files)):
+            meta = self._scan_metadata()
         max_iterations = kwargs.get("max_iterations")
 
         chosen = mode or config.mode
@@ -426,31 +429,43 @@ class OutOfCoreRunner:
         n = self.manifest.num_vertices
         kernel = get_stream_kernel(program.name)(
             n, meta.out_degrees, **reference_kwargs)
+        iteration = 0
         while not kernel.finished:
-            frontier = kernel.frontier
-            kernel.begin_pass()
-            merged = IterationEvents()
-            touched = np.zeros(n, dtype=bool)
-            for partition in self.iter_partitions():
-                adj = partition.graph.adjacency
-                kernel.process_edges(np.asarray(adj.rows),
-                                     np.asarray(adj.cols),
-                                     np.asarray(adj.values))
-                events = partition_pass_events(
-                    partition, program.pattern, frontier,
-                    work_factor=1, config=self.config)
-                accumulate_pass_events(merged, touched, partition,
-                                       events, frontier)
-            if frontier is not None and merged.edges == 0:
-                # A frontier of sinks activates no edge anywhere; the
-                # single-node streamer charges such a pass nothing
-                # (early return), so mirror it exactly.
+            iteration += 1
+            with tracing.span("iteration", index=iteration) as it_span:
+                frontier = kernel.frontier
+                kernel.begin_pass()
                 merged = IterationEvents()
-            else:
-                merged.apply_ops = int(np.count_nonzero(touched))
-            kernel.end_pass()
-            stats.seconds += cost.charge_iteration(
-                merged, stats.energy, stats.latency)
+                touched = np.zeros(n, dtype=bool)
+                with tracing.span("sweep"):
+                    for partition in self.iter_partitions():
+                        adj = partition.graph.adjacency
+                        kernel.process_edges(np.asarray(adj.rows),
+                                             np.asarray(adj.cols),
+                                             np.asarray(adj.values))
+                        events = partition_pass_events(
+                            partition, program.pattern, frontier,
+                            work_factor=1, config=self.config)
+                        accumulate_pass_events(merged, touched,
+                                               partition, events,
+                                               frontier)
+                if frontier is not None and merged.edges == 0:
+                    # A frontier of sinks activates no edge anywhere;
+                    # the single-node streamer charges such a pass
+                    # nothing (early return), so mirror it exactly.
+                    merged = IterationEvents()
+                else:
+                    merged.apply_ops = int(np.count_nonzero(touched))
+                kernel.end_pass()
+                with tracing.span("merge"):
+                    stats.seconds += cost.charge_iteration(
+                        merged, stats.energy, stats.latency)
+                if it_span is not None:
+                    it_span.annotate(active_edges=merged.edges)
+                metrics.get_registry().counter(
+                    "repro_active_edges_total",
+                    "Active edges processed across all iterations"
+                ).inc(merged.edges)
         return kernel.result()
 
     def _run_functional(self, program, meta: _DiskMetadata,

@@ -52,6 +52,7 @@ from repro.core.streaming import SubgraphStreamer
 from repro.errors import ConfigError, MappingError
 from repro.graph.coo import COOMatrix
 from repro.graph.graph import Graph
+from repro.obs import metrics, tracing
 from repro.reram.fixed_point import FixedPointFormat
 
 __all__ = [
@@ -413,19 +414,29 @@ class PartitionedFunctionalRunner:
                 converged = True
                 break
             iterations = iteration
-            if program.pattern is MappingPattern.PARALLEL_MAC:
-                new_props, changed, merged, per_partition = \
-                    self._mac_pass(properties)
-            else:
-                new_props, changed, merged, per_partition = \
-                    self._addop_pass(properties, frontier)
-            seconds += charge(merged, per_partition)
-            trace.record(
-                vertices=(int(frontier.sum()) if frontier is not None
-                          else n),
-                edges=merged.edges,
-                frontier=frontier if program.needs_active_list else None,
-            )
+            with tracing.span("iteration", index=iteration) as it_span:
+                with tracing.span("sweep"):
+                    if program.pattern is MappingPattern.PARALLEL_MAC:
+                        new_props, changed, merged, per_partition = \
+                            self._mac_pass(properties)
+                    else:
+                        new_props, changed, merged, per_partition = \
+                            self._addop_pass(properties, frontier)
+                with tracing.span("merge"):
+                    seconds += charge(merged, per_partition)
+                    trace.record(
+                        vertices=(int(frontier.sum())
+                                  if frontier is not None else n),
+                        edges=merged.edges,
+                        frontier=(frontier if program.needs_active_list
+                                  else None),
+                    )
+                if it_span is not None:
+                    it_span.annotate(active_edges=merged.edges)
+                metrics.get_registry().counter(
+                    "repro_active_edges_total",
+                    "Active edges processed across all iterations"
+                ).inc(merged.edges)
             done = program.has_converged(properties, new_props, iteration)
             properties = new_props
             if program.needs_active_list:

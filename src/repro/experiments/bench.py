@@ -1,0 +1,245 @@
+"""Recorded performance trajectory: ``repro bench``.
+
+Runs a pinned workload grid through the batch runtime, folds each
+job's span tree (:mod:`repro.obs.tracing`, persisted in
+``RunStats.extra["trace"]``) into four wall-clock phases —
+
+``queue``
+    time the payload sat before execution began (``queue-wait``),
+``prepare``
+    dataset load, shard attach and out-of-core metadata scans
+    (``prepare`` / ``shard-attach`` / ``scan-metadata``),
+``compute``
+    reference solves and per-iteration sweeps (``reference`` /
+    ``sweep``),
+``merge``
+    per-iteration charge/merge accounting (``merge``)
+
+— and writes the result as ``BENCH_<rev>.json`` at the repo root.
+Committing one such file per milestone turns the repo history into a
+perf trajectory; :func:`compare` is the CI gate that fails a build
+whose phase times regressed beyond the threshold against a committed
+baseline.
+
+Phase classification walks the tree top-down and does *not* recurse
+into a node once it is classified: nested spans (a reference solve
+inside an out-of-core sweep, say) bill to the outermost phase, so the
+four buckets never double-count a second of wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.config import GraphRConfig
+from repro.core.partitioned import DeploymentSpec
+from repro.errors import JobError
+from repro.runtime import BatchRunner
+from repro.runtime.job import Job
+
+__all__ = ["BENCH_PHASES", "BENCH_WORKLOADS", "bench_filename",
+           "compare", "current_revision", "load_bench", "phase_totals",
+           "run_bench", "write_bench"]
+
+#: The four wall-clock buckets every workload reports, in order.
+BENCH_PHASES = ("queue", "prepare", "compute", "merge")
+
+#: Span name → phase bucket.  Container spans (``job``, ``iteration``)
+#: are deliberately absent: they group, their children bill.
+_PHASE_OF_SPAN = {
+    "queue-wait": "queue",
+    "prepare": "prepare",
+    "shard-attach": "prepare",
+    "scan-metadata": "prepare",
+    "reference": "compute",
+    "sweep": "compute",
+    "merge": "merge",
+}
+
+#: The pinned grid: label → job entry.  Small enough to finish in
+#: seconds, wide enough to exercise every deployment path the traces
+#: instrument (in-memory, out-of-core block streaming, multi-node).
+BENCH_WORKLOADS: Sequence[Dict[str, object]] = (
+    {"label": "pagerank:WV", "algorithm": "pagerank", "dataset": "WV",
+     "run_kwargs": {"max_iterations": 5}},
+    {"label": "bfs:WV", "algorithm": "bfs", "dataset": "WV",
+     "run_kwargs": {"source": 0}},
+    {"label": "sssp:WV", "algorithm": "sssp", "dataset": "WV",
+     "run_kwargs": {"source": 0}},
+    {"label": "spmv:WV", "algorithm": "spmv", "dataset": "WV"},
+    {"label": "spmv:WV:out-of-core", "algorithm": "spmv",
+     "dataset": "WV", "deployment": "out-of-core", "block_size": 64},
+    {"label": "pagerank:WV:multi-node", "algorithm": "pagerank",
+     "dataset": "WV", "deployment": "multi-node", "num_nodes": 2,
+     "run_kwargs": {"max_iterations": 3}},
+)
+
+
+def current_revision() -> str:
+    """Short git revision of the working tree, or ``local``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True)
+        rev = out.stdout.strip()
+        return rev or "local"
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+
+
+def bench_filename(rev: Optional[str] = None) -> str:
+    """``BENCH_<rev>.json`` for the given (or current) revision."""
+    return f"BENCH_{rev or current_revision()}.json"
+
+
+# ----------------------------------------------------------------------
+def phase_totals(trace: Optional[Mapping]) -> Dict[str, float]:
+    """Fold one serialized span tree into the four phase buckets.
+
+    Classified spans stop the recursion (their children are billed to
+    them); container spans recurse.  A missing or empty trace yields
+    all-zero buckets rather than raising — a cache-served result from
+    a pre-telemetry build simply benches as instant.
+    """
+    totals = {phase: 0.0 for phase in BENCH_PHASES}
+    if not isinstance(trace, Mapping):
+        return totals
+
+    def visit(node: Mapping) -> None:
+        phase = _PHASE_OF_SPAN.get(node.get("name"))
+        if phase is not None:
+            totals[phase] += float(node.get("duration_s") or 0.0)
+            return
+        for child in node.get("children", ()):
+            if isinstance(child, Mapping):
+                visit(child)
+
+    visit(trace)
+    return totals
+
+
+def _job_from_entry(entry: Mapping, runner: BatchRunner) -> Job:
+    config = None
+    deployment = None
+    kind = entry.get("deployment")
+    if kind is not None:
+        deployment = DeploymentSpec(
+            kind=str(kind), num_nodes=int(entry.get("num_nodes", 4)))
+    if entry.get("block_size") is not None:
+        config = GraphRConfig(mode="analytic",
+                              block_size=int(entry["block_size"]))
+    return runner.make_job(
+        str(entry["algorithm"]), str(entry["dataset"]),
+        platform=str(entry.get("platform", "graphr")),
+        config=config, deployment=deployment,
+        **dict(entry.get("run_kwargs") or {}))
+
+
+def run_bench(workers: int = 1,
+              cache_dir: Optional[Union[str, Path]] = None,
+              workloads: Optional[Sequence[Mapping]] = None,
+              rev: Optional[str] = None) -> Dict[str, object]:
+    """Execute the pinned grid and return the bench document.
+
+    The document is what :func:`write_bench` serializes: the revision,
+    the grid, and per-workload phase timings plus the simulated
+    headline numbers (seconds/joules/iterations) for context.
+    """
+    workloads = list(workloads if workloads is not None
+                     else BENCH_WORKLOADS)
+    runner = BatchRunner(workers=workers, cache_dir=cache_dir)
+    jobs = [_job_from_entry(entry, runner) for entry in workloads]
+    results = runner.run_jobs(jobs)
+    rows: List[Dict[str, object]] = []
+    for entry, job, result in zip(workloads, jobs, results):
+        if not result.ok:
+            raise JobError(f"bench workload "
+                           f"{entry.get('label', job.label())} "
+                           f"failed: {result.error}")
+        stats = result.stats
+        phases = phase_totals(stats.extra.get("trace"))
+        rows.append({
+            "label": str(entry.get("label", job.label())),
+            "key": job.content_key(),
+            "from_cache": result.from_cache,
+            "phases": phases,
+            "wall_s": sum(phases.values()),
+            "simulated": {
+                "seconds": stats.seconds,
+                "joules": stats.joules,
+                "iterations": stats.iterations,
+            },
+        })
+    return {
+        "schema": 1,
+        "rev": rev or current_revision(),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workers": workers,
+        "workloads": rows,
+    }
+
+
+def write_bench(document: Mapping,
+                out_path: Union[str, Path]) -> Path:
+    """Serialize one bench document (pretty JSON, trailing newline)."""
+    out_path = Path(out_path)
+    out_path.write_text(json.dumps(document, indent=2,
+                                   sort_keys=True) + "\n")
+    return out_path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a bench document back, validating the envelope."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise JobError(f"cannot read bench file {path}: {exc}") from exc
+    if not isinstance(document, dict) \
+            or not isinstance(document.get("workloads"), list):
+        raise JobError(f"{path} is not a bench document "
+                       f"(no 'workloads' list)")
+    return document
+
+
+# ----------------------------------------------------------------------
+def compare(current: Mapping, baseline: Mapping,
+            threshold: float = 0.25,
+            min_seconds: float = 0.05) -> List[Dict[str, object]]:
+    """Phase-time regressions of ``current`` against ``baseline``.
+
+    A regression is a phase whose baseline time is at least
+    ``min_seconds`` (sub-noise phases cannot regress — a 2 ms prepare
+    doubling is jitter, not a finding) and whose current time exceeds
+    the baseline by more than ``threshold`` (fractional).  Workloads
+    present in only one document are skipped: the gate judges shared
+    ground, renaming the grid is not a perf failure.
+    """
+    if threshold < 0:
+        raise JobError("threshold must be >= 0")
+    baseline_rows = {row["label"]: row
+                     for row in baseline.get("workloads", [])
+                     if isinstance(row, Mapping) and "label" in row}
+    regressions: List[Dict[str, object]] = []
+    for row in current.get("workloads", []):
+        base = baseline_rows.get(row.get("label"))
+        if base is None:
+            continue
+        base_phases = base.get("phases", {})
+        for phase, seconds in row.get("phases", {}).items():
+            ref = base_phases.get(phase)
+            if ref is None or ref < min_seconds:
+                continue
+            if seconds > ref * (1.0 + threshold):
+                regressions.append({
+                    "label": row["label"],
+                    "phase": phase,
+                    "baseline_s": ref,
+                    "current_s": seconds,
+                    "ratio": seconds / ref if ref else float("inf"),
+                })
+    return regressions

@@ -8,7 +8,14 @@ from typing import Any, Dict
 from repro.hw.energy import EnergyLedger
 from repro.hw.timing import LatencyModel
 
-__all__ = ["RunStats"]
+__all__ = ["RunStats", "VOLATILE_EXTRA_KEYS"]
+
+#: ``extra`` keys that carry observational telemetry with wall-clock
+#: content (trace span trees).  They ride along in :meth:`RunStats.to_dict`
+#: and the result cache, but two otherwise-identical runs will differ
+#: here — :meth:`RunStats.identity_dict` strips them for bit-identity
+#: comparisons.
+VOLATILE_EXTRA_KEYS = ("trace",)
 
 
 @dataclass
@@ -92,6 +99,21 @@ class RunStats:
                       if isinstance(v, (str, int, float, bool, list,
                                         dict))},
         }
+
+    def identity_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus volatile telemetry.
+
+        The simulated *result* of a run — every second, joule and
+        counter — with wall-clock observational extras (the trace span
+        tree) removed, so bit-identity across serial/parallel,
+        fresh/recovered and batch/service executions can be asserted
+        even though each execution's trace timings necessarily differ.
+        """
+        payload = self.to_dict()
+        extra = payload["extra"]
+        for key in VOLATILE_EXTRA_KEYS:
+            extra.pop(key, None)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunStats":

@@ -1,0 +1,37 @@
+"""Telemetry substrate: metrics, tracing and structured logging.
+
+Three small, dependency-free modules every layer of the runtime can
+import without cycles:
+
+* :mod:`repro.obs.metrics` — a process-safe registry of counters,
+  gauges and fixed-bucket histograms whose snapshots *merge*, so worker
+  processes ship per-job deltas back over the existing result pipe and
+  the daemon folds them into one fleet-wide view;
+* :mod:`repro.obs.tracing` — a lightweight span-tree context manager
+  keyed by a correlation id; traces serialize into
+  ``RunStats.extra["trace"]`` and persist with cached results;
+* :mod:`repro.obs.logsetup` — stdlib logging with an optional JSON
+  formatter and correlation ids on every line.
+
+Telemetry is strictly observational: nothing here participates in job
+content keys, and disabling it (``tracing.set_enabled(False)``,
+``metrics.set_enabled(False)``) changes no simulated value, second, or
+joule — asserted by the telemetry-invisibility test suite.
+"""
+
+from repro.obs.logsetup import (get_correlation_id, set_correlation_id,
+                                setup_logging)
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.obs.tracing import Span, span, trace
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "get_correlation_id",
+    "get_registry",
+    "set_correlation_id",
+    "setup_logging",
+    "span",
+    "trace",
+    "use_registry",
+]

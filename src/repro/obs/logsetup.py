@@ -1,0 +1,109 @@
+"""Stdlib logging with correlation ids and an optional JSON formatter.
+
+The runtime had zero logging before this package; the rules here:
+
+* every record carries a ``correlation_id`` (the job content-key
+  prefix) via a ``ContextVar``-backed filter, so one job's lines are
+  greppable across daemon, supervisor and worker;
+* :func:`setup_logging` is idempotent and configures only the
+  ``"repro"`` logger subtree — never the root logger — so embedding
+  applications and pytest keep their own handlers untouched;
+* ``--log-json`` swaps the human one-liner for one JSON object per
+  line (machine-shippable, stable keys).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from contextvars import ContextVar
+from typing import Optional
+
+__all__ = ["CorrelationFilter", "JsonFormatter", "get_correlation_id",
+           "get_logger", "set_correlation_id", "setup_logging"]
+
+_correlation_id: ContextVar[str] = ContextVar("repro_correlation_id",
+                                              default="-")
+
+# Library-logging etiquette: a NullHandler on the subtree root keeps
+# ``logging.lastResort`` from dumping warnings (and tracebacks) to
+# stderr when nobody called setup_logging().  Records still propagate,
+# so an embedding application's root handlers see them if configured.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+_TEXT_FORMAT = ("%(asctime)s %(levelname)s %(name)s "
+                "[%(correlation_id)s] %(message)s")
+
+
+def set_correlation_id(value: Optional[str]) -> None:
+    """Set this thread/context's correlation id (``None`` clears)."""
+    _correlation_id.set(value if value else "-")
+
+
+def get_correlation_id() -> str:
+    """The current correlation id (``"-"`` outside any job)."""
+    return _correlation_id.get()
+
+
+class CorrelationFilter(logging.Filter):
+    """Stamp every record with the context's correlation id."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "correlation_id"):
+            record.correlation_id = _correlation_id.get()
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line with stable keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "correlation_id": getattr(record, "correlation_id", "-"),
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+def setup_logging(level: str = "WARNING", json_lines: bool = False,
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger subtree; safe to call twice.
+
+    Returns the ``repro`` logger.  Handlers installed by a previous
+    call are replaced (so the CLI can re-run in one process, e.g. under
+    tests) but nothing outside the subtree is touched.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper(), logging.WARNING))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.addFilter(CorrelationFilter())
+    if json_lines:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(_TEXT_FORMAT))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger with the correlation filter.
+
+    Modules use ``log = get_logger(__name__)``; records flow to the
+    subtree handler installed by :func:`setup_logging` (or nowhere, by
+    default — the runtime stays silent unless asked).
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    logger = logging.getLogger(name)
+    if not any(isinstance(f, CorrelationFilter) for f in logger.filters):
+        logger.addFilter(CorrelationFilter())
+    return logger

@@ -1,0 +1,369 @@
+"""Mergeable metrics registry: counters, gauges, histograms.
+
+The runtime is a tree of processes — a daemon (or batch parent) plus N
+warm workers — and every process has its *own* registry: instrumented
+library code records into the process-current registry
+(:func:`get_registry`), worker entry points swap in a fresh registry
+per job (:func:`use_registry`) and ship its :meth:`snapshot` back over
+the existing result pipe, and the parent folds each delta into its own
+registry with :meth:`MetricsRegistry.merge`.  Merge semantics make the
+snapshots deltas: counters and histogram cells *add*, gauges
+last-write-win.
+
+Everything is stdlib + thread-safe (one lock per registry — the HTTP
+handler threads and the worker-slot threads record concurrently), and
+:meth:`to_prometheus` renders the standard text exposition for
+scrapers.
+
+Metrics are observational only: they never feed back into simulated
+results, and :func:`set_enabled` turns every record call into a no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "enabled",
+    "get_registry",
+    "set_enabled",
+    "set_registry",
+    "use_registry",
+]
+
+#: Default histogram bucket upper bounds (seconds) — spans sub-ms HTTP
+#: handling through multi-minute simulations; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+    300.0)
+
+_enabled = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable metric recording (process-wide)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def enabled() -> bool:
+    """Whether metric recording is on."""
+    return _enabled
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "",  # noqa: A002
+                 lock: Optional[threading.Lock] = None) -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = lock or threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if not _enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value (queue depth, resident bytes)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "",  # noqa: A002
+                 lock: Optional[threading.Lock] = None) -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = lock or threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution (latencies, sizes).
+
+    ``buckets`` are upper bounds in ascending order; an implicit +Inf
+    bucket catches the rest.  Bucket boundaries are part of a
+    histogram's identity: merging snapshots with different boundaries
+    is rejected rather than silently misbinned.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(self, name: str, help: str = "",  # noqa: A002
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 lock: Optional[threading.Lock] = None) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("buckets must be ascending and non-empty")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock or threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if not _enabled:
+            return
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, +Inf last."""
+        return list(self._counts)
+
+
+class MetricsRegistry:
+    """One process's named metrics, snapshot-able and mergeable."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
+        """The named counter (created on first use)."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._check_fresh(name)
+                metric = Counter(name, help)
+                self._counters[name] = metric
+            return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # noqa: A002
+        """The named gauge (created on first use)."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._check_fresh(name)
+                metric = Gauge(name, help)
+                self._gauges[name] = metric
+            return metric
+
+    def histogram(self, name: str, help: str = "",  # noqa: A002
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        """The named histogram (created on first use; an existing
+        histogram keeps its original buckets)."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._check_fresh(name)
+                metric = Histogram(name, help, buckets)
+                self._histograms[name] = metric
+            return metric
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._counters or name in self._gauges \
+                or name in self._histograms:
+            raise ValueError(
+                f"metric {name!r} already registered with another type")
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state of every metric (a shippable delta)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: metric.value
+                         for name, metric in sorted(counters.items())},
+            "gauges": {name: metric.value
+                       for name, metric in sorted(gauges.items())},
+            "histograms": {
+                name: {
+                    "buckets": list(metric.buckets),
+                    "counts": metric.counts,
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+                for name, metric in sorted(histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histogram cells add; gauges take the snapshot's
+        value (last write wins).  Unknown metrics are created, so a
+        parent needs no advance knowledge of what its workers measure.
+        A malformed snapshot raises ``ValueError`` — deltas ride the
+        worker result pipe, and silent miscounting would be worse than
+        a contained failure.
+        """
+        if not isinstance(snapshot, Mapping):
+            raise ValueError("metrics snapshot must be a mapping")
+        for name, value in dict(snapshot.get("counters", {})).items():
+            counter = self.counter(name)
+            with counter._lock:
+                counter._value += float(value)
+        for name, value in dict(snapshot.get("gauges", {})).items():
+            gauge = self.gauge(name)
+            with gauge._lock:
+                gauge._value = float(value)
+        for name, payload in dict(snapshot.get("histograms",
+                                               {})).items():
+            buckets = tuple(float(b) for b in payload["buckets"])
+            histogram = self.histogram(name, buckets=buckets)
+            if histogram.buckets != buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch: "
+                    f"{histogram.buckets} vs {buckets}")
+            counts = [int(c) for c in payload["counts"]]
+            if len(counts) != len(histogram._counts):
+                raise ValueError(
+                    f"histogram {name!r} has {len(counts)} cells, "
+                    f"expected {len(histogram._counts)}")
+            with histogram._lock:
+                for i, c in enumerate(counts):
+                    histogram._counts[i] += c
+                histogram._sum += float(payload["sum"])
+                histogram._count += int(payload["count"])
+
+    def clear(self) -> None:
+        """Drop every metric (tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Standard Prometheus text exposition (version 0.0.4).
+
+        Histogram bucket counts are cumulative with an explicit +Inf
+        bucket, per the format; names are emitted as registered (the
+        runtime registers only ``[a-z0-9_]`` names).
+        """
+        lines: List[str] = []
+        snap = self.snapshot()
+        for name, value in snap["counters"].items():
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format(value)}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format(value)}")
+        for name, payload in snap["histograms"].items():
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(payload["buckets"],
+                                    payload["counts"]):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{_format(bound)}"}} '
+                             f"{cumulative}")
+            cumulative += payload["counts"][-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_format(payload['sum'])}")
+            lines.append(f"{name}_count {payload['count']}")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")
+
+
+def _format(value: float) -> str:
+    """Integers without a trailing ``.0``; floats via repr."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+# ----------------------------------------------------------------------
+# Process-current registry
+# ----------------------------------------------------------------------
+_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-current registry instrumented code records into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as process-current; returns the previous
+    one (workers swap in a fresh registry per job to capture a
+    delta)."""
+    global _registry
+    with _registry_lock:
+        previous = _registry
+        _registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None
+                 ) -> Iterator[MetricsRegistry]:
+    """Temporarily record into ``registry`` (default: a fresh one).
+
+    Yields the installed registry; on exit the previous registry is
+    restored — the worker entry point wraps each job in this and ships
+    ``registry.snapshot()`` back as the job's metric delta.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

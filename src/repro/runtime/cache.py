@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.hw.stats import RunStats
+from repro.obs import metrics
 from repro.runtime.job import Job
 
 __all__ = ["ResultCache", "CacheStats", "CacheEntry",
@@ -163,11 +164,16 @@ class ResultCache:
     def get(self, job: Job) -> Optional[RunStats]:
         """The cached stats of ``job``, or ``None`` on a miss
         (counted)."""
+        registry = metrics.get_registry()
         stats = self._load(job)
         if stats is None:
             self.stats.misses += 1
+            registry.counter("repro_cache_misses_total",
+                             "Result-cache lookups that missed").inc()
         else:
             self.stats.hits += 1
+            registry.counter("repro_cache_hits_total",
+                             "Result-cache lookups that hit").inc()
             try:
                 # A hit refreshes the entry's mtime so prune's
                 # oldest-first order sees reuse — hot results age like
@@ -205,6 +211,9 @@ class ResultCache:
         tmp.write_text(json.dumps(payload, indent=2))
         tmp.replace(path)
         self.stats.stores += 1
+        metrics.get_registry().counter(
+            "repro_cache_stores_total",
+            "Finished runs persisted to the result cache").inc()
         return path
 
     def invalidate(self, job: Job) -> bool:
@@ -245,6 +254,11 @@ class ResultCache:
         inventory (:meth:`shard_entries`) and both feed
         :meth:`total_bytes` / :meth:`prune`.
         """
+        metrics.get_registry().counter(
+            "repro_cache_inventory_walks_total",
+            "Full result-directory listings (each one stats every "
+            "entry — pollers should hit the daemon's TTL memo "
+            "instead)").inc()
         found = []
         for path in self.cache_dir.glob("*/*.json"):
             try:
@@ -297,8 +311,13 @@ class ResultCache:
 
     def total_bytes(self) -> int:
         """Bytes held by all artifacts (results plus shard dirs)."""
-        return (sum(entry.bytes for entry in self.entries())
-                + sum(entry.bytes for entry in self.shard_entries()))
+        total = (sum(entry.bytes for entry in self.entries())
+                 + sum(entry.bytes for entry in self.shard_entries()))
+        metrics.get_registry().gauge(
+            "repro_cache_resident_bytes",
+            "Bytes held by cache artifacts after the last prune").set(
+                total)
+        return total
 
     def _sweep_empty_dirs(self) -> None:
         """Remove fan-out/shard directories eviction emptied, so a
@@ -345,6 +364,15 @@ class ResultCache:
             evicted.append(entry)
             self.stats.invalidations += 1
         if evicted:
+            registry = metrics.get_registry()
+            registry.counter(
+                "repro_cache_evictions_total",
+                "Artifacts removed by size-bound pruning").inc(
+                    len(evicted))
+            registry.gauge(
+                "repro_cache_resident_bytes",
+                "Bytes held by cache artifacts after the last prune"
+            ).set(total)
             self._sweep_empty_dirs()
         return evicted
 

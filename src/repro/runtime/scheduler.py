@@ -40,7 +40,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import JobError
 from repro.hw.stats import RunStats
+from repro.obs import logsetup, metrics, tracing
 from repro.runtime.job import Job
+
+log = logsetup.get_logger(__name__)
 
 __all__ = ["Scheduler", "JobResult", "WorkerCrash", "WorkerTimeout",
            "WorkerProcess", "execute_job", "execute_payload",
@@ -60,8 +63,9 @@ def execute_job(job: Job,
     """
     from repro.graph.datasets import dataset
 
-    graph = dataset(job.dataset, weighted=job.resolved_weighted,
-                    seed=job.dataset_seed)
+    with tracing.span("prepare", dataset=job.dataset):
+        graph = dataset(job.dataset, weighted=job.resolved_weighted,
+                        seed=job.dataset_seed)
     kwargs = dict(job.run_kwargs)
     if job.platform == "graphr":
         deployment = job.resolved_deployment()
@@ -123,13 +127,68 @@ def execute_payload(payload: Dict[str, object],
     Must stay importable at module top level (pickled by name) and must
     never raise — errors travel back as ``{"ok": False, ...}`` so the
     pool and the rest of the batch survive.
+
+    This is also where the telemetry envelope opens: each job runs
+    under a fresh metrics registry (its snapshot rides back as
+    ``outcome["metrics"]`` — a mergeable delta) and under a root trace
+    span keyed by the content-key prefix, serialized into
+    ``stats["extra"]["trace"]``.  Neither touches the simulated values:
+    the trace is attached to the already-built stats dict and the
+    registry only ever *observes*.
     """
+    registry = metrics.MetricsRegistry()
+    correlation = None
     try:
         job = Job.from_dict(payload)
-        stats = execute_job(job, cache_dir=cache_dir)
-        return {"ok": True, "stats": stats.to_dict()}
+        correlation = job.content_key()[:12]
+        logsetup.set_correlation_id(correlation)
+        log.info("job start: %s", job.label())
+        with metrics.use_registry(registry):
+            registry.counter(
+                "repro_jobs_started_total",
+                "Jobs entering execute_payload").inc()
+            started = time.perf_counter()
+            with tracing.trace("job", correlation_id=correlation) as root:
+                stats = execute_job(job, cache_dir=cache_dir)
+            wall = time.perf_counter() - started
+            registry.histogram(
+                "repro_job_execute_seconds",
+                "End-to-end job execution latency").observe(wall)
+            registry.counter(
+                "repro_jobs_completed_total",
+                "Jobs finishing successfully").inc()
+        stats_dict = stats.to_dict()
+        if root is not None:
+            root.annotate(algorithm=job.algorithm, dataset=job.dataset,
+                          platform=job.platform)
+            stats_dict["extra"]["trace"] = root.to_dict()
+        log.info("job done: %.3fs wall", wall)
+        return {"ok": True, "stats": stats_dict,
+                "metrics": registry.snapshot()}
     except Exception:  # noqa: BLE001 - the whole point is containment
-        return {"ok": False, "error": traceback.format_exc()}
+        registry.counter("repro_jobs_failed_total",
+                         "Jobs raising a deterministic error").inc()
+        log.warning("job failed", exc_info=True)
+        return {"ok": False, "error": traceback.format_exc(),
+                "metrics": registry.snapshot()}
+    finally:
+        if correlation is not None:
+            logsetup.set_correlation_id(None)
+
+
+def _prepend_queue_wait(stats_dict: Dict[str, object],
+                        wait_s: float) -> None:
+    """Insert a ``queue-wait`` span at the front of a serialized trace.
+
+    The worker cannot know how long its payload sat queued before
+    dispatch — only the dispatcher (scheduler or service supervisor)
+    does, so the span is grafted onto the already-serialized tree.
+    No-op when tracing was disabled (no trace in the stats).
+    """
+    trace_dict = stats_dict.get("extra", {}).get("trace")
+    if isinstance(trace_dict, dict):
+        trace_dict.setdefault("children", []).insert(
+            0, {"name": "queue-wait", "duration_s": wait_s})
 
 
 def worker_loop(conn, cache_dir: Optional[str] = None) -> None:
@@ -342,15 +401,37 @@ class Scheduler:
         if not jobs:
             return []
         payloads = [job.to_dict() for job in jobs]
+        queued_at = time.perf_counter()
+        registry = metrics.get_registry()
         if self.workers > 1 and len(jobs) > 1:
             raw = self._run_pool(payloads)
         else:
-            raw = [execute_payload(payload, cache_dir=self.cache_dir)
-                   for payload in payloads]
+            raw = []
+            for payload in payloads:
+                wait = time.perf_counter() - queued_at
+                registry.histogram(
+                    "repro_scheduler_queue_wait_seconds",
+                    "Time jobs waited before execution began").observe(
+                        wait)
+                outcome = execute_payload(payload,
+                                          cache_dir=self.cache_dir)
+                outcome["_queue_wait_s"] = wait
+                raw.append(outcome)
         results = []
         for job, outcome in zip(jobs, raw):
+            delta = outcome.pop("metrics", None)
+            if delta is not None:
+                registry.merge(delta)
+            wait = outcome.pop("_queue_wait_s", None)
             attempts = int(outcome.get("attempts", 1))
+            if attempts > 1:
+                registry.counter(
+                    "repro_job_retries_total",
+                    "Extra execution attempts after worker crashes"
+                ).inc(attempts - 1)
             if outcome.get("ok"):
+                if wait is not None:
+                    _prepend_queue_wait(outcome["stats"], wait)
                 results.append(JobResult(
                     job=job, stats=RunStats.from_dict(outcome["stats"]),
                     attempts=attempts))
@@ -372,10 +453,13 @@ class Scheduler:
         crash budget runs out.
         """
         ctx = _pool_context()
+        registry = metrics.get_registry()
+        queued_at = time.perf_counter()
         limit = 1 + self.max_crash_retries
         total = len(payloads)
         results: List[Optional[Dict[str, object]]] = [None] * total
         attempts = [0] * total
+        waits: List[Optional[float]] = [None] * total
         # A worker found dead at dispatch time (died idle after its
         # previous job) never ran the payload, so that is not charged
         # as an execution attempt — but it is bounded separately so a
@@ -387,6 +471,10 @@ class Scheduler:
         busy: Dict[WorkerProcess, int] = {}
 
         def crashed(index: int, detail: object) -> None:
+            registry.counter(
+                "repro_worker_crashes_total",
+                "Worker processes that died mid-job").inc()
+            log.warning("worker crashed on job %d: %s", index, detail)
             if attempts[index] < limit:
                 pending.appendleft(index)
             else:
@@ -407,6 +495,12 @@ class Scheduler:
                         continue
                     index = pending.popleft()
                     attempts[index] += 1
+                    if attempts[index] == 1:
+                        waits[index] = time.perf_counter() - queued_at
+                        registry.histogram(
+                            "repro_scheduler_queue_wait_seconds",
+                            "Time jobs waited before execution began"
+                        ).observe(waits[index])
                     try:
                         worker.submit(index, payloads[index])
                     except WorkerCrash as exc:
@@ -448,7 +542,9 @@ class Scheduler:
                     progressed = True
                 if busy and not progressed:
                     time.sleep(0.02)
-            return [dict(outcome, attempts=attempts[index])
+            return [dict(outcome, attempts=attempts[index],
+                         **({"_queue_wait_s": waits[index]}
+                            if waits[index] is not None else {}))
                     for index, outcome in enumerate(results)]
         finally:
             for worker in workers:

@@ -28,6 +28,7 @@ from repro.core.config import GraphRConfig
 from repro.core.outofcore import _MANIFEST as MANIFEST_NAME
 from repro.core.outofcore import prepare_on_disk
 from repro.graph.graph import Graph
+from repro.obs import metrics, tracing
 
 __all__ = ["SHARD_LAYOUT_VERSION", "shard_key", "prepared_block_dir"]
 
@@ -71,20 +72,32 @@ def prepared_block_dir(graph: Graph, config: GraphRConfig,
     """
     root = Path(cache_root) / "shards"
     final = root / shard_key(dataset, dataset_seed, weighted, config)
+    registry = metrics.get_registry()
     if (final / MANIFEST_NAME).exists():
-        try:
-            # Refresh the mtime so the cache's oldest-mtime-first
-            # eviction sees reuse: without this a day-one shard hit by
-            # every job would still be pruned before idle newcomers.
-            os.utime(final)
-        except OSError:
-            pass
+        registry.counter(
+            "repro_shard_reuses_total",
+            "Out-of-core jobs served by an existing shard").inc()
+        with tracing.span("shard-attach", reused=True,
+                          shard=final.name[:12]):
+            try:
+                # Refresh the mtime so the cache's oldest-mtime-first
+                # eviction sees reuse: without this a day-one shard hit
+                # by every job would still be pruned before idle
+                # newcomers.
+                os.utime(final)
+            except OSError:
+                pass
         return final
+    registry.counter(
+        "repro_shard_builds_total",
+        "Out-of-core shard directories built from scratch").inc()
     root.mkdir(parents=True, exist_ok=True)
     scratch = final.with_name(f"{final.name}.tmp.{os.getpid()}")
-    if scratch.exists():
-        shutil.rmtree(scratch)
-    prepare_on_disk(graph, scratch, config)
+    with tracing.span("shard-attach", reused=False,
+                      shard=final.name[:12]):
+        if scratch.exists():
+            shutil.rmtree(scratch)
+        prepare_on_disk(graph, scratch, config)
     try:
         scratch.replace(final)
     except OSError:

@@ -28,12 +28,15 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import JobError
+from repro.obs import logsetup, metrics
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import Job
 from repro.service.store import JobRecord, JobStore
 from repro.service.supervisor import WorkerSupervisor
 
 __all__ = ["SimulationService"]
+
+log = logsetup.get_logger(__name__)
 
 
 class SimulationService:
@@ -70,6 +73,15 @@ class SimulationService:
         self._started_at: Optional[float] = None
         self._submissions = 0
         self._cache_served = 0
+        #: How long one cache-inventory walk stays fresh for metrics
+        #: polls.  Each walk stats every artifact on disk; a scraper
+        #: polling at 1 Hz must not turn that into a per-second
+        #: directory crawl.  Submissions and prunes happen at a far
+        #: coarser grain than the TTL, so a ≤2 s-stale byte total is
+        #: an honest answer for a monitoring endpoint.
+        self.inventory_ttl_s = 2.0
+        self._inventory_memo: Optional[Dict[str, object]] = None
+        self._inventory_at = 0.0
 
     # ------------------------------------------------------------------
     def start(self) -> List[JobRecord]:
@@ -182,6 +194,51 @@ class SimulationService:
         return self.store.cancel(job_id)
 
     # ------------------------------------------------------------------
+    def _cache_inventory(self) -> Dict[str, object]:
+        """Counts and byte totals of the cache directory, memoised
+        behind :attr:`inventory_ttl_s` so repeated metrics polls do not
+        re-walk (and re-stat) every artifact on disk."""
+        now = time.monotonic()
+        with self._lock:
+            memo = self._inventory_memo
+            if memo is not None \
+                    and now - self._inventory_at < self.inventory_ttl_s:
+                return memo
+        inventory = self.cache.entries()  # one walk for both numbers
+        shards = self.cache.shard_entries()
+        result_bytes = sum(entry.bytes for entry in inventory)
+        shard_bytes = sum(entry.bytes for entry in shards)
+        memo = {
+            "entries": len(inventory),
+            "result_bytes": result_bytes,
+            "shard_count": len(shards),
+            "shard_bytes": shard_bytes,
+            "total_bytes": result_bytes + shard_bytes,
+        }
+        with self._lock:
+            self._inventory_memo = memo
+            self._inventory_at = now
+        return memo
+
+    def health(self) -> Dict[str, object]:
+        """Liveness plus load: queue depth, busy/total workers and the
+        supervisor's ``degraded`` flag (crash retries climbing)."""
+        counts = self.store.counts()
+        return {
+            "status": ("degraded" if self.supervisor.degraded()
+                       else "ok"),
+            "degraded": self.supervisor.degraded(),
+            "queue_depth": counts["queued"],
+            "running": counts["running"],
+            "workers": {
+                "total": self.supervisor.workers,
+                "busy": self.supervisor.busy_workers,
+            },
+            "recent_crashes": self.supervisor.recent_crashes(),
+            "uptime_s": (time.time() - self._started_at
+                         if self._started_at else 0.0),
+        }
+
     def metrics(self) -> Dict[str, object]:
         """Live service metrics for ``GET /v1/metrics``."""
         counts = self.store.counts()
@@ -190,8 +247,7 @@ class SimulationService:
             submissions = self._submissions
             cache_served = self._cache_served
         done_last_minute = self.store.done_since(now - 60.0)
-        inventory = self.cache.entries()  # one walk for both numbers
-        shards = self.cache.shard_entries()
+        inventory_memo = self._cache_inventory()
         return {
             "uptime_s": (now - self._started_at
                          if self._started_at else 0.0),
@@ -211,15 +267,10 @@ class SimulationService:
                 "done_last_minute": done_last_minute,
                 "per_sec_1m": done_last_minute / 60.0,
             },
-            "cache": dict(
-                self.cache.stats.as_dict(),
-                entries=len(inventory),
-                result_bytes=sum(entry.bytes for entry in inventory),
-                shard_count=len(shards),
-                shard_bytes=sum(entry.bytes for entry in shards),
-                total_bytes=(sum(entry.bytes for entry in inventory)
-                             + sum(entry.bytes for entry in shards)),
-            ),
+            # The memo's key order matches the old inline dict exactly,
+            # keeping the JSON payload byte-compatible.
+            "cache": dict(self.cache.stats.as_dict(),
+                          **inventory_memo),
         }
 
     def __repr__(self) -> str:

@@ -18,8 +18,13 @@ GET       ``/v1/jobs?state=...``  Listing (optionally one state).
 DELETE    ``/v1/jobs/<id>``       Cancel a *queued* job (409 once it
                                   left the queue).
 GET       ``/v1/metrics``         Queue depth, worker utilisation,
-                                  cache hit-rate, jobs/sec.
-GET       ``/v1/health``          Liveness probe.
+                                  cache hit-rate, jobs/sec.  With
+                                  ``?format=prometheus``: the telemetry
+                                  registry in text exposition format
+                                  for standard scrapers.
+GET       ``/v1/health``          Liveness probe plus queue depth,
+                                  busy/total workers and a ``degraded``
+                                  flag when crash retries are climbing.
 ========  ======================  =====================================
 
 Errors are JSON too: ``{"error": ...}`` with 400 for malformed
@@ -35,11 +40,13 @@ from __future__ import annotations
 import json
 import multiprocessing.util
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
 from repro.service.daemon import SimulationService
 
 __all__ = ["ServiceHTTPServer", "ServiceHandler", "serve_in_thread"]
@@ -56,6 +63,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload, indent=2).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str,
+                   content_type: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -85,10 +101,36 @@ class ServiceHandler(BaseHTTPRequestHandler):
         service: SimulationService = self.server.service
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
+        started = time.perf_counter()
+        try:
+            return self._dispatch(method, service, parsed, parts)
+        finally:
+            endpoint = parts[1] if len(parts) > 1 else "other"
+            if endpoint in ("health", "metrics", "jobs"):
+                obs_metrics.get_registry().histogram(
+                    f"repro_http_{endpoint}_request_seconds",
+                    f"Request latency of the /v1/{endpoint} endpoint"
+                ).observe(time.perf_counter() - started)
+
+    def _dispatch(self, method: str, service: SimulationService,
+                  parsed, parts) -> None:
         try:
             if method == "GET" and parts == ["v1", "health"]:
-                return self._send(200, {"ok": True})
+                # "ok" stays first for pre-existing liveness probes;
+                # the load/degradation detail rides along.
+                return self._send(200, dict({"ok": True},
+                                            **service.health()))
             if method == "GET" and parts == ["v1", "metrics"]:
+                query = parse_qs(parsed.query)
+                wanted = query.get("format", ["json"])[0]
+                if wanted == "prometheus":
+                    return self._send_text(
+                        200,
+                        obs_metrics.get_registry().to_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8")
+                if wanted != "json":
+                    return self._send(400, {
+                        "error": f"unknown metrics format {wanted!r}"})
                 return self._send(200, service.metrics())
             if parts[:2] == ["v1", "jobs"]:
                 if len(parts) == 2:

@@ -33,16 +33,22 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
+from collections import deque
 from typing import List, Optional, Set
 
 from repro.errors import JobError
 from repro.hw.stats import RunStats
+from repro.obs import logsetup, metrics
 from repro.runtime.cache import ResultCache
 from repro.runtime.scheduler import (WorkerCrash, WorkerProcess,
-                                     WorkerTimeout)
+                                     WorkerTimeout,
+                                     _prepend_queue_wait)
 from repro.service.store import JobRecord, JobStore
 
 __all__ = ["WorkerSupervisor"]
+
+log = logsetup.get_logger(__name__)
 
 
 class WorkerSupervisor:
@@ -97,6 +103,13 @@ class WorkerSupervisor:
         self._counter_lock = threading.Lock()
         self.completed = 0
         self.failed = 0
+        #: Monotonic timestamps of recent worker crashes/timeouts —
+        #: the health endpoint's ``degraded`` signal.
+        self._recent_crashes: "deque[float]" = deque(maxlen=64)
+        #: Crashes within this window flip :meth:`degraded`.
+        self.degraded_window_s = 300.0
+        #: How many windowed crashes count as "climbing".
+        self.degraded_crash_threshold = 3
 
     # ------------------------------------------------------------------
     def enqueue(self, record: JobRecord) -> None:
@@ -156,6 +169,24 @@ class WorkerSupervisor:
         """Busy slots over total slots (0.0 with no workers)."""
         return self.busy_workers / self.workers if self.workers else 0.0
 
+    def _note_crash(self) -> None:
+        with self._counter_lock:
+            self._recent_crashes.append(time.monotonic())
+
+    def recent_crashes(self) -> int:
+        """Worker crashes/timeouts inside the degraded window."""
+        cutoff = time.monotonic() - self.degraded_window_s
+        with self._counter_lock:
+            return sum(1 for when in self._recent_crashes
+                       if when >= cutoff)
+
+    def degraded(self) -> bool:
+        """Whether crash retries are climbing: at least
+        ``degraded_crash_threshold`` worker crashes or timeouts within
+        ``degraded_window_s`` — the health endpoint's early-warning
+        flag, cleared automatically once the window slides past."""
+        return self.recent_crashes() >= self.degraded_crash_threshold
+
     # ------------------------------------------------------------------
     def _slot_loop(self, slot: int) -> None:
         worker: Optional[WorkerProcess] = None
@@ -189,40 +220,89 @@ class WorkerSupervisor:
         """Execute one claimed job; returns the slot's (possibly
         respawned) warm worker for the next job."""
         job = record.job()
+        registry = metrics.get_registry()
+        logsetup.set_correlation_id(job.content_key()[:12])
         limit = 1 + self.max_crash_retries
-        while True:
-            attempts = self.store.bump_attempts(record.id)
-            if worker is None or not worker.alive():
-                worker = self._spawn()
-            try:
-                worker.submit(record.id, record.spec)
-                _, outcome = worker.recv(timeout=self.job_timeout_s)
-            except WorkerTimeout:
-                worker.stop(kill=True)
-                self._finish(record, job, ok=False,
-                             error=(f"job timed out after "
-                                    f"{self.job_timeout_s:.1f}s "
-                                    f"(attempt {attempts})"))
-                return None
-            except WorkerCrash as exc:
-                worker.stop(kill=True)
-                worker = None
-                if attempts < limit:
-                    continue
-                self._finish(record, job, ok=False,
-                             error=(f"worker crashed after {attempts} "
-                                    f"attempt(s): {exc}"))
-                return None
-            if outcome.get("ok"):
-                if self.cache is not None:
-                    self.cache.put(job,
-                                   RunStats.from_dict(outcome["stats"]))
-                self._finish(record, job, ok=True)
-            else:
-                self._finish(record, job, ok=False,
-                             error=outcome.get("error",
-                                               "unknown worker error"))
-            return worker
+        try:
+            while True:
+                attempts = self.store.bump_attempts(record.id)
+                if worker is None or not worker.alive():
+                    worker = self._spawn()
+                try:
+                    worker.submit(record.id, record.spec)
+                    _, outcome = worker.recv(
+                        timeout=self.job_timeout_s)
+                except WorkerTimeout:
+                    worker.stop(kill=True)
+                    self._note_crash()
+                    registry.counter(
+                        "repro_worker_timeouts_total",
+                        "Jobs killed for exceeding job_timeout_s").inc()
+                    log.warning("job %s timed out after %.1fs",
+                                record.id, self.job_timeout_s)
+                    self._finish(record, job, ok=False,
+                                 error=(f"job timed out after "
+                                        f"{self.job_timeout_s:.1f}s "
+                                        f"(attempt {attempts})"))
+                    return None
+                except WorkerCrash as exc:
+                    worker.stop(kill=True)
+                    worker = None
+                    self._note_crash()
+                    registry.counter(
+                        "repro_worker_crashes_total",
+                        "Worker processes that died mid-job").inc()
+                    log.warning("worker crashed on job %s "
+                                "(attempt %d/%d): %s",
+                                record.id, attempts, limit, exc)
+                    if attempts < limit:
+                        registry.counter(
+                            "repro_job_retries_total",
+                            "Extra execution attempts after worker "
+                            "crashes").inc()
+                        continue
+                    self._finish(record, job, ok=False,
+                                 error=(f"worker crashed after "
+                                        f"{attempts} attempt(s): {exc}"))
+                    return None
+                delta = outcome.get("metrics")
+                if delta is not None:
+                    registry.merge(delta)
+                if outcome.get("ok"):
+                    stats_dict = outcome["stats"]
+                    self._inject_queue_wait(record, registry,
+                                            stats_dict)
+                    if self.cache is not None:
+                        self.cache.put(job,
+                                       RunStats.from_dict(stats_dict))
+                    self._finish(record, job, ok=True)
+                    log.info("job %s done", record.id)
+                else:
+                    self._finish(record, job, ok=False,
+                                 error=outcome.get(
+                                     "error", "unknown worker error"))
+                    log.info("job %s failed", record.id)
+                return worker
+        finally:
+            logsetup.set_correlation_id(None)
+
+    @staticmethod
+    def _inject_queue_wait(record: JobRecord, registry,
+                           stats_dict) -> None:
+        """Prepend the store-measured queue wait to the job's trace.
+
+        The worker cannot know how long its payload sat queued; the
+        store's ``submitted_at``/``started_at`` timestamps do.  The
+        span is injected into the serialized trace *before* caching so
+        the persisted trace carries the full submit→done story.
+        """
+        if record.started_at is None:
+            return
+        wait = max(0.0, record.started_at - record.submitted_at)
+        registry.histogram(
+            "repro_scheduler_queue_wait_seconds",
+            "Time jobs waited before execution began").observe(wait)
+        _prepend_queue_wait(stats_dict, wait)
 
     def _finish(self, record: JobRecord, job, ok: bool,
                 error: Optional[str] = None) -> None:

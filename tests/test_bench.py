@@ -1,0 +1,194 @@
+"""Tests for the recorded perf trajectory (repro.experiments.bench and
+the ``repro bench`` CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JobError
+from repro.experiments import bench
+from repro.experiments.bench import (BENCH_PHASES, BENCH_WORKLOADS,
+                                     bench_filename, compare,
+                                     load_bench, phase_totals,
+                                     run_bench, write_bench)
+
+#: A two-workload grid so the bench tests run in seconds.
+TINY_GRID = (
+    {"label": "spmv:WV", "algorithm": "spmv", "dataset": "WV"},
+    {"label": "bfs:WV", "algorithm": "bfs", "dataset": "WV",
+     "run_kwargs": {"source": 0}},
+)
+
+
+class TestPhaseTotals:
+    def test_classifies_spans_into_phases(self):
+        trace = {
+            "name": "job",
+            "children": [
+                {"name": "queue-wait", "duration_s": 0.5},
+                {"name": "prepare", "duration_s": 1.0},
+                {"name": "iteration", "children": [
+                    {"name": "sweep", "duration_s": 2.0},
+                    {"name": "merge", "duration_s": 0.25},
+                ]},
+                {"name": "shard-attach", "duration_s": 0.125},
+            ],
+        }
+        assert phase_totals(trace) == {
+            "queue": 0.5, "prepare": 1.125, "compute": 2.0,
+            "merge": 0.25}
+
+    def test_classified_spans_bill_their_children_once(self):
+        # A reference solve nested inside a sweep must not be counted
+        # on top of the sweep that already contains it.
+        trace = {"name": "job", "children": [
+            {"name": "sweep", "duration_s": 3.0, "children": [
+                {"name": "reference", "duration_s": 2.0},
+                {"name": "merge", "duration_s": 0.5},
+            ]},
+        ]}
+        totals = phase_totals(trace)
+        assert totals["compute"] == 3.0
+        assert totals["merge"] == 0.0
+
+    def test_missing_trace_is_all_zero(self):
+        assert phase_totals(None) == {phase: 0.0
+                                      for phase in BENCH_PHASES}
+        assert phase_totals({"name": "job"})["compute"] == 0.0
+
+
+class TestPinnedGrid:
+    def test_grid_covers_at_least_four_algorithms(self):
+        algorithms = {entry["algorithm"] for entry in BENCH_WORKLOADS}
+        assert len(algorithms) >= 4
+
+    def test_grid_covers_every_deployment(self):
+        kinds = {entry.get("deployment", "single")
+                 for entry in BENCH_WORKLOADS}
+        assert kinds == {"single", "out-of-core", "multi-node"}
+
+    def test_labels_are_unique(self):
+        labels = [entry["label"] for entry in BENCH_WORKLOADS]
+        assert len(labels) == len(set(labels))
+
+
+class TestRunBench:
+    def test_document_shape_and_round_trip(self, tmp_path):
+        document = run_bench(workloads=TINY_GRID, rev="testrev")
+        assert document["rev"] == "testrev"
+        assert len(document["workloads"]) == 2
+        for row in document["workloads"]:
+            assert set(row["phases"]) == set(BENCH_PHASES)
+            assert row["wall_s"] == pytest.approx(
+                sum(row["phases"].values()))
+            assert row["simulated"]["seconds"] > 0
+        out = write_bench(document, tmp_path / "BENCH_testrev.json")
+        assert load_bench(out) == json.loads(json.dumps(document))
+
+    def test_compute_phase_is_nonzero(self):
+        document = run_bench(workloads=TINY_GRID)
+        for row in document["workloads"]:
+            assert row["phases"]["compute"] > 0.0
+
+    def test_failing_workload_raises(self):
+        with pytest.raises(JobError):
+            run_bench(workloads=(
+                {"label": "bad", "algorithm": "sssp", "dataset": "WV",
+                 "run_kwargs": {"source": 10 ** 9}},))
+
+    def test_bench_filename(self):
+        assert bench_filename("abc123") == "BENCH_abc123.json"
+
+
+class TestCompare:
+    def _doc(self, compute):
+        return {"workloads": [{
+            "label": "spmv:WV",
+            "phases": {"queue": 0.0, "prepare": 0.2,
+                       "compute": compute, "merge": 0.1},
+        }]}
+
+    def test_self_comparison_is_clean(self):
+        doc = self._doc(1.0)
+        assert compare(doc, doc) == []
+
+    def test_detects_regression_beyond_threshold(self):
+        regressions = compare(self._doc(1.3), self._doc(1.0),
+                              threshold=0.25)
+        assert len(regressions) == 1
+        assert regressions[0]["phase"] == "compute"
+        assert regressions[0]["ratio"] == pytest.approx(1.3)
+
+    def test_within_threshold_passes(self):
+        assert compare(self._doc(1.2), self._doc(1.0),
+                       threshold=0.25) == []
+
+    def test_noise_floor_ignores_tiny_baselines(self):
+        fast = {"workloads": [{"label": "spmv:WV",
+                               "phases": {"compute": 0.001}}]}
+        slow = {"workloads": [{"label": "spmv:WV",
+                               "phases": {"compute": 0.04}}]}
+        assert compare(slow, fast, min_seconds=0.05) == []
+        assert compare(slow, fast, min_seconds=0.0005)
+
+    def test_unshared_workloads_are_skipped(self):
+        current = {"workloads": [{"label": "new",
+                                  "phases": {"compute": 9.0}}]}
+        assert compare(current, self._doc(1.0)) == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(JobError):
+            compare(self._doc(1.0), self._doc(1.0), threshold=-0.1)
+
+    def test_load_bench_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json{")
+        with pytest.raises(JobError):
+            load_bench(path)
+        path.write_text(json.dumps({"no": "workloads"}))
+        with pytest.raises(JobError):
+            load_bench(path)
+
+
+class TestCLI:
+    @pytest.fixture(autouse=True)
+    def tiny_grid(self, monkeypatch):
+        monkeypatch.setattr(bench, "BENCH_WORKLOADS", TINY_GRID)
+
+    def test_bench_writes_and_gates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_a.json"
+        assert main(["bench", "--out", str(out)]) == 0
+        document = load_bench(out)
+        assert len(document["workloads"]) == 2
+        assert "wrote" in capsys.readouterr().out
+
+        # A fresh run against its own baseline must pass the gate …
+        again = tmp_path / "BENCH_b.json"
+        assert main(["bench", "--out", str(again), "--against",
+                     str(out), "--threshold", "100.0"]) == 0
+
+        # … and an impossible baseline must fail it.
+        crushed = json.loads(out.read_text())
+        for row in crushed["workloads"]:
+            row["phases"] = {phase: value / 1e6
+                             for phase, value in row["phases"].items()}
+        baseline = tmp_path / "BENCH_crushed.json"
+        baseline.write_text(json.dumps(crushed))
+        code = main(["bench", "--out", str(again), "--against",
+                     str(baseline), "--min-seconds", "0"])
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_bench_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_j.json"
+        assert main(["bench", "--out", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["out"] == str(out)
+        assert payload["regressions"] == []
+        assert len(payload["bench"]["workloads"]) == 2

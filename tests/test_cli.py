@@ -278,8 +278,14 @@ class TestServiceCLI:
             assert main(["batch", str(jobfile), "--cache-dir",
                          str(cache), "--json"]) == 0
             batch = json.loads(capsys.readouterr().out)["results"]
+            from repro.hw.stats import RunStats
             for via_service, via_batch in zip(details, batch):
-                assert via_service["stats"] == via_batch["stats"]
+                # identity_dict: each execution carries its own
+                # wall-clock trace; the simulated values must match.
+                assert RunStats.from_dict(
+                    via_service["stats"]).identity_dict() == \
+                    RunStats.from_dict(
+                        via_batch["stats"]).identity_dict()
 
             # A warm resubmit is served from cache.
             assert main(argv) == 0

@@ -1,0 +1,90 @@
+"""Tests for structured logging and correlation ids
+(repro.obs.logsetup)."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logsetup import (get_correlation_id, get_logger,
+                                set_correlation_id, setup_logging)
+
+
+class TestCorrelationId:
+    def test_default_is_dash(self):
+        assert get_correlation_id() == "-"
+
+    def test_set_and_clear(self):
+        set_correlation_id("abc123")
+        try:
+            assert get_correlation_id() == "abc123"
+        finally:
+            set_correlation_id(None)
+        assert get_correlation_id() == "-"
+
+
+class TestSetup:
+    def _capture(self, **kwargs):
+        stream = io.StringIO()
+        setup_logging(stream=stream, **kwargs)
+        return stream
+
+    def teardown_method(self):
+        # Return the repro logger to its silent default so the suite's
+        # other tests never see stray handlers.
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+
+    def test_only_the_repro_subtree_is_configured(self):
+        self._capture(level="INFO")
+        assert not logging.getLogger().handlers \
+            or all(h not in logging.getLogger("repro").handlers
+                   for h in logging.getLogger().handlers)
+        assert logging.getLogger("repro").propagate is False
+
+    def test_text_lines_carry_the_correlation_id(self):
+        stream = self._capture(level="INFO")
+        log = get_logger("unit")
+        set_correlation_id("deadbeef0123")
+        try:
+            log.info("hello %s", "world")
+        finally:
+            set_correlation_id(None)
+        line = stream.getvalue()
+        assert "[deadbeef0123]" in line
+        assert "hello world" in line
+        assert "repro.unit" in line
+
+    def test_json_lines_parse(self):
+        stream = self._capture(level="INFO", json_lines=True)
+        log = get_logger("unit")
+        set_correlation_id("cafe")
+        try:
+            log.info("structured")
+        finally:
+            set_correlation_id(None)
+        record = json.loads(stream.getvalue().strip())
+        assert record["message"] == "structured"
+        assert record["correlation_id"] == "cafe"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.unit"
+
+    def test_level_filters(self):
+        stream = self._capture(level="WARNING")
+        log = get_logger("unit")
+        log.info("quiet")
+        log.warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_setup_is_idempotent(self):
+        stream = self._capture(level="INFO")
+        self._capture(level="INFO")  # reconfigure, no handler pile-up
+        assert len(logging.getLogger("repro").handlers) == 1
+        log = get_logger("unit")
+        log.info("once")
+        # The first stream was replaced, not duplicated into.
+        assert stream.getvalue() == ""

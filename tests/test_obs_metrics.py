@@ -1,0 +1,194 @@
+"""Tests for the mergeable metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS, Histogram,
+                               MetricsRegistry, get_registry,
+                               use_registry)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert counter.help == "help text"
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("bytes")
+        gauge.set(100)
+        gauge.inc(-25)
+        assert gauge.value == 75.0
+
+    def test_histogram_bins_by_upper_bound(self):
+        histogram = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 5.0, 100.0):
+            histogram.observe(value)
+        # 0.05 and 0.1 both fall in the first bucket (<= bound).
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(105.65)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 0.5))
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == \
+            sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_name_collision_across_types_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]  # sorted
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"] == {
+            "buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(0.2)
+        assert json.loads(json.dumps(registry.snapshot()))
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_last_write(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("jobs").inc(3)
+        parent.gauge("depth").set(10)
+        worker.counter("jobs").inc(2)
+        worker.gauge("depth").set(4)
+        parent.merge(worker.snapshot())
+        assert parent.counter("jobs").value == 5.0
+        assert parent.gauge("depth").value == 4.0
+
+    def test_merge_twice_doubles_counters(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.counter("n").inc(7)
+        delta = worker.snapshot()
+        parent.merge(delta)
+        parent.merge(delta)
+        assert parent.counter("n").value == 14.0
+
+    def test_histogram_cells_add(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(99.0)
+        parent.merge(worker.snapshot())
+        merged = parent.histogram("h", buckets=(1.0, 2.0))
+        assert merged.counts == [1, 1, 1]
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(101.0)
+
+    def test_merge_creates_unknown_metrics(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.counter("fresh").inc()
+        parent.merge(worker.snapshot())
+        assert parent.counter("fresh").value == 1.0
+
+    def test_bucket_mismatch_raises(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", buckets=(1.0,)).observe(0.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            parent.merge(worker.snapshot())
+
+    def test_malformed_snapshot_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge("not a mapping")
+
+    def test_concurrent_merges_lose_nothing(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("n").inc()
+        delta = worker.snapshot()
+        threads = [threading.Thread(
+            target=lambda: [parent.merge(delta) for _ in range(50)])
+            for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert parent.counter("n").value == 200.0
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", "Jobs").inc(3)
+        registry.gauge("repro_depth").set(2.5)
+        histogram = registry.histogram("repro_lat_seconds",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(10.0)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 3" in text  # integers render bare
+        assert "repro_depth 2.5" in text
+        # Bucket counts are cumulative, with an explicit +Inf.
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_count 3" in text
+        assert text.endswith("\n")
+
+
+class TestProcessCurrentRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        outer = get_registry()
+        with use_registry() as inner:
+            assert get_registry() is inner
+            assert inner is not outer
+            inner.counter("scoped").inc()
+        assert get_registry() is outer
+        # The scoped delta never leaked into the outer registry.
+        assert "scoped" not in outer.snapshot()["counters"]
+
+    def test_disabled_recording_is_a_noop(self):
+        registry = MetricsRegistry()
+        metrics.set_enabled(False)
+        try:
+            registry.counter("c").inc()
+            registry.gauge("g").set(5)
+            registry.histogram("h").observe(1.0)
+        finally:
+            metrics.set_enabled(True)
+        assert registry.counter("c").value == 0.0
+        assert registry.gauge("g").value == 0.0
+        assert registry.histogram("h").count == 0

@@ -99,7 +99,8 @@ class TestBatchRunner:
             config=config.with_overrides(functional_batch_size=0),
             run_kwargs={"max_iterations": 5})])[0]
         assert not per_tile.from_cache
-        assert per_tile.stats.to_dict() == fresh.stats.to_dict()
+        assert per_tile.stats.identity_dict() == \
+            fresh.stats.identity_dict()
 
     def test_parallel_functional_matches_serial(self):
         config = GraphRConfig(mode="functional", max_iterations=3)
@@ -110,7 +111,9 @@ class TestBatchRunner:
         serial = BatchRunner().run_jobs(jobs)
         parallel = BatchRunner(workers=2).run_jobs(jobs)
         for s, p in zip(serial, parallel):
-            assert p.stats.to_dict() == s.stats.to_dict()
+            # identity_dict: wall-clock trace telemetry differs per
+            # execution; every simulated value must not.
+            assert p.stats.identity_dict() == s.stats.identity_dict()
 
 
 class TestHarnessIntegration:
@@ -140,7 +143,7 @@ class TestHarnessIntegration:
                 "graphr", "spmv", "WV")
         direct = ExperimentRunner(config=config).stats(
             "graphr", "spmv", "WV")
-        assert via_runner.to_dict() == direct.to_dict()
+        assert via_runner.identity_dict() == direct.identity_dict()
 
     def test_second_figure_run_hits_cache_only(self, tmp_path,
                                                monkeypatch):
@@ -172,8 +175,9 @@ class TestHarnessIntegration:
         parallel = ExperimentRunner(workers=3).compare_cells(
             "cpu", self.CELLS)
         for s, p in zip(serial, parallel):
-            assert p.graphr.to_dict() == s.graphr.to_dict()
-            assert p.baseline.to_dict() == s.baseline.to_dict()
+            assert p.graphr.identity_dict() == s.graphr.identity_dict()
+            assert p.baseline.identity_dict() == \
+                s.baseline.identity_dict()
 
 
 class TestSweepsThroughRuntime:

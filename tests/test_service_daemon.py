@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.errors import JobError
+from repro.hw.stats import RunStats
 from repro.runtime import BatchRunner
 from repro.runtime import scheduler as scheduler_module
 from repro.runtime.job import Job
@@ -63,7 +64,11 @@ class TestEndToEnd:
             detail = service.job_detail(submission["id"])
             assert detail["state"] == "done"
             assert detail["key"] == job.content_key()
-            assert detail["stats"] == expected.stats.to_dict()
+            # identity_dict: the two executions record their own
+            # wall-clock traces; the simulated values must match.
+            assert RunStats.from_dict(
+                detail["stats"]).identity_dict() == \
+                expected.stats.identity_dict()
 
     def test_resubmission_is_served_from_cache(self, service):
         first = service.submit(ENTRIES[:1])
@@ -232,8 +237,9 @@ class TestDurability:
             drain(second)
             expected = BatchRunner().run_jobs(
                 [Job.from_dict(ENTRIES[2])])[0]
-            assert second.job_detail(submission["id"])["stats"] == \
-                expected.stats.to_dict()
+            assert RunStats.from_dict(
+                second.job_detail(submission["id"])["stats"]
+            ).identity_dict() == expected.stats.identity_dict()
         finally:
             second.stop()
 
@@ -269,8 +275,11 @@ class TestWorkerFailures:
             detail = service.job_detail(submission["id"])
             assert detail["state"] == "done"
             assert detail["attempts"] == 2  # crashed once, recovered
-            assert detail["stats"] == BatchRunner().run_jobs(
-                [Job.from_dict(ENTRIES[0])])[0].stats.to_dict()
+            assert RunStats.from_dict(
+                detail["stats"]).identity_dict() == \
+                BatchRunner().run_jobs(
+                    [Job.from_dict(ENTRIES[0])]
+                )[0].stats.identity_dict()
         finally:
             service.stop()
 

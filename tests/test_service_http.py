@@ -10,6 +10,7 @@ import urllib.request
 import pytest
 
 from repro.errors import JobError
+from repro.hw.stats import RunStats
 from repro.runtime import BatchRunner
 from repro.runtime.job import Job
 from repro.service import (ServiceClient, SimulationService,
@@ -62,7 +63,11 @@ class TestAPI:
         batch = BatchRunner().run_jobs(
             [Job.from_dict(entry) for entry in ENTRIES])
         for detail, expected in zip(details, batch):
-            assert detail["stats"] == expected.stats.to_dict()
+            # identity_dict: the service run and the local batch run
+            # each record their own wall-clock trace; every simulated
+            # value must still match exactly.
+            assert RunStats.from_dict(detail["stats"]).identity_dict() \
+                == expected.stats.identity_dict()
 
     def test_resubmit_served_from_cache_immediately(self, served):
         _, _, client = served
@@ -196,8 +201,10 @@ class TestClientBackend:
         local = BatchRunner().run_jobs(jobs)
         for via_service, via_batch in zip(remote, local):
             assert via_service.ok
-            assert via_service.stats.to_dict() == \
-                via_batch.stats.to_dict()
+            # identity_dict: service and batch executions carry their
+            # own wall-clock traces; the simulated values must match.
+            assert via_service.stats.identity_dict() == \
+                via_batch.stats.identity_dict()
 
     def test_run_jobs_surfaces_failures(self, served):
         _, _, client = served
@@ -211,8 +218,8 @@ class TestClientBackend:
     def test_run_convenience(self, served):
         _, _, client = served
         stats = client.run("spmv", "WV")
-        assert stats.to_dict() == BatchRunner().run(
-            "spmv", "WV").to_dict()
+        assert stats.identity_dict() == BatchRunner().run(
+            "spmv", "WV").identity_dict()
 
     def test_sweep_through_service_matches_batch(self, served):
         from repro.experiments.sweeps import geometry_sweep
