@@ -135,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--job-timeout", type=float, default=None,
                        help="per-job wall-clock budget in seconds "
                             "(default: unbounded)")
+    serve.add_argument("--resident-bytes", type=int, default=None,
+                       help="cap the shared-memory resident dataset "
+                            "pool at this many bytes (default: "
+                            "unbounded; LRU segments are evicted "
+                            "over the cap)")
     _add_logging_flags(serve)
 
     submit = sub.add_parser("submit",
@@ -377,7 +382,8 @@ def _serve_command(args: argparse.Namespace) -> int:
 
     service = SimulationService(
         db_path=args.db, cache_dir=args.cache_dir,
-        workers=args.workers, job_timeout_s=args.job_timeout)
+        workers=args.workers, job_timeout_s=args.job_timeout,
+        resident_bytes=args.resident_bytes)
     requeued = service.start()
     try:
         server = serve_in_thread(service, host=args.host,
@@ -522,6 +528,7 @@ def _result_command(args: argparse.Namespace) -> int:
 
 def _cache_command(args: argparse.Namespace) -> int:
     from repro.runtime.cache import ResultCache
+    from repro.runtime.residency import host_resident_stats
 
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
@@ -529,6 +536,9 @@ def _cache_command(args: argparse.Namespace) -> int:
         shards = cache.shard_entries()
         result_bytes = sum(entry.bytes for entry in entries)
         shard_bytes = sum(entry.bytes for entry in shards)
+        # Host-wide, not per-cache-dir: shared-memory segments live in
+        # /dev/shm, one namespace per machine.
+        resident = host_resident_stats()
         # oldest/newest span the combined inventory — the same order
         # prune evicts in, so "oldest" really is the first victim.
         combined = sorted(entries + shards,
@@ -541,6 +551,8 @@ def _cache_command(args: argparse.Namespace) -> int:
                 "shard_count": len(shards),
                 "shard_bytes": shard_bytes,
                 "total_bytes": result_bytes + shard_bytes,
+                "resident_segments": resident["resident_segments"],
+                "resident_bytes": resident["resident_bytes"],
                 "oldest": combined[0].as_dict() if combined else None,
                 "newest": combined[-1].as_dict() if combined else None,
             }, indent=2))
@@ -550,7 +562,11 @@ def _cache_command(args: argparse.Namespace) -> int:
                   f"{result_bytes} bytes; {len(shards)} shard "
                   f"dir{'' if len(shards) == 1 else 's'}, "
                   f"{shard_bytes} bytes "
-                  f"({result_bytes + shard_bytes} bytes total)")
+                  f"({result_bytes + shard_bytes} bytes total); "
+                  f"{resident['resident_segments']} resident "
+                  f"segment{'' if resident['resident_segments'] == 1 else 's'}, "
+                  f"{resident['resident_bytes']} bytes in shared "
+                  f"memory")
         return 0
     evicted = cache.prune(args.max_bytes)
     freed = sum(entry.bytes for entry in evicted)
@@ -568,9 +584,9 @@ def _cache_command(args: argparse.Namespace) -> int:
 
 
 def _bench_command(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import (bench_filename, compare,
-                                         load_bench, run_bench,
-                                         write_bench)
+    from repro.experiments.bench import (BENCH_PHASES, bench_filename,
+                                         compare, load_bench,
+                                         run_bench, write_bench)
 
     document = run_bench(workers=args.workers,
                          cache_dir=args.cache_dir)
@@ -594,10 +610,10 @@ def _bench_command(args: argparse.Namespace) -> int:
 
     from repro.experiments.report import render_table
 
-    header = ["workload", "queue", "prepare", "compute", "merge"]
+    header = ["workload", *BENCH_PHASES]
     body = [[row["label"]]
             + [f"{row['phases'][phase]:.4f}"
-               for phase in ("queue", "prepare", "compute", "merge")]
+               for phase in BENCH_PHASES]
             for row in document["workloads"]]
     print(render_table(header, body))
     print(f"wrote {out_path} (rev {document['rev']})")

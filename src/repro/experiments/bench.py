@@ -2,13 +2,17 @@
 
 Runs a pinned workload grid through the batch runtime, folds each
 job's span tree (:mod:`repro.obs.tracing`, persisted in
-``RunStats.extra["trace"]``) into four wall-clock phases —
+``RunStats.extra["trace"]``) into five wall-clock phases —
 
 ``queue``
     time the payload sat before execution began (``queue-wait``),
 ``prepare``
-    dataset load, shard attach and out-of-core metadata scans
-    (``prepare`` / ``shard-attach`` / ``scan-metadata``),
+    building the immutable dataset artifact: generation and, out of
+    core, shard construction (``prepare`` / ``shard-build``),
+``attach``
+    mapping an already-built artifact into the worker: shared-memory
+    or process-cache attach, shard reuse and metadata scans
+    (``attach`` / ``shard-attach`` / ``scan-metadata``),
 ``compute``
     reference solves and per-iteration sweeps (``reference`` /
     ``sweep``),
@@ -21,10 +25,16 @@ perf trajectory; :func:`compare` is the CI gate that fails a build
 whose phase times regressed beyond the threshold against a committed
 baseline.
 
+The prepare/attach split is the point of the residency pipeline: a
+warm resubmission should show prepare collapsed to (near) zero with
+only a cheap attach left.  :func:`compare` skips phases absent from
+the baseline document, so pre-split baselines keep gating the phases
+they know about.
+
 Phase classification walks the tree top-down and does *not* recurse
 into a node once it is classified: nested spans (a reference solve
 inside an out-of-core sweep, say) bill to the outermost phase, so the
-four buckets never double-count a second of wall clock.
+buckets never double-count a second of wall clock.
 """
 
 from __future__ import annotations
@@ -45,16 +55,18 @@ __all__ = ["BENCH_PHASES", "BENCH_WORKLOADS", "bench_filename",
            "compare", "current_revision", "load_bench", "phase_totals",
            "run_bench", "write_bench"]
 
-#: The four wall-clock buckets every workload reports, in order.
-BENCH_PHASES = ("queue", "prepare", "compute", "merge")
+#: The five wall-clock buckets every workload reports, in order.
+BENCH_PHASES = ("queue", "prepare", "attach", "compute", "merge")
 
 #: Span name → phase bucket.  Container spans (``job``, ``iteration``)
 #: are deliberately absent: they group, their children bill.
 _PHASE_OF_SPAN = {
     "queue-wait": "queue",
     "prepare": "prepare",
-    "shard-attach": "prepare",
-    "scan-metadata": "prepare",
+    "shard-build": "prepare",
+    "attach": "attach",
+    "shard-attach": "attach",
+    "scan-metadata": "attach",
     "reference": "compute",
     "sweep": "compute",
     "merge": "merge",
@@ -98,7 +110,7 @@ def bench_filename(rev: Optional[str] = None) -> str:
 
 # ----------------------------------------------------------------------
 def phase_totals(trace: Optional[Mapping]) -> Dict[str, float]:
-    """Fold one serialized span tree into the four phase buckets.
+    """Fold one serialized span tree into the phase buckets.
 
     Classified spans stop the recursion (their children are billed to
     them); container spans recurse.  A missing or empty trace yields

@@ -23,6 +23,8 @@ scale-stable (DESIGN.md Section 6).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
@@ -30,9 +32,16 @@ from typing import Dict, Tuple
 from repro.errors import DatasetError
 from repro.graph.generators import bipartite_rating_graph, rmat
 from repro.graph.graph import Graph
+from repro.obs import metrics
 
-__all__ = ["DatasetSpec", "dataset", "list_datasets", "PAPER_DATASETS",
-           "MAX_SYNTH_EDGES"]
+__all__ = ["DatasetSpec", "artifact_key", "cached", "dataset",
+           "list_datasets", "PAPER_DATASETS", "MAX_SYNTH_EDGES"]
+
+#: Bump when the generators (hence the built arrays) change shape:
+#: residency segments and other content-keyed artifacts derived from a
+#: dataset build are keyed by this, so old residents go cold instead of
+#: serving stale bytes.
+DATASET_BUILD_VERSION = 1
 
 #: Cap on generated edges: keeps every dataset analog laptop-friendly.
 MAX_SYNTH_EDGES = 2_000_000
@@ -91,6 +100,30 @@ def list_datasets() -> Tuple[str, ...]:
     return tuple(PAPER_DATASETS)
 
 
+def artifact_key(code: str, weighted: bool = False, seed: int = 7) -> str:
+    """Content key of one dataset build — the build-once artifact form.
+
+    Generation is deterministic in ``(code, weighted, seed)`` plus the
+    generator version, so this digest names the *bytes* a build
+    produces; shared-memory residency and any future on-disk artifact
+    store key their copies by it.
+    """
+    payload = {
+        "build_version": DATASET_BUILD_VERSION,
+        "dataset": code.upper(),
+        "weighted": bool(weighted),
+        "seed": int(seed),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def cached(code: str, weighted: bool = False, seed: int = 7) -> bool:
+    """Whether :func:`dataset` would be a warm in-process cache hit
+    (an *attach*, in pipeline terms, rather than a *prepare*)."""
+    return (code.upper(), weighted, seed) in _CACHE
+
+
 def dataset(code: str, weighted: bool = False, seed: int = 7,
             use_cache: bool = True) -> Graph:
     """Generate (or fetch from cache) the analog of a Table 3 dataset.
@@ -118,6 +151,11 @@ def dataset(code: str, weighted: bool = False, seed: int = 7,
     if use_cache and cache_key in _CACHE:
         return _CACHE[cache_key]
 
+    # Counted at the actual generation site so "exactly one build"
+    # is assertable across a worker pool sharing one resident copy.
+    metrics.get_registry().counter(
+        "repro_dataset_builds_total",
+        "Dataset analogs generated from scratch").inc()
     vertices, edges, factor = spec.synthetic_size()
     if spec.bipartite:
         # Shrink the user dimension only: the item side is small in the

@@ -19,8 +19,9 @@ from repro.runtime.job import ALGORITHMS, PLATFORMS, Job, load_jobfile
 from repro.runtime.runner import BatchRunner
 from repro.runtime.scheduler import (JobResult, Scheduler,
                                      WorkerCrash, WorkerProcess,
-                                     WorkerTimeout, execute_job,
-                                     execute_payload, worker_loop)
+                                     WorkerTimeout, attach_dataset,
+                                     execute_job, execute_payload,
+                                     prepare_block_dir, worker_loop)
 
 __all__ = [
     "ALGORITHMS",
@@ -36,8 +37,10 @@ __all__ = [
     "WorkerCrash",
     "WorkerProcess",
     "WorkerTimeout",
+    "attach_dataset",
     "execute_job",
     "execute_payload",
     "load_jobfile",
+    "prepare_block_dir",
     "worker_loop",
 ]

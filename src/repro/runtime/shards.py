@@ -22,7 +22,7 @@ import json
 import os
 import shutil
 from pathlib import Path
-from typing import Union
+from typing import Callable, Union
 
 from repro.core.config import GraphRConfig
 from repro.core.outofcore import _MANIFEST as MANIFEST_NAME
@@ -60,15 +60,19 @@ def shard_key(dataset: str, dataset_seed: int, weighted: bool,
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def prepared_block_dir(graph: Graph, config: GraphRConfig,
+def prepared_block_dir(graph: Union[Graph, Callable[[], Graph]],
+                       config: GraphRConfig,
                        cache_root: Union[str, Path], *,
                        dataset: str, dataset_seed: int,
                        weighted: bool) -> Path:
     """A complete block directory for ``(dataset, config)``.
 
     Returns the cached shard when one exists (a present manifest means
-    the rename-after-build completed), otherwise shards ``graph`` into
-    a scratch directory and atomically publishes it.
+    the rename-after-build completed), otherwise shards the graph into
+    a scratch directory and atomically publishes it.  ``graph`` may be
+    a zero-argument callable returning the graph — it is invoked only
+    on a cold build, so a warm shard never materializes the dataset at
+    all (the pipeline's warm prepare is manifest-check plus attach).
     """
     root = Path(cache_root) / "shards"
     final = root / shard_key(dataset, dataset_seed, weighted, config)
@@ -92,12 +96,20 @@ def prepared_block_dir(graph: Graph, config: GraphRConfig,
         "repro_shard_builds_total",
         "Out-of-core shard directories built from scratch").inc()
     root.mkdir(parents=True, exist_ok=True)
+    if callable(graph):
+        graph = graph()
     scratch = final.with_name(f"{final.name}.tmp.{os.getpid()}")
-    with tracing.span("shard-attach", reused=False,
-                      shard=final.name[:12]):
+    with tracing.span("shard-build", shard=final.name[:12]):
         if scratch.exists():
             shutil.rmtree(scratch)
-        prepare_on_disk(graph, scratch, config)
+        try:
+            prepare_on_disk(graph, scratch, config)
+        except BaseException:
+            # A failed build must not orphan its scratch: the cache's
+            # in-use grace period would shield the dead builder's
+            # leftovers from eviction for an hour.
+            shutil.rmtree(scratch, ignore_errors=True)
+            raise
     try:
         scratch.replace(final)
     except OSError:

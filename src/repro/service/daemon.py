@@ -52,13 +52,18 @@ class SimulationService:
         Warm worker-process count (``0`` queues without executing).
     job_timeout_s / max_crash_retries:
         Forwarded to the :class:`WorkerSupervisor`.
+    resident_bytes:
+        Byte budget for the shared-memory resident dataset pool
+        (``0`` / ``None`` = unbounded); forwarded to the supervisor's
+        resident-set manager.
     """
 
     def __init__(self, db_path: Union[str, Path],
                  cache_dir: Optional[Union[str, Path]] = None,
                  workers: int = 2,
                  job_timeout_s: Optional[float] = None,
-                 max_crash_retries: int = 2) -> None:
+                 max_crash_retries: int = 2,
+                 resident_bytes: Optional[int] = None) -> None:
         self.db_path = Path(db_path)
         self.db_path.parent.mkdir(parents=True, exist_ok=True)
         cache_dir = Path(cache_dir) if cache_dir is not None \
@@ -68,7 +73,8 @@ class SimulationService:
         self.supervisor = WorkerSupervisor(
             self.store, self.cache, workers=workers,
             cache_dir=str(cache_dir), job_timeout_s=job_timeout_s,
-            max_crash_retries=max_crash_retries)
+            max_crash_retries=max_crash_retries,
+            resident_bytes=resident_bytes)
         self._lock = threading.Lock()
         self._started_at: Optional[float] = None
         self._submissions = 0
@@ -106,11 +112,14 @@ class SimulationService:
 
         If a ``timeout`` left a slot thread mid-job the store stays
         open — closing it under a live worker would drop its result;
-        the daemon-thread slot dies with the process instead.
+        the daemon-thread slot dies with the process instead.  A clean
+        stop also unlinks the resident shared-memory segments: the
+        daemon leaves ``/dev/shm`` as it found it.
         """
         clean = self.supervisor.stop(drain=drain, timeout=timeout)
         if clean:
             self.store.close()
+            self.supervisor.resident.shutdown()
 
     # ------------------------------------------------------------------
     def submit(self, entries: Union[Mapping, Sequence],
@@ -268,9 +277,11 @@ class SimulationService:
                 "per_sec_1m": done_last_minute / 60.0,
             },
             # The memo's key order matches the old inline dict exactly,
-            # keeping the JSON payload byte-compatible.
+            # keeping the JSON payload byte-compatible (resident
+            # gauges appended).
             "cache": dict(self.cache.stats.as_dict(),
-                          **inventory_memo),
+                          **inventory_memo,
+                          **self.supervisor.resident.as_dict()),
         }
 
     def __repr__(self) -> str:

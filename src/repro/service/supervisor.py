@@ -41,6 +41,8 @@ from repro.errors import JobError
 from repro.hw.stats import RunStats
 from repro.obs import logsetup, metrics
 from repro.runtime.cache import ResultCache
+from repro.runtime.residency import (ResidentSetManager, segment_for,
+                                     residency_supported)
 from repro.runtime.scheduler import (WorkerCrash, WorkerProcess,
                                      WorkerTimeout,
                                      _prepend_queue_wait)
@@ -74,6 +76,17 @@ class WorkerSupervisor:
     max_crash_retries:
         Crash retry budget per job (deterministic failures are never
         retried).
+    resident_bytes:
+        Byte budget for the shared-memory resident set (``0`` /
+        ``None`` = unbounded).  The supervisor owns the
+        :class:`~repro.runtime.residency.ResidentSetManager`: it pins
+        a job's expected segment before dispatch, adopts what workers
+        report, evicts LRU segments over the budget and sweeps
+        orphans after crashes.
+    residency:
+        Share prepared datasets between workers via shared memory
+        (``None`` auto-enables on Linux).  Results are bit-identical
+        either way.
     """
 
     def __init__(self, store: JobStore,
@@ -81,7 +94,9 @@ class WorkerSupervisor:
                  workers: int = 2,
                  cache_dir: Optional[str] = None,
                  job_timeout_s: Optional[float] = None,
-                 max_crash_retries: int = 2) -> None:
+                 max_crash_retries: int = 2,
+                 resident_bytes: Optional[int] = None,
+                 residency: Optional[bool] = None) -> None:
         if workers < 0:
             raise JobError("workers must be >= 0")
         if max_crash_retries < 0:
@@ -94,6 +109,11 @@ class WorkerSupervisor:
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.job_timeout_s = job_timeout_s
         self.max_crash_retries = max_crash_retries
+        if residency is None:
+            residency = True
+        self.residency = bool(residency) and residency_supported()
+        self.resident = ResidentSetManager(
+            max_bytes=int(resident_bytes or 0))
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._seq = itertools.count()
         self._threads: List[threading.Thread] = []
@@ -213,7 +233,8 @@ class WorkerSupervisor:
                 worker.stop()
 
     def _spawn(self) -> WorkerProcess:
-        return WorkerProcess(cache_dir=self.cache_dir)
+        return WorkerProcess(cache_dir=self.cache_dir,
+                             residency=self.residency)
 
     def _run_job(self, worker: Optional[WorkerProcess],
                  record: JobRecord) -> Optional[WorkerProcess]:
@@ -223,6 +244,13 @@ class WorkerSupervisor:
         registry = metrics.get_registry()
         logsetup.set_correlation_id(job.content_key()[:12])
         limit = 1 + self.max_crash_retries
+        # The job's dataset segment is derivable before it runs; pin
+        # it so budget eviction never races an in-flight attach.
+        segment = segment_for(job.dataset, job.resolved_weighted,
+                              job.dataset_seed) if self.residency \
+            else None
+        if segment is not None:
+            self.resident.pin(segment)
         try:
             while True:
                 attempts = self.store.bump_attempts(record.id)
@@ -235,6 +263,8 @@ class WorkerSupervisor:
                 except WorkerTimeout:
                     worker.stop(kill=True)
                     self._note_crash()
+                    if self.residency:
+                        self.resident.sweep_orphans()
                     registry.counter(
                         "repro_worker_timeouts_total",
                         "Jobs killed for exceeding job_timeout_s").inc()
@@ -249,6 +279,13 @@ class WorkerSupervisor:
                     worker.stop(kill=True)
                     worker = None
                     self._note_crash()
+                    if self.residency:
+                        # A builder that died mid-publish leaves a
+                        # not-ready segment and a stale claim lock;
+                        # one that died between publish and report
+                        # leaves an untracked ready segment.  Both
+                        # are reconciled here.
+                        self.resident.sweep_orphans()
                     registry.counter(
                         "repro_worker_crashes_total",
                         "Worker processes that died mid-job").inc()
@@ -268,6 +305,8 @@ class WorkerSupervisor:
                 delta = outcome.get("metrics")
                 if delta is not None:
                     registry.merge(delta)
+                if self.residency:
+                    self.resident.observe(outcome.get("resident"))
                 if outcome.get("ok"):
                     stats_dict = outcome["stats"]
                     self._inject_queue_wait(record, registry,
@@ -284,6 +323,8 @@ class WorkerSupervisor:
                     log.info("job %s failed", record.id)
                 return worker
         finally:
+            if segment is not None:
+                self.resident.unpin(segment)
             logsetup.set_correlation_id(None)
 
     @staticmethod

@@ -34,11 +34,13 @@ class TestPhaseTotals:
                     {"name": "merge", "duration_s": 0.25},
                 ]},
                 {"name": "shard-attach", "duration_s": 0.125},
+                {"name": "shard-build", "duration_s": 0.75},
+                {"name": "attach", "duration_s": 0.0625},
             ],
         }
         assert phase_totals(trace) == {
-            "queue": 0.5, "prepare": 1.125, "compute": 2.0,
-            "merge": 0.25}
+            "queue": 0.5, "prepare": 1.75, "attach": 0.1875,
+            "compute": 2.0, "merge": 0.25}
 
     def test_classified_spans_bill_their_children_once(self):
         # A reference solve nested inside a sweep must not be counted

@@ -1,0 +1,322 @@
+"""Tests for shared-memory dataset residency (prepare/attach/compute).
+
+Covers the acceptance-critical behaviours: the publish/attach segment
+round trip (zero-copy, read-only, bit-identical), exactly one dataset
+build across a worker pool, bit-identical results with residency on or
+off across every deployment, budget eviction that never breaks an
+attached reader, crash-orphan sweeping, and the cache-less out-of-core
+scratch root (one shard build, then reuse; failed builds leave no
+scratch).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import GraphRConfig
+from repro.core.partitioned import DeploymentSpec
+from repro.graph import datasets
+from repro.graph.graph import Graph
+from repro.obs import metrics
+from repro.runtime import residency
+from repro.runtime.job import Job
+from repro.runtime.residency import (ResidentSetManager, SEGMENT_PREFIX,
+                                     SegmentNotReady, attach_graph,
+                                     ensure_dataset, host_resident_stats,
+                                     list_host_segments, publish_graph,
+                                     segment_for, unlink_segment)
+from repro.runtime.scheduler import Scheduler, execute_job
+
+pytestmark = pytest.mark.skipif(
+    not residency.residency_supported(),
+    reason="shared-memory residency is Linux-only")
+
+
+def _purge_host_segments() -> None:
+    for name, _, _ in list_host_segments(include_locks=True):
+        unlink_segment(name)
+    residency._LOCAL.clear()
+
+
+@pytest.fixture(autouse=True)
+def clean_segments():
+    """Segments live in the host-wide /dev/shm namespace: start and
+    finish every test with a clean slate."""
+    _purge_host_segments()
+    yield
+    _purge_host_segments()
+
+
+def make_graph(name: str = "seg") -> Graph:
+    return Graph.from_edges(
+        [(0, 1, 2.0), (1, 2, 3.0), (2, 0, 5.0), (2, 3, 7.0)],
+        num_vertices=4, name=name, weighted=True)
+
+
+class TestSegmentRoundTrip:
+    def test_publish_then_attach_is_bit_identical(self):
+        graph = make_graph()
+        name = SEGMENT_PREFIX + "testroundtrip"
+        shm = publish_graph(name, graph)
+        assert shm is not None
+        shm2, attached = attach_graph(name)
+        assert attached.name == graph.name
+        assert attached.weighted == graph.weighted
+        assert attached.num_vertices == graph.num_vertices
+        np.testing.assert_array_equal(attached.adjacency.rows,
+                                      graph.adjacency.rows)
+        np.testing.assert_array_equal(attached.adjacency.cols,
+                                      graph.adjacency.cols)
+        np.testing.assert_array_equal(attached.adjacency.values,
+                                      graph.adjacency.values)
+
+    def test_attached_arrays_are_read_only_views(self):
+        name = SEGMENT_PREFIX + "testreadonly"
+        publish_graph(name, make_graph())
+        _, attached = attach_graph(name)
+        assert not attached.adjacency.values.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            attached.adjacency.values[0] = 99.0
+
+    def test_second_publish_yields_none(self):
+        name = SEGMENT_PREFIX + "testdup"
+        assert publish_graph(name, make_graph()) is not None
+        assert publish_graph(name, make_graph()) is None
+
+    def test_missing_segment_raises(self):
+        with pytest.raises(FileNotFoundError):
+            attach_graph(SEGMENT_PREFIX + "testmissing")
+
+    def test_unready_segment_raises(self):
+        # A builder that died mid-write never wrote the magic.
+        from multiprocessing import shared_memory
+
+        name = SEGMENT_PREFIX + "testtorn"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=256)
+        residency._untrack(shm)
+        with pytest.raises(SegmentNotReady):
+            attach_graph(name)
+
+
+class TestEnsureDataset:
+    def test_cold_then_warm_without_sharing(self):
+        datasets.clear_cache()
+        with metrics.use_registry() as registry:
+            first = ensure_dataset("WV", False, 7, share=False)
+            second = ensure_dataset("WV", False, 7, share=False)
+            assert second is first  # the in-process cache hit
+            assert registry.counter(
+                "repro_dataset_builds_total").value == 1
+
+    def test_shared_build_publishes_once(self):
+        with metrics.use_registry() as registry:
+            log: list = []
+            first = ensure_dataset("WV", False, 7, share=True,
+                                   resident_log=log)
+            second = ensure_dataset("WV", False, 7, share=True,
+                                    resident_log=log)
+            assert registry.counter(
+                "repro_dataset_builds_total").value == 1
+            assert [entry["action"] for entry in log] == \
+                ["build-publish", "attach"]
+            name = segment_for("WV", False, 7)
+            assert any(seg == name
+                       for seg, _, _ in list_host_segments())
+            assert first.num_vertices == second.num_vertices
+            np.testing.assert_array_equal(
+                first.adjacency.values, second.adjacency.values)
+
+
+@pytest.mark.skipif(sys.platform != "linux",
+                    reason="pool residency relies on fork")
+class TestPoolResidency:
+    def test_pool_builds_dataset_exactly_once(self):
+        jobs = [Job("spmv", "WV"),
+                Job("pagerank", "WV",
+                    run_kwargs={"max_iterations": 3}),
+                Job("bfs", "WV", run_kwargs={"source": 0}),
+                Job("sssp", "WV", run_kwargs={"source": 0})]
+        # sssp wants weights, so the grid needs two artifacts: the
+        # unweighted WV and the weighted WV.  One build each.
+        with metrics.use_registry() as registry:
+            scheduler = Scheduler(workers=4, residency=True)
+            assert scheduler.residency
+            results = scheduler.run(jobs)
+            assert all(r.ok for r in results)
+            assert registry.counter(
+                "repro_dataset_builds_total").value == 2
+        # The batch has no long-lived owner: the pool unlinked its
+        # segments on the way out.
+        assert list_host_segments(include_locks=True) == []
+
+    def test_pool_results_match_serial(self):
+        jobs = [Job("spmv", "WV"),
+                Job("pagerank", "WV",
+                    run_kwargs={"max_iterations": 3})]
+        serial = Scheduler(workers=1, residency=False).run(jobs)
+        shared = Scheduler(workers=2, residency=True).run(jobs)
+        for s, p in zip(serial, shared):
+            assert p.stats.identity_dict() == s.stats.identity_dict()
+
+
+class TestBitIdentity:
+    """Residency changes where the bytes live, never what they are."""
+
+    JOBS = [
+        Job("pagerank", "WV", run_kwargs={"max_iterations": 3}),
+        Job("spmv", "WV",
+            config=GraphRConfig(mode="analytic", block_size=64),
+            deployment=DeploymentSpec(kind="out-of-core")),
+        Job("pagerank", "WV",
+            deployment=DeploymentSpec(kind="multi-node", num_nodes=2),
+            run_kwargs={"max_iterations": 3}),
+    ]
+
+    @pytest.mark.parametrize("job", JOBS,
+                             ids=["single", "out-of-core",
+                                  "multi-node"])
+    def test_identity_with_and_without_residency(self, job, tmp_path):
+        plain = execute_job(job, cache_dir=str(tmp_path / "a"),
+                            residency=False)
+        resident = execute_job(job, cache_dir=str(tmp_path / "b"),
+                               residency=True, resident_log=[])
+        assert resident.identity_dict() == plain.identity_dict()
+
+
+class TestResidentSetManager:
+    def _publish(self, name: str):
+        shm = publish_graph(name, make_graph())
+        assert shm is not None
+        return shm
+
+    def test_observe_adopts_and_reports(self):
+        name = SEGMENT_PREFIX + "testadopt"
+        shm = self._publish(name)
+        manager = ResidentSetManager()
+        manager.observe([{"name": name, "bytes": shm.size,
+                          "action": "build-publish", "dataset": "WV"}])
+        stats = manager.as_dict()
+        assert stats["resident_segments"] == 1
+        assert stats["resident_bytes"] == shm.size
+        assert host_resident_stats()["resident_segments"] == 1
+
+    def test_local_fallbacks_are_not_adopted(self):
+        manager = ResidentSetManager()
+        manager.observe([{"name": SEGMENT_PREFIX + "testnothere",
+                          "bytes": 0, "action": "local",
+                          "dataset": "WV"}])
+        assert manager.as_dict()["resident_segments"] == 0
+
+    def test_eviction_respects_lru_and_readers_survive(self):
+        name_a = SEGMENT_PREFIX + "testevicta"
+        name_b = SEGMENT_PREFIX + "testevictb"
+        shm_a = self._publish(name_a)
+        self._publish(name_b)
+        _, reader = attach_graph(name_a)
+        manager = ResidentSetManager(max_bytes=shm_a.size + 1)
+        manager.observe([
+            {"name": name_a, "bytes": shm_a.size, "action": "attach",
+             "dataset": "WV"},
+            {"name": name_b, "bytes": shm_a.size, "action": "attach",
+             "dataset": "WV"},
+        ])
+        names = [seg for seg, _, _ in list_host_segments()]
+        assert name_a not in names  # LRU victim, unlinked
+        assert name_b in names
+        assert manager.evictions == 1
+        # POSIX semantics: the unlinked mapping stays readable until
+        # the last reader unmaps.
+        assert float(reader.adjacency.values.sum()) == 17.0
+
+    def test_pinned_segments_are_never_evicted(self):
+        name = SEGMENT_PREFIX + "testpinned"
+        shm = self._publish(name)
+        manager = ResidentSetManager(max_bytes=1)  # everything is over
+        manager.pin(name)
+        manager.observe([{"name": name, "bytes": shm.size,
+                          "action": "attach", "dataset": "WV"}])
+        assert [seg for seg, _, _ in list_host_segments()] == [name]
+        manager.unpin(name)
+        manager.evict_to_budget()
+        assert list_host_segments() == []
+
+    def test_sweep_reclaims_crash_leftovers(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        # Fast-forward the stale grace so the test does not sleep.
+        monkeypatch.setattr(residency, "STALE_GRACE_S", 0.0)
+        ready = SEGMENT_PREFIX + "testready"
+        self._publish(ready)
+        torn = SEGMENT_PREFIX + "testtornseg"
+        shm = shared_memory.SharedMemory(name=torn, create=True,
+                                         size=64)
+        residency._untrack(shm)
+        lock = shared_memory.SharedMemory(
+            name=SEGMENT_PREFIX + "teststale.lck", create=True, size=1)
+        residency._untrack(lock)
+
+        manager = ResidentSetManager()
+        removed = manager.sweep_orphans()
+        # The stale lock and the torn segment go; the ready segment is
+        # adopted instead of leaked.
+        assert SEGMENT_PREFIX + "teststale.lck" in removed
+        assert torn in removed
+        assert manager.as_dict()["resident_segments"] == 1
+        manager.shutdown()
+        assert list_host_segments(include_locks=True) == []
+
+    def test_shutdown_purges_the_prefix(self):
+        self._publish(SEGMENT_PREFIX + "testshutdown")
+        manager = ResidentSetManager()
+        manager.shutdown()  # even untracked segments are purged
+        assert list_host_segments(include_locks=True) == []
+
+
+class TestScratchShardRoot:
+    """cache_dir=None out-of-core runs reuse a per-process scratch
+    shard instead of re-sharding every execution."""
+
+    JOB = Job("spmv", "WV",
+              config=GraphRConfig(mode="analytic", block_size=32),
+              deployment=DeploymentSpec(kind="out-of-core"))
+
+    def test_cacheless_reruns_reuse_the_shard(self):
+        with metrics.use_registry() as registry:
+            first = execute_job(self.JOB)
+            second = execute_job(self.JOB)
+            assert registry.counter(
+                "repro_shard_builds_total").value == 1
+            assert registry.counter(
+                "repro_shard_reuses_total").value == 1
+        assert second.identity_dict() == first.identity_dict()
+
+    def test_scratch_root_is_stable_within_the_process(self):
+        root = residency.process_shard_root()
+        assert root == residency.process_shard_root()
+        assert os.path.isdir(root)
+
+    def test_failed_shard_build_leaves_no_scratch(self, tmp_path,
+                                                  monkeypatch):
+        from repro.runtime import shards as shards_module
+
+        def exploding(graph, directory, config):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(shards_module, "prepare_on_disk",
+                            exploding)
+        graph = datasets.dataset("WV")
+        config = GraphRConfig(mode="analytic", block_size=64)
+        with pytest.raises(RuntimeError):
+            shards_module.prepared_block_dir(
+                graph, config, tmp_path, dataset="WV", dataset_seed=7,
+                weighted=False)
+        shard_root = tmp_path / "shards"
+        leftovers = list(shard_root.glob("*.tmp.*")) \
+            if shard_root.is_dir() else []
+        assert leftovers == []

@@ -16,9 +16,9 @@ def counting_execute_job(counter):
     """Wrap the real per-job executor with an invocation counter."""
     real = scheduler_module.execute_job
 
-    def wrapper(job, cache_dir=None):
+    def wrapper(job, cache_dir=None, **kwargs):
         counter.append(job)
-        return real(job, cache_dir=cache_dir)
+        return real(job, cache_dir=cache_dir, **kwargs)
 
     return wrapper
 

@@ -72,7 +72,7 @@ def crashing_execute_payload(marker_algorithm, crash_flag_path=None):
     flag file exists (crash once, then succeed)."""
     real = scheduler_module.execute_payload
 
-    def wrapper(payload, cache_dir=None):
+    def wrapper(payload, cache_dir=None, **kwargs):
         if payload["algorithm"] == marker_algorithm:
             if crash_flag_path is None or not os.path.exists(
                     crash_flag_path):
@@ -80,7 +80,7 @@ def crashing_execute_payload(marker_algorithm, crash_flag_path=None):
                     with open(crash_flag_path, "w") as flag:
                         flag.write("crashed once")
                 os._exit(42)  # simulate segfault/OOM kill
-        return real(payload, cache_dir=cache_dir)
+        return real(payload, cache_dir=cache_dir, **kwargs)
 
     return wrapper
 

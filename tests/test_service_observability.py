@@ -214,7 +214,8 @@ class TestPersistedTraces:
         # The acceptance bar: at least four distinct phase spans
         # survive the worker pipe, the queue-wait injection and the
         # result cache.
-        phases = names & {"queue-wait", "prepare", "shard-attach",
+        phases = names & {"queue-wait", "prepare", "attach",
+                          "shard-build", "shard-attach",
                           "scan-metadata", "reference", "sweep",
                           "merge", "iteration"}
         assert len(phases) >= 4, names
