@@ -44,8 +44,10 @@ class PageRankProgram(VertexProgram):
     def __init__(self, damping: float = DEFAULT_DAMPING,
                  tolerance: float = DEFAULT_TOLERANCE) -> None:
         if not 0.0 < damping < 1.0:
+            # repro: noqa REP106 - library-style constructor contract
             raise ValueError("damping must be in (0, 1)")
         if tolerance <= 0.0:
+            # repro: noqa REP106 - library-style constructor contract
             raise ValueError("tolerance must be positive")
         self.damping = float(damping)
         self.tolerance = float(tolerance)

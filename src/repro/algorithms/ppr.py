@@ -57,8 +57,10 @@ class PPRProgram(VertexProgram):
         if source < 0:
             raise GraphFormatError("source must be non-negative")
         if not 0.0 < damping < 1.0:
+            # repro: noqa REP106 - library-style constructor contract
             raise ValueError("damping must be in (0, 1)")
         if tolerance <= 0.0:
+            # repro: noqa REP106 - library-style constructor contract
             raise ValueError("tolerance must be positive")
         self.source = int(source)
         self.damping = float(damping)

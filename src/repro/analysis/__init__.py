@@ -1,0 +1,50 @@
+"""``repro lint`` — AST-based invariant checkers for this repository.
+
+Every guarantee the reproduction makes — bit-identical results across
+deployments, cache correctness keyed by SHA-256 content hashes,
+leak-free shared-memory residency — is an invariant *of the source
+code* that equivalence tests only catch after the fact.  This package
+turns those invariants into machine-checked rules that run in seconds
+on every change, before any simulation executes:
+
+========  ==========================================================
+Rule      Invariant
+========  ==========================================================
+REP101    Determinism: no unseeded RNGs or wall-clock reads in
+          compute-reachable modules.
+REP102    Filesystem iteration order: ``glob``/``iterdir``/
+          ``os.listdir`` results feeding order-sensitive code must be
+          ``sorted(...)``.
+REP103    Content-key completeness: every dataclass field of a
+          content-hashed class must reach its canonical serializer.
+REP104    Shared-memory lifecycle: segments created with
+          ``create=True`` must unlink on exception paths; all shm use
+          goes through :mod:`repro.runtime.residency`.
+REP105    Telemetry purity: no obs calls on the engine hot path
+          unless gated on ``metrics.enabled()``; volatile trace keys
+          never flow into content hashes.
+REP106    Error taxonomy: runtime/service/algorithm layers raise
+          typed classes from :mod:`repro.errors`, not bare builtins.
+========  ==========================================================
+
+Stdlib-``ast`` only — no third-party dependencies.  Findings are
+suppressable per line with ``# repro: noqa REP1xx - reason``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.policy import LintPolicy, default_policy
+from repro.analysis.registry import all_checkers, checker_for, list_rules
+from repro.analysis.runner import LintResult, run_lint
+
+__all__ = [
+    "Finding",
+    "LintPolicy",
+    "LintResult",
+    "all_checkers",
+    "checker_for",
+    "default_policy",
+    "list_rules",
+    "run_lint",
+]

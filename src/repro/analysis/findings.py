@@ -1,0 +1,35 @@
+"""The one value every checker produces: a located rule violation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a source location.
+
+    Orders by ``(path, line, col, rule)`` so reports are stable across
+    runs and filesystems — the lint must itself obey the determinism
+    it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    module: str = ""
+
+    def render(self) -> str:
+        """The classic one-line compiler format (clickable in most
+        editors)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe row for the ``--json`` report."""
+        return {"rule": self.rule, "path": self.path,
+                "module": self.module, "line": self.line,
+                "col": self.col, "message": self.message}

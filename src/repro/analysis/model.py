@@ -1,0 +1,465 @@
+"""The project model cross-file checkers query.
+
+One :class:`ProjectModel` is built per lint run from the package
+directories under analysis.  It offers four views the rules share:
+
+- **modules** — every ``*.py`` file, parsed once, with a parent map so
+  checkers can walk *up* from a node (enclosing statement, function).
+- **import graph** — project-internal edges only, with relative
+  imports resolved, powering "compute-reachable" scoping (REP101).
+- **class tables** — dataclass fields and per-class method ASTs, plus
+  the transitive ``self.*`` closure of any method, powering the
+  content-key completeness and volatile-key purity checks (REP103,
+  REP105).
+- **call closure** — a name-matched function reachability set from
+  the vertex-program scan loops, powering hot-path telemetry gating
+  (REP105).
+
+Everything is stdlib ``ast``; name-matched call edges are
+approximate by design (documented in ``docs/lint-rules.md``) and
+bounded by the policy's stop-name list.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import LintError
+
+__all__ = ["ClassInfo", "ClosureInfo", "FunctionInfo", "ModuleInfo",
+           "ProjectModel", "call_name", "dotted_name"]
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The bare name a call resolves through (``f()`` and ``o.f()``
+    are both ``"f"``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    source_lines: List[str]
+    is_package: bool
+    _parents: Optional[Dict[int, ast.AST]] = field(default=None,
+                                                   repr=False)
+
+    def parent_map(self) -> Dict[int, ast.AST]:
+        """``id(child) -> parent`` over the whole tree (built once)."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        parents = self.parent_map()
+        current = parents.get(id(node))
+        while current is not None:
+            yield current
+            current = parents.get(id(current))
+
+    def enclosing_function(self, node: ast.AST
+                           ) -> Optional[ast.FunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method definition, indexed for the call graph."""
+
+    module: str
+    qualname: str
+    node: ast.FunctionDef
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its dataclass field table."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    is_dataclass: bool
+    #: ``(field name, lineno)`` of every dataclass field, in order.
+    fields: List[Tuple[str, int]]
+    methods: Dict[str, ast.FunctionDef]
+
+
+@dataclass
+class ClosureInfo:
+    """Transitive ``self.*`` usage of a method within its class."""
+
+    #: Every ``self.<attr>`` referenced (fields, methods, properties).
+    attrs: Set[str]
+    #: Class methods the closure walked through.
+    methods_visited: Set[str]
+    #: Whether ``dataclasses.fields(self)`` is iterated anywhere —
+    #: which covers every field by construction.
+    iterates_fields: bool
+    #: ``(literal, lineno, method)`` for every string used as a dict
+    #: key or subscript index inside the closure.
+    str_keys: List[Tuple[str, int, str]]
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[Tuple[str, int]]:
+    found: List[Tuple[str, int]] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or \
+                not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation or "InitVar" in annotation:
+            continue
+        found.append((stmt.target.id, stmt.lineno))
+    return found
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Collects one method's self-attribute reads, ``fields(self)``
+    iteration, and string keys."""
+
+    def __init__(self) -> None:
+        self.attrs: Set[str] = set()
+        self.iterates_fields = False
+        self.str_keys: List[Tuple[str, int]] = []
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:  # noqa: N802
+        if isinstance(node.value, ast.Name) and \
+                node.value.id in ("self", "cls"):
+            self.attrs.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:  # noqa: N802
+        if call_name(node) == "fields" and any(
+                isinstance(arg, ast.Name) and arg.id in ("self", "cls")
+                for arg in node.args):
+            self.iterates_fields = True
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:  # noqa: N802
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and \
+                    isinstance(key.value, str):
+                self.str_keys.append((key.value, key.lineno))
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:  # noqa: N802
+        index = node.slice
+        if isinstance(index, ast.Constant) and \
+                isinstance(index.value, str):
+            self.str_keys.append((index.value, index.lineno))
+        self.generic_visit(node)
+
+
+class ProjectModel:
+    """Parsed view of one or more top-level packages."""
+
+    def __init__(self, package_dirs: Iterable[Path]) -> None:
+        self.package_dirs = sorted(Path(p).resolve()
+                                   for p in package_dirs)
+        self.modules: Dict[str, ModuleInfo] = {}
+        for pkg_dir in self.package_dirs:
+            if not (pkg_dir / "__init__.py").is_file():
+                raise LintError(
+                    f"{pkg_dir} is not a package (no __init__.py); "
+                    f"repro lint analyses package trees")
+            self._load_package(pkg_dir)
+        self._import_graph: Optional[Dict[str, Set[str]]] = None
+        self._functions: Optional[List[FunctionInfo]] = None
+        self._functions_by_name: Dict[str, List[FunctionInfo]] = {}
+        self._classes: Optional[Dict[str, List[ClassInfo]]] = None
+        self._closures: Dict[Tuple[int, str], ClosureInfo] = {}
+        self._reachable_cache: Dict[Tuple[str, ...], FrozenSet[str]] = {}
+        self._hot_cache: Dict[Tuple[Tuple[str, ...], FrozenSet[str]],
+                              FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Discovery and parsing
+    # ------------------------------------------------------------------
+    def _load_package(self, pkg_dir: Path) -> None:
+        base = pkg_dir.parent
+        for path in sorted(pkg_dir.rglob("*.py")):
+            rel = path.relative_to(base)
+            parts = list(rel.parts)
+            is_package = parts[-1] == "__init__.py"
+            if is_package:
+                parts = parts[:-1]
+            else:
+                parts[-1] = parts[-1][:-3]
+            name = ".".join(parts)
+            try:
+                source = path.read_text()
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError) as exc:
+                raise LintError(f"cannot parse {path}: {exc}") from exc
+            self.modules[name] = ModuleInfo(
+                name=name, path=path, tree=tree,
+                source_lines=source.splitlines(),
+                is_package=is_package)
+
+    def modules_sorted(self) -> List[ModuleInfo]:
+        return [self.modules[name] for name in sorted(self.modules)]
+
+    # ------------------------------------------------------------------
+    # Import graph and reachability
+    # ------------------------------------------------------------------
+    def _resolve_import_base(self, module: ModuleInfo,
+                             node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        anchor = module.name if module.is_package else \
+            module.name.rpartition(".")[0]
+        for _ in range(node.level - 1):
+            anchor = anchor.rpartition(".")[0]
+        if node.module:
+            return f"{anchor}.{node.module}" if anchor else node.module
+        return anchor
+
+    def _known_target(self, name: str) -> Optional[str]:
+        """The longest project module ``name`` (or a prefix) names."""
+        while name:
+            if name in self.modules:
+                return name
+            name = name.rpartition(".")[0]
+        return None
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """Project-internal import edges, ``module -> imported``."""
+        if self._import_graph is not None:
+            return self._import_graph
+        graph: Dict[str, Set[str]] = {name: set()
+                                      for name in self.modules}
+        for module in self.modules.values():
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        target = self._known_target(alias.name)
+                        if target:
+                            graph[module.name].add(target)
+                elif isinstance(node, ast.ImportFrom):
+                    base = self._resolve_import_base(module, node)
+                    for alias in node.names:
+                        full = f"{base}.{alias.name}" if base \
+                            else alias.name
+                        target = self._known_target(full)
+                        if target:
+                            graph[module.name].add(target)
+        self._import_graph = graph
+        return graph
+
+    def reachable(self, roots: Tuple[str, ...]) -> FrozenSet[str]:
+        """Modules reachable from ``roots`` through project imports
+        (roots included).
+
+        A root whose top-level package *is* under analysis but which
+        names no module is an error — a stale policy (module renamed
+        away) must fail loudly, not silently stop checking.  Roots
+        from packages not being linted at all are skipped, so the
+        default policy works on foreign trees (fixtures, other
+        projects) where its rules simply have nothing in scope.
+        """
+        key = tuple(sorted(roots))
+        cached = self._reachable_cache.get(key)
+        if cached is not None:
+            return cached
+        graph = self.import_graph()
+        top_levels = {name.split(".")[0] for name in self.modules}
+        missing = [root for root in roots
+                   if root not in self.modules
+                   and root.split(".")[0] in top_levels]
+        if missing:
+            raise LintError(
+                f"policy compute root(s) not in the analysed tree: "
+                f"{', '.join(missing)}")
+        seen: Set[str] = set()
+        frontier = [root for root in roots if root in self.modules]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(graph.get(current, ()))
+        result = frozenset(seen)
+        self._reachable_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Class tables and serializer closures
+    # ------------------------------------------------------------------
+    def classes(self) -> Dict[str, List[ClassInfo]]:
+        """``module name -> class infos`` for every class definition."""
+        if self._classes is not None:
+            return self._classes
+        table: Dict[str, List[ClassInfo]] = {}
+        for module in self.modules.values():
+            infos: List[ClassInfo] = []
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                methods = {
+                    stmt.name: stmt for stmt in node.body
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))}
+                infos.append(ClassInfo(
+                    module=module.name, name=node.name, node=node,
+                    is_dataclass=_is_dataclass_decorated(node),
+                    fields=_dataclass_fields(node),
+                    methods=methods))
+            table[module.name] = infos
+        self._classes = table
+        return table
+
+    def method_closure(self, cls: ClassInfo,
+                       method: str) -> ClosureInfo:
+        """Transitive self-usage of ``cls.method``.
+
+        Follows ``self.x`` references that name *other methods or
+        properties of the same class* (``self.canonical_dict()``,
+        ``self.resolved_weighted``) so derived accessors count as
+        reaching the fields they read.  Cross-class calls
+        (``self.config.to_dict()``) are not followed — those classes
+        declare their own contracts.
+        """
+        cache_key = (id(cls.node), method)
+        cached = self._closures.get(cache_key)
+        if cached is not None:
+            return cached
+        attrs: Set[str] = set()
+        visited: Set[str] = set()
+        iterates_fields = False
+        str_keys: List[Tuple[str, int, str]] = []
+        queue = [method]
+        while queue:
+            name = queue.pop()
+            if name in visited or name not in cls.methods:
+                continue
+            visited.add(name)
+            scan = _MethodScan()
+            scan.visit(cls.methods[name])
+            iterates_fields = iterates_fields or scan.iterates_fields
+            str_keys.extend((value, line, name)
+                            for value, line in scan.str_keys)
+            attrs.update(scan.attrs)
+            queue.extend(attr for attr in scan.attrs
+                         if attr in cls.methods)
+        info = ClosureInfo(attrs=attrs, methods_visited=visited,
+                           iterates_fields=iterates_fields,
+                           str_keys=str_keys)
+        self._closures[cache_key] = info
+        return info
+
+    # ------------------------------------------------------------------
+    # Function index and hot-path call closure
+    # ------------------------------------------------------------------
+    def functions(self) -> List[FunctionInfo]:
+        if self._functions is not None:
+            return self._functions
+        found: List[FunctionInfo] = []
+        for module in self.modules.values():
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    qual = self._qualname(module, node)
+                    info = FunctionInfo(module=module.name,
+                                        qualname=qual, node=node)
+                    found.append(info)
+                    self._functions_by_name.setdefault(
+                        node.name, []).append(info)
+        self._functions = found
+        return found
+
+    def _qualname(self, module: ModuleInfo,
+                  node: ast.FunctionDef) -> str:
+        parts = [node.name]
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.ClassDef, ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                parts.append(ancestor.name)
+        return f"{module.name}:" + ".".join(reversed(parts))
+
+    @staticmethod
+    def _called_names(node: ast.FunctionDef) -> Set[str]:
+        names: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                name = call_name(child)
+                if name is not None:
+                    names.add(name)
+        return names
+
+    def hot_functions(self, roots: Tuple[str, ...],
+                      stop_names: FrozenSet[str]) -> FrozenSet[int]:
+        """``id(node)`` of every function in the name-matched call
+        closure of the ``roots`` function names.
+
+        Name matching is approximate: a call ``o.f(...)`` links to
+        *every* project ``def f``.  ``stop_names`` keeps container
+        idioms (``.get``, ``.items``...) from dragging unrelated code
+        onto the hot path; the checker's job is gating, so an
+        over-approximation only ever *adds* scrutiny.
+        """
+        key = (tuple(sorted(roots)), stop_names)
+        cached = self._hot_cache.get(key)
+        if cached is not None:
+            return cached
+        self.functions()
+        seen: Set[int] = set()
+        frontier: List[FunctionInfo] = []
+        for root in roots:
+            frontier.extend(self._functions_by_name.get(root, ()))
+        while frontier:
+            info = frontier.pop()
+            if id(info.node) in seen:
+                continue
+            seen.add(id(info.node))
+            for name in self._called_names(info.node):
+                if name in stop_names or name.startswith("__"):
+                    continue
+                frontier.extend(
+                    candidate for candidate
+                    in self._functions_by_name.get(name, ())
+                    if id(candidate.node) not in seen)
+        result = frozenset(seen)
+        self._hot_cache[key] = result
+        return result

@@ -1,0 +1,165 @@
+"""The module policy map: where each invariant applies and why not
+elsewhere.
+
+Checkers are generic AST machinery; everything repository-specific —
+which modules are compute-reachable, which module owns shared memory,
+which layers must raise typed errors, which dataclass fields are
+deliberately volatile — lives in one :class:`LintPolicy` value.  Tests
+construct bespoke policies around fixture packages; the shipped
+default (:func:`default_policy`) encodes this repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Set, Tuple
+
+__all__ = ["LintPolicy", "default_policy"]
+
+
+def _prefix_match(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+@dataclass(frozen=True)
+class LintPolicy:
+    """Repository-specific scoping of the REP1xx rules.
+
+    Attributes
+    ----------
+    compute_roots:
+        Modules whose import closure defines "compute-reachable" for
+        REP101 — anything a simulated result can depend on.
+    module_rule_skips:
+        ``(module-prefix, rules, reason)`` triples: the named rules do
+        not apply under the prefix.  The reason string is documentation
+        — every hole in an invariant should say why it is safe.
+    shm_owner_modules:
+        The only modules allowed to call ``SharedMemory`` directly
+        (REP104); everyone else must use their helpers.
+    shm_unlink_callees:
+        Call names that count as releasing a created segment on an
+        exception path.
+    shm_untrack_callees:
+        Call names that count as detaching a handle from the resource
+        tracker.
+    hot_roots:
+        Function names whose call closure is the engine hot path for
+        REP105 (the vertex-program scan loops).
+    obs_call_names:
+        Telemetry entry points that must be gated on the hot path.
+    obs_gate_names:
+        Call names whose truth gates telemetry (``metrics.enabled``).
+    error_scope_prefixes:
+        Module prefixes where REP106 demands typed errors.
+    error_bare_names:
+        The builtin exception names REP106 rejects.
+    hash_method_names:
+        Method names that mark a dataclass as content-hashed (REP103
+        starts its serializer closure there).
+    hash_volatile_fields:
+        Per-class fields deliberately excluded from the content hash
+        (none today — the map exists so an exclusion must be spelled
+        out here, reviewed, rather than silently omitted).
+    extra_hash_classes:
+        ``class name -> serializer method`` for dataclasses without
+        their own hash method whose serializer still feeds another
+        class's content key (e.g. ``DeploymentSpec.to_dict`` inside
+        ``Job.canonical_dict``).
+    volatile_extra_keys:
+        ``RunStats.extra`` keys carrying wall-clock telemetry; REP105
+        forbids them anywhere in a content-hash closure.
+    identity_contracts:
+        ``class -> (method, constant)``: the method must strip the
+        named volatile-keys constant, and the constant must cover
+        ``volatile_extra_keys``.
+    """
+
+    compute_roots: Tuple[str, ...] = ()
+    module_rule_skips: Tuple[Tuple[str, Tuple[str, ...], str], ...] = ()
+    shm_owner_modules: Tuple[str, ...] = ()
+    shm_unlink_callees: FrozenSet[str] = frozenset(
+        {"unlink", "unlink_segment", "cleanup_segments",
+         "_release_claim"})
+    shm_untrack_callees: FrozenSet[str] = frozenset({"_untrack"})
+    hot_roots: Tuple[str, ...] = ()
+    obs_call_names: FrozenSet[str] = frozenset(
+        {"span", "counter", "gauge", "histogram", "get_registry"})
+    obs_gate_names: FrozenSet[str] = frozenset({"enabled"})
+    #: Call names too generic to follow when expanding the hot-path
+    #: call closure — ``events.get(...)`` must not drag every project
+    #: ``def get`` (e.g. ``ResultCache.get``) onto the engine hot path.
+    call_graph_stop_names: FrozenSet[str] = frozenset(
+        {"get", "items", "keys", "values", "pop", "append", "update",
+         "copy", "close", "add", "set", "put", "run", "join", "read",
+         "write", "extend", "clear", "sort", "index"})
+    error_scope_prefixes: Tuple[str, ...] = ()
+    error_bare_names: FrozenSet[str] = frozenset(
+        {"ValueError", "RuntimeError", "KeyError", "Exception"})
+    hash_method_names: FrozenSet[str] = frozenset(
+        {"content_hash", "content_key"})
+    hash_volatile_fields: Mapping[str, FrozenSet[str]] = \
+        field(default_factory=dict)
+    extra_hash_classes: Mapping[str, str] = field(default_factory=dict)
+    volatile_extra_keys: Tuple[str, ...] = ("trace",)
+    identity_contracts: Mapping[str, Tuple[str, str]] = \
+        field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def skipped_rules(self, module: str) -> Set[str]:
+        """Rules the policy map switches off for ``module``."""
+        skipped: Set[str] = set()
+        for prefix, rules, _reason in self.module_rule_skips:
+            if _prefix_match(module, prefix):
+                skipped.update(rules)
+        return skipped
+
+    def skip_reasons(self) -> Dict[str, Tuple[Tuple[str, ...], str]]:
+        """``prefix -> (rules, reason)`` for documentation output."""
+        return {prefix: (rules, reason)
+                for prefix, rules, reason in self.module_rule_skips}
+
+    def in_error_scope(self, module: str) -> bool:
+        return any(_prefix_match(module, prefix)
+                   for prefix in self.error_scope_prefixes)
+
+    def is_shm_owner(self, module: str) -> bool:
+        return module in self.shm_owner_modules
+
+
+def default_policy() -> LintPolicy:
+    """The policy of *this* repository."""
+    return LintPolicy(
+        # A simulated result is produced by the mapper/engine stack and
+        # delivered through the batch runner; everything either imports
+        # is compute-reachable and must stay deterministic.
+        compute_roots=(
+            "repro.core.mac_mapper",
+            "repro.core.addop_mapper",
+            "repro.runtime.runner",
+        ),
+        module_rule_skips=(
+            ("repro.obs", ("REP101", "REP105"),
+             "telemetry implementation: owns wall-clock timestamps "
+             "and is itself the instrumentation REP105 gates"),
+            ("repro.service", ("REP101",),
+             "daemon bookkeeping (uptime, queue timestamps) is "
+             "observational and never feeds simulated results"),
+            ("repro.runtime.cache", ("REP101",),
+             "scratch-directory aging needs wall-clock time; eviction "
+             "is size-bounding, never correctness-affecting"),
+            ("repro.runtime.residency", ("REP101",),
+             "stale-claim aging needs wall-clock time; segment "
+             "contents stay content-keyed and deterministic"),
+        ),
+        shm_owner_modules=("repro.runtime.residency",),
+        hot_roots=("run_mac_scan", "run_addop_scan"),
+        error_scope_prefixes=("repro.runtime", "repro.service",
+                              "repro.algorithms"),
+        hash_volatile_fields={},
+        extra_hash_classes={"DeploymentSpec": "to_dict"},
+        volatile_extra_keys=("trace",),
+        identity_contracts={
+            "RunStats": ("identity_dict", "VOLATILE_EXTRA_KEYS"),
+        },
+    )

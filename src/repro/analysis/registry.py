@@ -1,0 +1,88 @@
+"""Checker registry: rule IDs to checker classes.
+
+A checker is any object with a ``rule`` ID, a one-line ``summary``,
+and a ``check(model, policy)`` generator of findings over the whole
+:class:`~repro.analysis.model.ProjectModel`.  Registration happens by
+decorating the class; the registry orders rules by ID so every report
+and every ``--list-rules`` listing is stable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Protocol, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel
+from repro.analysis.policy import LintPolicy
+from repro.errors import LintError
+
+__all__ = ["Checker", "all_checkers", "checker_for", "list_rules",
+           "register", "resolve_rules"]
+
+_RULE_RE = re.compile(r"^[A-Z]+\d+$")
+
+
+class Checker(Protocol):
+    rule: str
+    summary: str
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]: ...
+
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register(cls: Type) -> Type:
+    """Class decorator adding a checker to the registry."""
+    rule = getattr(cls, "rule", None)
+    if not rule or not _RULE_RE.match(rule):
+        raise LintError(f"checker {cls.__name__!r} has no valid rule ID")
+    if rule in _REGISTRY:
+        raise LintError(f"duplicate checker for rule {rule}")
+    _REGISTRY[rule] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Rule modules self-register on import; importing the package here
+    # keeps the registry lazy without checkers needing a manifest.
+    from repro.analysis import rules  # noqa: F401
+
+
+def all_checkers() -> List[Checker]:
+    """One instance of every registered checker, ordered by rule ID."""
+    _ensure_loaded()
+    return [_REGISTRY[rule]() for rule in sorted(_REGISTRY)]
+
+
+def checker_for(rule: str) -> Checker:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule]()
+    except KeyError:
+        raise LintError(f"unknown lint rule: {rule}") from None
+
+
+def list_rules() -> List[Dict[str, str]]:
+    """``[{"rule": ..., "summary": ...}, ...]`` in rule order."""
+    _ensure_loaded()
+    return [{"rule": rule, "summary": _REGISTRY[rule].summary}
+            for rule in sorted(_REGISTRY)]
+
+
+def resolve_rules(select: Iterable[str] = (),
+                  ignore: Iterable[str] = ()) -> List[str]:
+    """The rule IDs a run should execute after --select/--ignore."""
+    _ensure_loaded()
+    known = sorted(_REGISTRY)
+    chosen = list(select) or known
+    unknown = [rule for rule in [*chosen, *ignore]
+               if rule not in _REGISTRY]
+    if unknown:
+        raise LintError(
+            f"unknown lint rule(s): {', '.join(sorted(set(unknown)))}")
+    ignored = set(ignore)
+    return [rule for rule in known
+            if rule in chosen and rule not in ignored]

@@ -1,0 +1,49 @@
+"""Text and JSON reporters over a lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.runner import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+#: Schema version of the ``--json`` report; CI parses this.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Compiler-style finding lines plus a one-line summary."""
+    lines: List[str] = [finding.render()
+                        for finding in result.findings]
+    counts = result.rule_counts()
+    if result.findings:
+        per_rule = ", ".join(f"{rule}: {count}"
+                             for rule, count in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding(s) "
+            f"[{per_rule}] in {result.files_scanned} file(s); "
+            f"{result.suppressed} suppressed")
+    else:
+        lines.append(
+            f"clean: {result.files_scanned} file(s), "
+            f"{len(result.rules)} rule(s), "
+            f"{result.suppressed} suppressed finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report (sorted keys, sorted findings)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "tool": "repro lint",
+        "rules": list(result.rules),
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "rule_counts": result.rule_counts(),
+        "findings": [finding.as_dict()
+                     for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

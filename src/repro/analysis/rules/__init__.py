@@ -1,0 +1,12 @@
+"""Rule modules; importing this package registers every checker."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401
+    rep101_determinism,
+    rep102_fs_order,
+    rep103_content_key,
+    rep104_shm_lifecycle,
+    rep105_telemetry_purity,
+    rep106_error_taxonomy,
+)

@@ -1,0 +1,111 @@
+"""REP101 — determinism of compute-reachable modules.
+
+A simulated result must be a pure function of the job's content key.
+Any module in the import closure of the compute roots therefore may
+not read entropy or wall clocks: no unseeded ``default_rng()``, no
+global-state ``numpy.random``/stdlib-``random`` calls, no
+``time.time()`` or ``datetime.now()``.  Modules whose wall-clock use
+is observational (telemetry, cache aging) are exempted by the policy
+map, each with a recorded reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ModuleInfo, ProjectModel, dotted_name
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+#: numpy.random module-level functions driven by hidden global state.
+_NUMPY_GLOBAL_FNS = frozenset(
+    {"rand", "randn", "randint", "random", "random_sample", "shuffle",
+     "permutation", "choice", "normal", "uniform", "seed"})
+
+#: Wall-clock reads (suffix match on the resolved dotted name).
+_CLOCK_CALLS = frozenset(
+    {"time.time", "time.time_ns", "datetime.datetime.now",
+     "datetime.datetime.utcnow", "datetime.datetime.today",
+     "datetime.date.today"})
+
+
+def _alias_map(module: ModuleInfo) -> Dict[str, str]:
+    """Local name -> the absolute dotted thing it refers to."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _resolve(aliases: Dict[str, str],
+             dotted: str) -> str:
+    head, sep, rest = dotted.partition(".")
+    resolved_head = aliases.get(head, head)
+    return resolved_head + sep + rest if sep else resolved_head
+
+
+def _violation(resolved: str,
+               node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(kind, message)`` when the resolved call is nondeterministic."""
+    parts = resolved.split(".")
+    if parts[-1] == "default_rng" and not node.args \
+            and not node.keywords:
+        return ("rng", "unseeded default_rng(): pass an explicit "
+                       "seed derived from the job content key")
+    if resolved.startswith("numpy.random.") \
+            and parts[-1] in _NUMPY_GLOBAL_FNS:
+        return ("rng", f"numpy.random.{parts[-1]} uses hidden global "
+                       f"RNG state; use a seeded Generator")
+    if resolved == "random" or resolved.startswith("random."):
+        if parts[-1] == "Random" and (node.args or node.keywords):
+            return None  # explicitly seeded instance
+        return ("rng", f"stdlib random.{parts[-1]} uses global RNG "
+                       f"state; use a seeded Generator")
+    if resolved in _CLOCK_CALLS:
+        return ("clock", f"{resolved}() reads the wall clock inside "
+                         f"compute-reachable code")
+    return None
+
+
+@register
+class DeterminismChecker:
+    rule = "REP101"
+    summary = ("no unseeded RNGs or wall-clock reads in "
+               "compute-reachable modules")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        if not policy.compute_roots:
+            return
+        reachable = model.reachable(policy.compute_roots)
+        for module in model.modules_sorted():
+            if module.name not in reachable:
+                continue
+            if self.rule in policy.skipped_rules(module.name):
+                continue
+            aliases = _alias_map(module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                hit = _violation(_resolve(aliases, dotted), node)
+                if hit is None:
+                    continue
+                _kind, message = hit
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=message, module=module.name)

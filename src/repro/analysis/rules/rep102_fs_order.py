@@ -1,0 +1,80 @@
+"""REP102 — filesystem iteration order.
+
+``Path.glob``/``Path.iterdir``/``os.listdir``/``os.scandir`` return
+entries in directory order, which differs across filesystems and even
+across runs.  Any consumption of their results by ordering-sensitive
+code (loops that mutate state, list builds, eviction scans) must wrap
+the call in ``sorted(...)``.  Consumers that are provably
+order-insensitive — aggregations like ``sum``/``len``/``max``, or
+collection into a ``set`` — are allowed unsorted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ModuleInfo, ProjectModel, call_name
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+#: Attribute/function names that enumerate a directory.
+_FS_ITER_NAMES = frozenset(
+    {"glob", "rglob", "iterdir", "listdir", "scandir"})
+
+#: Enclosing calls under which ordering cannot matter.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "max", "min", "sum", "any", "all", "len", "set",
+     "frozenset", "Counter"})
+
+
+def _is_fs_iteration(node: ast.Call) -> bool:
+    name = call_name(node)
+    if name not in _FS_ITER_NAMES:
+        return False
+    if name in ("listdir", "scandir"):
+        # os.listdir / os.scandir — attribute form only, so a local
+        # helper coincidentally named listdir() is not flagged.
+        return isinstance(node.func, ast.Attribute)
+    return isinstance(node.func, ast.Attribute)
+
+
+def _order_safe(module: ModuleInfo, node: ast.Call) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            name = call_name(ancestor)
+            if name in _ORDER_INSENSITIVE:
+                return True
+        if isinstance(ancestor, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+            break
+    return False
+
+
+@register
+class FsOrderChecker:
+    rule = "REP102"
+    summary = ("directory scans feeding order-sensitive code must be "
+               "sorted(...)")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        for module in model.modules_sorted():
+            if self.rule in policy.skipped_rules(module.name):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_fs_iteration(node):
+                    continue
+                if _order_safe(module, node):
+                    continue
+                name = call_name(node)
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(f"{name}() result consumed without "
+                             f"sorted(); directory order is "
+                             f"filesystem-dependent"),
+                    module=module.name)

@@ -1,0 +1,98 @@
+"""REP103 — content-key completeness.
+
+The cache, the residency layer, and cross-platform equivalence all
+key on SHA-256 content hashes of dataclass state.  A dataclass field
+that never reaches the canonical serializer silently aliases distinct
+configurations onto one cache entry — the worst kind of wrong answer.
+
+For every dataclass that defines a content-hash method (or that the
+policy names as feeding one), this rule computes the transitive
+``self.*`` closure of the serializer and demands every field appear
+in it.  Serializers that iterate ``dataclasses.fields(self)`` are
+complete by construction.  Deliberately excluded fields must be
+declared in the policy's ``hash_volatile_fields`` map — and a declared
+exclusion that nevertheless reaches the hash is itself an error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ClassInfo, ProjectModel
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _serializer_roots(cls: ClassInfo,
+                      policy: LintPolicy) -> List[str]:
+    roots = [name for name in sorted(policy.hash_method_names)
+             if name in cls.methods]
+    extra = policy.extra_hash_classes.get(cls.name)
+    if extra is not None and extra in cls.methods:
+        roots.append(extra)
+    return roots
+
+
+@register
+class ContentKeyChecker:
+    rule = "REP103"
+    summary = ("every dataclass field of a content-hashed class must "
+               "reach its canonical serializer")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        for module_name in sorted(model.modules):
+            if self.rule in policy.skipped_rules(module_name):
+                continue
+            module = model.modules[module_name]
+            for cls in model.classes()[module_name]:
+                if not cls.is_dataclass:
+                    continue
+                roots = _serializer_roots(cls, policy)
+                if not roots:
+                    continue
+                yield from self._check_class(module.path, cls, roots,
+                                             model, policy)
+
+    def _check_class(self, path, cls: ClassInfo, roots: List[str],
+                     model: ProjectModel,
+                     policy: LintPolicy) -> Iterator[Finding]:
+        attrs = set()
+        iterates_fields = False
+        for root in roots:
+            closure = model.method_closure(cls, root)
+            attrs |= closure.attrs
+            iterates_fields = iterates_fields or \
+                closure.iterates_fields
+        declared_volatile = frozenset(
+            policy.hash_volatile_fields.get(cls.name, ()))
+        unknown = declared_volatile - {name for name, _ in cls.fields}
+        for name in sorted(unknown):
+            yield Finding(
+                path=str(path), line=cls.node.lineno,
+                col=cls.node.col_offset, rule=self.rule,
+                message=(f"policy declares volatile field "
+                         f"{cls.name}.{name} which does not exist"),
+                module=cls.module)
+        for name, lineno in cls.fields:
+            reached = iterates_fields or name in attrs
+            if name in declared_volatile:
+                if reached and not iterates_fields:
+                    yield Finding(
+                        path=str(path), line=lineno, col=0,
+                        rule=self.rule,
+                        message=(f"{cls.name}.{name} is declared "
+                                 f"hash-volatile but reaches the "
+                                 f"serializer {'/'.join(roots)}"),
+                        module=cls.module)
+                continue
+            if not reached:
+                yield Finding(
+                    path=str(path), line=lineno, col=0,
+                    rule=self.rule,
+                    message=(f"{cls.name}.{name} never reaches the "
+                             f"content-key serializer "
+                             f"{'/'.join(roots)}; distinct values "
+                             f"would collide on one cache key"),
+                    module=cls.module)

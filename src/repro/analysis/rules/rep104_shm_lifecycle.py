@@ -1,0 +1,111 @@
+"""REP104 — shared-memory lifecycle.
+
+POSIX shared memory has no owner process: a segment created with
+``create=True`` outlives whoever made it, so an exception between
+creation and hand-off leaks the name (and on ``/dev/shm``, the bytes)
+until reboot.  Three obligations, all mechanical:
+
+1. Only the designated residency module touches ``SharedMemory``
+   directly; everyone else goes through its helpers.
+2. Every ``SharedMemory(create=True)`` site sits in a function with
+   an exception path that unlinks (``unlink_segment`` and friends).
+3. Every ``SharedMemory`` handle is detached from the multiprocessing
+   resource tracker (``_untrack``) in the same function — the tracker
+   would otherwise unlink shared segments when *any* process exits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ModuleInfo, ProjectModel, call_name
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _is_create(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "create" and isinstance(kw.value, ast.Constant) \
+                and kw.value.value is True:
+            return True
+    return False
+
+
+def _function_calls(node: Optional[ast.AST],
+                    names: frozenset) -> bool:
+    if node is None:
+        return False
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and \
+                call_name(child) in names:
+            return True
+    return False
+
+
+def _except_path_calls(node: Optional[ast.AST],
+                       names: frozenset) -> bool:
+    """Whether any exception handler under ``node`` calls one of
+    ``names`` — the 'unlink on the way out' obligation."""
+    if node is None:
+        return False
+    for child in ast.walk(node):
+        if isinstance(child, ast.ExceptHandler) and \
+                _function_calls(child, names):
+            return True
+        if isinstance(child, ast.Try) and child.finalbody:
+            for stmt in child.finalbody:
+                if _function_calls(stmt, names):
+                    return True
+    return False
+
+
+@register
+class ShmLifecycleChecker:
+    rule = "REP104"
+    summary = ("SharedMemory stays inside the residency owner; "
+               "created segments unlink on exception paths")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        for module in model.modules_sorted():
+            if self.rule in policy.skipped_rules(module.name):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call) or \
+                        call_name(node) != "SharedMemory":
+                    continue
+                yield from self._check_call(module, node, policy)
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call,
+                    policy: LintPolicy) -> Iterator[Finding]:
+        if not policy.is_shm_owner(module.name):
+            owners = ", ".join(policy.shm_owner_modules) or \
+                "the residency module"
+            yield Finding(
+                path=str(module.path), line=node.lineno,
+                col=node.col_offset, rule=self.rule,
+                message=(f"direct SharedMemory use outside {owners}; "
+                         f"go through its publish/attach helpers"),
+                module=module.name)
+            return
+        func = module.enclosing_function(node)
+        if not _function_calls(func, policy.shm_untrack_callees):
+            yield Finding(
+                path=str(module.path), line=node.lineno,
+                col=node.col_offset, rule=self.rule,
+                message=("SharedMemory handle never detached from the "
+                         "resource tracker (no "
+                         f"{'/'.join(sorted(policy.shm_untrack_callees))}"
+                         " call in this function)"),
+                module=module.name)
+        if _is_create(node) and \
+                not _except_path_calls(func, policy.shm_unlink_callees):
+            yield Finding(
+                path=str(module.path), line=node.lineno,
+                col=node.col_offset, rule=self.rule,
+                message=("segment created with create=True has no "
+                         "exception path that unlinks it; a failure "
+                         "here leaks the name until reboot"),
+                module=module.name)

@@ -1,0 +1,206 @@
+"""REP105 — telemetry purity.
+
+Observability must be free when disabled and invisible to identity
+always.  Two obligations:
+
+1. **Hot-path gating** — inside the name-matched call closure of the
+   vertex-program scan loops, every telemetry call (``span``,
+   ``counter``, registry lookups...) must sit under a conditional
+   whose test is ``metrics.enabled()`` or a local variable assigned
+   from it (the ``observing = metrics.enabled()`` idiom).  Ungated
+   instrumentation inside the MAC/AddOp inner loops costs more than
+   the simulated arithmetic it measures.
+2. **Identity separation** — volatile trace keys (``extra["trace"]``)
+   must never appear in a content-hash serializer closure, and every
+   class the policy names in ``identity_contracts`` must strip its
+   declared volatile-key constant, which in turn must cover all the
+   policy's volatile keys.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import (ClassInfo, ModuleInfo, ProjectModel,
+                                  call_name)
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _gate_variables(func: ast.FunctionDef,
+                    gate_names: frozenset) -> Set[str]:
+    """Local names assigned from a gate call (``observing =
+    metrics.enabled()``)."""
+    gated: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Call) and \
+                call_name(node.value) in gate_names:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    gated.add(target.id)
+    return gated
+
+
+def _test_is_gate(test: ast.AST, gate_names: frozenset,
+                  gate_vars: Set[str]) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call) and \
+                call_name(node) in gate_names:
+            return True
+        if isinstance(node, ast.Name) and node.id in gate_vars:
+            return True
+    return False
+
+
+def _is_gated(module: ModuleInfo, call: ast.Call,
+              func: ast.FunctionDef, gate_names: frozenset,
+              gate_vars: Set[str]) -> bool:
+    for ancestor in module.ancestors(call):
+        if ancestor is func:
+            break
+        if isinstance(ancestor, ast.If) and \
+                _test_is_gate(ancestor.test, gate_names, gate_vars):
+            return True
+        if isinstance(ancestor, ast.IfExp) and \
+                _test_is_gate(ancestor.test, gate_names, gate_vars):
+            return True
+    return False
+
+
+@register
+class TelemetryPurityChecker:
+    rule = "REP105"
+    summary = ("hot-path telemetry gated on metrics.enabled(); "
+               "volatile trace keys never reach content hashes")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        yield from self._check_hot_path(model, policy)
+        yield from self._check_identity(model, policy)
+
+    # ------------------------------------------------------------------
+    def _check_hot_path(self, model: ProjectModel,
+                        policy: LintPolicy) -> Iterator[Finding]:
+        if not policy.hot_roots:
+            return
+        hot = model.hot_functions(policy.hot_roots,
+                                  policy.call_graph_stop_names)
+        for module in model.modules_sorted():
+            if self.rule in policy.skipped_rules(module.name):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if id(node) not in hot:
+                    continue
+                gate_vars = _gate_variables(node,
+                                            policy.obs_gate_names)
+                for call in ast.walk(node):
+                    if not isinstance(call, ast.Call) or \
+                            call_name(call) not in \
+                            policy.obs_call_names:
+                        continue
+                    if _is_gated(module, call, node,
+                                 policy.obs_gate_names, gate_vars):
+                        continue
+                    yield Finding(
+                        path=str(module.path), line=call.lineno,
+                        col=call.col_offset, rule=self.rule,
+                        message=(f"ungated {call_name(call)}() on the "
+                                 f"engine hot path ({node.name} is "
+                                 f"reachable from "
+                                 f"{'/'.join(policy.hot_roots)}); "
+                                 f"gate on metrics.enabled()"),
+                        module=module.name)
+
+    # ------------------------------------------------------------------
+    def _check_identity(self, model: ProjectModel,
+                        policy: LintPolicy) -> Iterator[Finding]:
+        volatile = set(policy.volatile_extra_keys)
+        for module_name in sorted(model.modules):
+            if self.rule in policy.skipped_rules(module_name):
+                continue
+            module = model.modules[module_name]
+            for cls in model.classes()[module_name]:
+                yield from self._check_hash_keys(module, cls, model,
+                                                 policy, volatile)
+                contract = policy.identity_contracts.get(cls.name)
+                if contract is not None:
+                    yield from self._check_contract(module, cls,
+                                                    contract, volatile)
+
+    def _check_hash_keys(self, module: ModuleInfo, cls: ClassInfo,
+                         model: ProjectModel, policy: LintPolicy,
+                         volatile: Set[str]) -> Iterator[Finding]:
+        roots = [name for name in sorted(policy.hash_method_names)
+                 if name in cls.methods]
+        extra = policy.extra_hash_classes.get(cls.name)
+        if extra is not None and extra in cls.methods:
+            roots.append(extra)
+        for root in roots:
+            closure = model.method_closure(cls, root)
+            for key, lineno, method in closure.str_keys:
+                if key in volatile:
+                    yield Finding(
+                        path=str(module.path), line=lineno, col=0,
+                        rule=self.rule,
+                        message=(f"volatile key {key!r} appears in "
+                                 f"{cls.name}.{method}, which feeds "
+                                 f"the content hash; telemetry must "
+                                 f"not perturb identity"),
+                        module=module.name)
+
+    def _check_contract(self, module: ModuleInfo, cls: ClassInfo,
+                        contract, volatile: Set[str]
+                        ) -> Iterator[Finding]:
+        method_name, constant = contract
+        method = cls.methods.get(method_name)
+        if method is None:
+            yield Finding(
+                path=str(module.path), line=cls.node.lineno,
+                col=cls.node.col_offset, rule=self.rule,
+                message=(f"{cls.name} must define {method_name}() "
+                         f"stripping {constant} (policy identity "
+                         f"contract)"),
+                module=module.name)
+            return
+        if not any(isinstance(node, ast.Name) and node.id == constant
+                   or isinstance(node, ast.Attribute)
+                   and node.attr == constant
+                   for node in ast.walk(method)):
+            yield Finding(
+                path=str(module.path), line=method.lineno,
+                col=method.col_offset, rule=self.rule,
+                message=(f"{cls.name}.{method_name} does not "
+                         f"reference {constant}; volatile keys would "
+                         f"leak into identity"),
+                module=module.name)
+        declared = self._constant_strings(module, constant)
+        missing = sorted(volatile - declared)
+        if missing:
+            yield Finding(
+                path=str(module.path), line=cls.node.lineno,
+                col=cls.node.col_offset, rule=self.rule,
+                message=(f"{constant} does not cover volatile key(s) "
+                         f"{', '.join(missing)}"),
+                module=module.name)
+
+    @staticmethod
+    def _constant_strings(module: ModuleInfo,
+                          constant: str) -> Set[str]:
+        values: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == constant
+                       for t in node.targets):
+                continue
+            for child in ast.walk(node.value):
+                if isinstance(child, ast.Constant) and \
+                        isinstance(child.value, str):
+                    values.add(child.value)
+        return values

@@ -1,0 +1,63 @@
+"""REP106 — error taxonomy.
+
+The service layer maps :class:`repro.errors.ReproError` subclasses to
+HTTP 400s and the CLI maps them to clean exit codes; a bare
+``ValueError`` raised from runtime or service code escapes both nets
+as a traceback.  Modules under the policy's error-scope prefixes must
+raise classes from the project taxonomy.  Genuine argument-validation
+errors that *should* surface as ``ValueError`` (library-style API
+contracts in ``algorithms/``) carry a ``# repro: noqa REP106``
+suppression with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, dotted_name
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if exc is None:  # bare re-raise
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = dotted_name(exc)
+    if name is None:
+        return None
+    return name.split(".")[-1]
+
+
+@register
+class ErrorTaxonomyChecker:
+    rule = "REP106"
+    summary = ("runtime/service/algorithm layers raise typed errors "
+               "from repro.errors, not bare builtins")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        for module in model.modules_sorted():
+            if not policy.in_error_scope(module.name):
+                continue
+            if self.rule in policy.skipped_rules(module.name):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise):
+                    continue
+                name = _raised_name(node)
+                if name is None or \
+                        name not in policy.error_bare_names:
+                    continue
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(f"bare {name} raised in an error-scoped "
+                             f"layer; raise a repro.errors class so "
+                             f"the service maps it to HTTP 400 and "
+                             f"the CLI to a clean exit"),
+                    module=module.name)

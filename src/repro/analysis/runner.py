@@ -1,0 +1,118 @@
+"""The lint driver: paths in, suppressed-filtered findings out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel
+from repro.analysis.policy import LintPolicy, default_policy
+from repro.analysis.registry import checker_for, resolve_rules
+from repro.analysis.suppressions import is_suppressed
+from repro.errors import LintError
+
+__all__ = ["LintResult", "find_package_root", "run_lint"]
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    rules: Tuple[str, ...]
+    files_scanned: int
+    suppressed: int
+    restricted_to: Tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def rule_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def find_package_root(path: Path) -> Path:
+    """Ascend from ``path`` to the outermost directory that is still a
+    package (has ``__init__.py``)."""
+    current = path.resolve()
+    if current.is_file():
+        current = current.parent
+    if not (current / "__init__.py").is_file():
+        raise LintError(
+            f"{path} is not inside a python package "
+            f"(no __init__.py found)")
+    while (current.parent / "__init__.py").is_file():
+        current = current.parent
+    return current
+
+
+def _normalize_paths(paths: Sequence[Path]
+                     ) -> Tuple[List[Path], Set[Path]]:
+    """``(package roots, file restrictions)`` for the given paths.
+
+    A directory lints the whole package it belongs to; a single file
+    also loads its whole package (cross-file rules need the full
+    import graph) but restricts *reported* findings to that file.
+    """
+    roots: List[Path] = []
+    restrict: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw).resolve()
+        if not path.exists():
+            raise LintError(f"no such path: {raw}")
+        if path.is_file():
+            if path.suffix != ".py":
+                raise LintError(f"not a python file: {raw}")
+            restrict.add(path)
+        root = find_package_root(path)
+        if root not in roots:
+            roots.append(root)
+    return sorted(roots), restrict
+
+
+def run_lint(paths: Sequence[Path],
+             select: Iterable[str] = (),
+             ignore: Iterable[str] = (),
+             policy: Optional[LintPolicy] = None) -> LintResult:
+    """Lint the packages containing ``paths``.
+
+    Builds one :class:`ProjectModel`, runs the selected rules, drops
+    findings carrying a ``# repro: noqa`` marker, and returns the rest
+    sorted by location.  ``policy=None`` uses this repository's
+    :func:`~repro.analysis.policy.default_policy`.
+    """
+    if not paths:
+        raise LintError("repro lint needs at least one path")
+    active_policy = policy if policy is not None else default_policy()
+    roots, restrict = _normalize_paths(list(paths))
+    model = ProjectModel(roots)
+    rules = resolve_rules(select=select, ignore=ignore)
+
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(checker_for(rule).check(model, active_policy))
+
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        module = model.modules.get(finding.module)
+        lines = module.source_lines if module is not None else []
+        if is_suppressed(lines, finding.line, finding.rule):
+            suppressed += 1
+            continue
+        if restrict and Path(finding.path) not in restrict:
+            continue
+        kept.append(finding)
+
+    return LintResult(
+        findings=tuple(sorted(set(kept))),
+        rules=tuple(rules),
+        files_scanned=len(model.modules),
+        suppressed=suppressed,
+        restricted_to=tuple(sorted(str(p) for p in restrict)))

@@ -1,0 +1,60 @@
+"""Per-line suppression comments: ``# repro: noqa REP101 - reason``.
+
+A finding is suppressed when its physical source line — or a line
+directly above it holding only a comment — carries a ``repro: noqa``
+marker naming the finding's rule (or naming no rule at all, which
+suppresses every rule on that line).  The free-text reason after
+``-`` is encouraged but not enforced; it is what makes a suppression
+reviewable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Set
+
+__all__ = ["suppressed_rules_on_line", "is_suppressed"]
+
+#: Matches ``# repro: noqa``, optionally followed by a comma-separated
+#: rule list and an optional ``- reason`` tail.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\s+(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?"
+    r"(?:\s*-\s*(?P<reason>.*))?\s*$")
+
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+def suppressed_rules_on_line(line: str) -> Optional[Set[str]]:
+    """The rules a source line's noqa marker names.
+
+    ``None`` means no marker; an empty set means a bare marker that
+    suppresses everything on the line.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if not rules:
+        return set()
+    return {code.strip() for code in rules.split(",")}
+
+
+def is_suppressed(source_lines: Sequence[str], line: int,
+                  rule: str) -> bool:
+    """Whether ``rule`` is suppressed at 1-indexed ``line``.
+
+    Checks the line itself, then one comment-only line directly above
+    it — the codebase wraps at ~72 columns, so suppressions often
+    cannot fit on the flagged statement.
+    """
+    candidates: List[str] = []
+    if 1 <= line <= len(source_lines):
+        candidates.append(source_lines[line - 1])
+    if line >= 2 and _COMMENT_ONLY_RE.match(source_lines[line - 2]):
+        candidates.append(source_lines[line - 2])
+    for text in candidates:
+        rules = suppressed_rules_on_line(text)
+        if rules is not None and (not rules or rule in rules):
+            return True
+    return False

@@ -48,7 +48,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.runtime import BatchRunner, load_jobfile
@@ -222,6 +223,29 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = sub.add_parser("datasets", help="list dataset analogs")
     datasets.add_argument("--json", action="store_true",
                           help="print the dataset table as JSON")
+
+    lint = sub.add_parser(
+        "lint",
+        help="check repository invariants (REP1xx rules)",
+        description="AST-based invariant checks: determinism, "
+                    "filesystem ordering, content-key completeness, "
+                    "shared-memory lifecycle, telemetry purity, error "
+                    "taxonomy.  Exits 1 on findings, 2 on misuse.")
+    lint.add_argument("paths", nargs="*",
+                      help="package dirs or .py files to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--select", action="append", default=[],
+                      metavar="RULES",
+                      help="run only these comma-separated rule IDs "
+                           "(repeatable)")
+    lint.add_argument("--ignore", action="append", default=[],
+                      metavar="RULES",
+                      help="skip these comma-separated rule IDs "
+                           "(repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
     return parser
 
 
@@ -681,6 +705,34 @@ def _datasets_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_rules(values: Sequence[str]) -> List[str]:
+    rules: List[str] = []
+    for value in values:
+        rules.extend(part.strip() for part in value.split(",")
+                     if part.strip())
+    return rules
+
+
+def _lint_command(args: argparse.Namespace) -> int:
+    from repro.analysis import list_rules, run_lint
+    from repro.analysis.reporting import render_json, render_text
+
+    if args.list_rules:
+        for entry in list_rules():
+            print(f"{entry['rule']}  {entry['summary']}")
+        return 0
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    result = run_lint(paths,
+                      select=_split_rules(args.select),
+                      ignore=_split_rules(args.ignore))
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -696,6 +748,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": _figures_command,
         "tables": _tables_command,
         "datasets": _datasets_command,
+        "lint": _lint_command,
     }
     try:
         _setup_logging(args)

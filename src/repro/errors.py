@@ -50,3 +50,23 @@ class DatasetError(ReproError):
 class JobError(ReproError):
     """A batch job is malformed, or its execution failed inside a
     worker (the original traceback is carried in the message)."""
+
+
+class CacheError(ReproError):
+    """A result-cache operation received invalid arguments or found an
+    inconsistent on-disk state."""
+
+
+class ResidencyError(ReproError):
+    """A shared-memory residency operation is invalid (bad budget,
+    malformed segment name...)."""
+
+
+class RequestError(ReproError):
+    """An HTTP request to the batch service is malformed; the service
+    layer maps this (like every ReproError) to a 400 response."""
+
+
+class LintError(ReproError):
+    """``repro lint`` itself was misused: unknown rule IDs, paths
+    outside a package, or a policy naming modules that do not exist."""

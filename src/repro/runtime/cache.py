@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.errors import CacheError
 from repro.hw.stats import RunStats
 from repro.obs import metrics
 from repro.runtime.job import Job
@@ -156,7 +157,7 @@ class ResultCache:
             if (not isinstance(payload, dict)
                     or payload.get("version") != CACHE_FORMAT_VERSION
                     or payload.get("job") != job.canonical_dict()):
-                raise ValueError("stale or foreign cache entry")
+                raise CacheError("stale or foreign cache entry")
             return RunStats.from_dict(payload["stats"])
         except Exception:  # noqa: BLE001 - corrupt entries become misses
             return None
@@ -231,7 +232,7 @@ class ResultCache:
         directories; returns the number removed (each shard directory
         counts once)."""
         removed = 0
-        for entry in self.cache_dir.glob("*/*.json"):
+        for entry in sorted(self.cache_dir.glob("*/*.json")):
             try:
                 entry.unlink()
                 removed += 1
@@ -260,7 +261,9 @@ class ResultCache:
             "entry — pollers should hit the daemon's TTL memo "
             "instead)").inc()
         found = []
-        for path in self.cache_dir.glob("*/*.json"):
+        # sorted(): directory order is filesystem-dependent, and ties
+        # on mtime below break by whatever order this scan produced.
+        for path in sorted(self.cache_dir.glob("*/*.json")):
             try:
                 meta = path.stat()
             except OSError:
@@ -284,7 +287,7 @@ class ResultCache:
         found = []
         seen = set()
         if root.is_dir():
-            for path in root.iterdir():
+            for path in sorted(root.iterdir()):
                 if not path.is_dir():
                     continue
                 try:
@@ -322,7 +325,7 @@ class ResultCache:
     def _sweep_empty_dirs(self) -> None:
         """Remove fan-out/shard directories eviction emptied, so a
         prune-to-zero leaves the cache directory itself empty."""
-        for child in self.cache_dir.iterdir():
+        for child in sorted(self.cache_dir.iterdir()):
             if child.is_dir():
                 try:
                     child.rmdir()
@@ -343,7 +346,7 @@ class ResultCache:
         cache to a bound above its working set, or when it is idle.
         """
         if max_bytes < 0:
-            raise ValueError("max_bytes must be >= 0")
+            raise CacheError("max_bytes must be >= 0")
         entries = sorted(self.entries() + self.shard_entries(),
                          key=lambda entry: (entry.mtime, entry.key))
         total = sum(entry.bytes for entry in entries)

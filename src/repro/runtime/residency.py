@@ -61,6 +61,7 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ResidencyError
 from repro.obs import logsetup, metrics, tracing
 
 __all__ = ["SEGMENT_PREFIX", "ResidentSetManager", "SegmentNotReady",
@@ -189,15 +190,26 @@ def publish_graph(name: str, graph) -> Optional[shared_memory.SharedMemory]:
                                          size=total)
     except FileExistsError:
         return None
-    _untrack(shm)
-    buf = shm.buf
-    buf[8:16] = struct.pack("<Q", len(header))
-    buf[16:24] = struct.pack("<Q", base)
-    buf[_HEADER_OFFSET:_HEADER_OFFSET + len(header)] = header
-    for _, arr, offset in placements:
-        start = base + offset
-        buf[start:start + arr.nbytes] = arr.tobytes()
-    buf[0:8] = _MAGIC  # ready flag last: attachers never see a torn build
+    try:
+        _untrack(shm)
+        buf = shm.buf
+        buf[8:16] = struct.pack("<Q", len(header))
+        buf[16:24] = struct.pack("<Q", base)
+        buf[_HEADER_OFFSET:_HEADER_OFFSET + len(header)] = header
+        for _, arr, offset in placements:
+            start = base + offset
+            buf[start:start + arr.nbytes] = arr.tobytes()
+        buf[0:8] = _MAGIC  # ready flag last: attachers never see a torn build
+    except BaseException:
+        # The segment has no owner process: abandoned here (OOM while
+        # filling, KeyboardInterrupt...) it would outlive us as an
+        # unready name that every attacher trips over until reboot.
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - no views exported yet
+            pass
+        unlink_segment(name)
+        raise
     return shm
 
 
@@ -277,7 +289,14 @@ def _claim_build(name: str) -> Optional[shared_memory.SharedMemory]:
                                           create=True, size=1)
     except FileExistsError:
         return None
-    _untrack(lock)
+    try:
+        _untrack(lock)
+    except BaseException:
+        # A claim lock abandoned before hand-off (KeyboardInterrupt
+        # between create and untrack) would stall every other builder
+        # for the full stale-claim grace period.
+        unlink_segment(name + _LOCK_SUFFIX)
+        raise
     return lock
 
 
@@ -543,7 +562,7 @@ class ResidentSetManager:
 
     def __init__(self, max_bytes: int = 0) -> None:
         if max_bytes < 0:
-            raise ValueError("max_bytes must be >= 0")
+            raise ResidencyError("max_bytes must be >= 0")
         self.max_bytes = int(max_bytes)
         self._lock = threading.Lock()
         self._segments: Dict[str, Dict[str, int]] = {}

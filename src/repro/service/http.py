@@ -45,7 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ReproError
+from repro.errors import ReproError, RequestError
 from repro.obs import metrics as obs_metrics
 from repro.service.daemon import SimulationService
 
@@ -80,7 +80,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         if not raw:
-            raise ValueError("empty request body")
+            raise RequestError("empty request body")
         return json.loads(raw.decode())
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -186,8 +186,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         elif isinstance(body, dict):
             entries = [body]
         else:
-            raise ValueError("body must be a job entry, a list of "
-                             "entries, or a {'jobs': [...]} object")
+            raise RequestError("body must be a job entry, a list of "
+                               "entries, or a {'jobs': [...]} object")
         submissions = service.submit(entries, defaults=defaults,
                                      priority=priority)
         self._send(202, {"submissions": submissions})

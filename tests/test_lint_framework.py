@@ -1,0 +1,231 @@
+"""Framework-level lint tests: suppressions, rule selection, the JSON
+report schema, CLI exit codes, and the self-check that this repository
+passes its own linter.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (LintPolicy, default_policy, list_rules,
+                            run_lint)
+from repro.analysis.registry import resolve_rules
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.suppressions import (is_suppressed,
+                                         suppressed_rules_on_line)
+from repro.cli import main
+from repro.errors import LintError
+
+ALL_RULES = ["REP101", "REP102", "REP103", "REP104", "REP105",
+             "REP106"]
+
+
+def make_pkg(tmp_path: Path, files: dict) -> Path:
+    pkg = tmp_path / "fixturepkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for rel, text in files.items():
+        (pkg / rel).write_text(textwrap.dedent(text))
+    return pkg
+
+
+#: A module with one REP102 violation — the one rule with no
+#: repository-specific scoping, so it fires under the default policy.
+VIOLATING = """\
+def scan(root):
+    found = []
+    for path in root.glob("*.json"):
+        found.append(path)
+    return found
+"""
+
+CLEAN = VIOLATING.replace('root.glob("*.json")',
+                          'sorted(root.glob("*.json"))')
+
+
+# ----------------------------------------------------------------------
+# Suppression syntax
+# ----------------------------------------------------------------------
+class TestSuppressionSyntax:
+    def test_no_marker(self):
+        assert suppressed_rules_on_line("x = 1  # a comment") is None
+
+    def test_bare_marker_suppresses_all(self):
+        assert suppressed_rules_on_line("x = 1  # repro: noqa") == set()
+
+    def test_single_rule(self):
+        line = "x = 1  # repro: noqa REP102"
+        assert suppressed_rules_on_line(line) == {"REP102"}
+
+    def test_rule_list_with_reason(self):
+        line = "x = 1  # repro: noqa REP102, REP106 - deliberate"
+        assert suppressed_rules_on_line(line) == {"REP102", "REP106"}
+
+    def test_same_line_suppression(self):
+        lines = ["for p in root.glob('*'):  # repro: noqa REP102 - ok"]
+        assert is_suppressed(lines, 1, "REP102")
+        assert not is_suppressed(lines, 1, "REP101")
+
+    def test_comment_line_above(self):
+        lines = ["# repro: noqa REP102 - reviewed",
+                 "for p in root.glob('*'):"]
+        assert is_suppressed(lines, 2, "REP102")
+
+    def test_code_line_above_does_not_leak(self):
+        lines = ["x = 1  # repro: noqa REP102",
+                 "for p in root.glob('*'):"]
+        assert not is_suppressed(lines, 2, "REP102")
+
+    def test_suppressed_findings_counted(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING.replace(
+            'root.glob("*.json"):',
+            'root.glob("*.json"):  # repro: noqa REP102 - fixture')})
+        result = run_lint([pkg], policy=LintPolicy())
+        assert result.ok
+        assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# Rule selection
+# ----------------------------------------------------------------------
+class TestRuleSelection:
+    def test_registry_lists_all_rules(self):
+        assert [r["rule"] for r in list_rules()] == ALL_RULES
+        assert all(r["summary"] for r in list_rules())
+
+    def test_resolve_default_is_everything(self):
+        assert resolve_rules() == ALL_RULES
+
+    def test_select_and_ignore(self):
+        assert resolve_rules(select=["REP102", "REP106"]) == \
+            ["REP102", "REP106"]
+        assert resolve_rules(ignore=["REP103"]) == \
+            [r for r in ALL_RULES if r != "REP103"]
+
+    def test_unknown_rule_is_loud(self):
+        with pytest.raises(LintError, match="BOGUS"):
+            resolve_rules(select=["BOGUS"])
+
+    def test_ignored_rule_not_run(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        result = run_lint([pkg], ignore=["REP102"],
+                          policy=LintPolicy())
+        assert result.ok
+        assert "REP102" not in result.rules
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+class TestReports:
+    def test_json_schema(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        result = run_lint([pkg], policy=LintPolicy())
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro lint"
+        assert payload["rules"] == ALL_RULES
+        assert payload["files_scanned"] == 2  # __init__ + store
+        assert payload["suppressed"] == 0
+        assert payload["rule_counts"] == {"REP102": 1}
+        (finding,) = payload["findings"]
+        assert sorted(finding) == ["col", "line", "message", "module",
+                                   "path", "rule"]
+        assert finding["rule"] == "REP102"
+        assert finding["line"] == 3
+        assert finding["module"] == "fixturepkg.store"
+
+    def test_text_report_lines(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        result = run_lint([pkg], policy=LintPolicy())
+        text = render_text(result)
+        assert "store.py:3:" in text
+        assert "REP102" in text
+        assert "1 finding(s)" in text
+
+    def test_clean_text_report(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": CLEAN})
+        text = render_text(run_lint([pkg], policy=LintPolicy()))
+        assert text.startswith("clean:")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestLintCLI:
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        assert main(["lint", str(pkg)]) == 1
+        out = capsys.readouterr().out
+        assert "REP102" in out
+
+    def test_exit_0_on_clean_tree(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": CLEAN})
+        assert main(["lint", str(pkg)]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_json_flag(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        assert main(["lint", str(pkg), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rule_counts"] == {"REP102": 1}
+
+    def test_select_skips_other_rules(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        assert main(["lint", str(pkg), "--select", "REP106"]) == 0
+        capsys.readouterr()
+
+    def test_single_file_restricts_findings(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING,
+                                  "other.py": VIOLATING})
+        assert main(["lint", str(pkg / "other.py")]) == 1
+        out = capsys.readouterr().out
+        assert "other.py:" in out
+        assert "store.py:" not in out
+
+    def test_exit_2_on_unknown_rule(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": CLEAN})
+        assert main(["lint", str(pkg), "--select", "BOGUS"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_exit_2_outside_package(self, tmp_path, capsys):
+        loose = tmp_path / "loose.py"
+        loose.write_text("x = 1\n")
+        assert main(["lint", str(loose)]) == 2
+        assert "package" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in out
+
+
+# ----------------------------------------------------------------------
+# Self-check
+# ----------------------------------------------------------------------
+class TestSelfCheck:
+    def test_repository_passes_its_own_linter(self):
+        """The shipped tree holds every invariant the linter encodes.
+
+        This is the same gate CI runs; a failure here means a change
+        introduced nondeterminism, an unsorted scan, an incomplete
+        content key, a leak-prone shm path, ungated hot-path
+        telemetry, or an untyped error — see docs/lint-rules.md.
+        """
+        result = run_lint([Path(repro.__file__).parent])
+        assert result.ok, "\n" + "\n".join(
+            f.render() for f in result.findings)
+        assert result.rules == tuple(ALL_RULES)
+        assert result.files_scanned > 50
+
+    def test_default_policy_names_real_modules(self):
+        policy = default_policy()
+        prefix = Path(repro.__file__).parent
+        for dotted in policy.compute_roots + policy.shm_owner_modules:
+            rel = Path(*dotted.split(".")[1:])
+            assert (prefix / rel).with_suffix(".py").exists() or \
+                (prefix / rel / "__init__.py").exists(), dotted

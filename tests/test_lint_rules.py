@@ -1,0 +1,453 @@
+"""Fixture-pair tests for every REP1xx rule: one seeded violation and
+one clean variant per rule, asserting exact rule IDs and line numbers.
+
+Each test builds a small throwaway package under ``tmp_path`` and runs
+the linter with a bespoke :class:`LintPolicy` scoped to that package,
+so the rules are exercised in isolation from this repository's own
+policy map.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintPolicy, run_lint
+from repro.errors import LintError
+
+
+def make_pkg(tmp_path: Path, files: dict) -> Path:
+    """Materialize ``files`` (relative path -> source) as a package."""
+    pkg = tmp_path / "fixturepkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for rel, text in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != tmp_path and \
+                not (parent / "__init__.py").exists():
+            (parent / "__init__.py").write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(text))
+    return pkg
+
+
+def lint(pkg: Path, policy: LintPolicy, rule: str):
+    result = run_lint([pkg], select=[rule], policy=policy)
+    return result.findings
+
+
+def hits(findings, rule):
+    return [(f.rule, f.line) for f in findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# REP101 — determinism
+# ----------------------------------------------------------------------
+class TestREP101:
+    policy = LintPolicy(compute_roots=("fixturepkg.engine",))
+
+    def test_unseeded_rng_and_wall_clock_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"engine.py": """\
+            import time
+
+            import numpy as np
+
+
+            def kernel():
+                rng = np.random.default_rng()
+                started = time.time()
+                return rng, started
+            """})
+        findings = lint(pkg, self.policy, "REP101")
+        assert hits(findings, "REP101") == [("REP101", 7),
+                                            ("REP101", 8)]
+        assert "unseeded default_rng" in findings[0].message
+        assert "wall clock" in findings[1].message
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"engine.py": """\
+            import numpy as np
+
+
+            def kernel(seed):
+                return np.random.default_rng(seed)
+            """})
+        assert lint(pkg, self.policy, "REP101") == ()
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"engine.py": """\
+            import random
+
+
+            def kernel():
+                return random.random()
+            """})
+        assert hits(lint(pkg, self.policy, "REP101"),
+                    "REP101") == [("REP101", 5)]
+
+    def test_unreachable_module_not_checked(self, tmp_path):
+        # cli.py is not in the compute roots' import closure, so its
+        # wall-clock read is observational and allowed.
+        pkg = make_pkg(tmp_path, {
+            "engine.py": "def kernel():\n    return 0\n",
+            "cli.py": "import time\n\n\ndef now():\n"
+                      "    return time.time()\n"})
+        assert lint(pkg, self.policy, "REP101") == ()
+
+    def test_unknown_compute_root_is_loud(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"engine.py": "X = 1\n"})
+        bad = LintPolicy(compute_roots=("fixturepkg.missing",))
+        with pytest.raises(LintError, match="missing"):
+            run_lint([pkg], select=["REP101"], policy=bad)
+
+
+# ----------------------------------------------------------------------
+# REP102 — filesystem iteration order
+# ----------------------------------------------------------------------
+class TestREP102:
+    policy = LintPolicy()
+
+    def test_unsorted_scan_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": """\
+            def scan(root):
+                found = []
+                for path in root.glob("*.json"):
+                    found.append(path)
+                return found
+            """})
+        findings = lint(pkg, self.policy, "REP102")
+        assert hits(findings, "REP102") == [("REP102", 3)]
+        assert "glob()" in findings[0].message
+
+    def test_sorted_scan_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": """\
+            def scan(root):
+                found = []
+                for path in sorted(root.glob("*.json")):
+                    found.append(path)
+                return found
+            """})
+        assert lint(pkg, self.policy, "REP102") == ()
+
+    def test_order_insensitive_consumer_allowed(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": """\
+            def count(root):
+                return sum(1 for _ in root.glob("*.json"))
+            """})
+        assert lint(pkg, self.policy, "REP102") == ()
+
+    def test_unsorted_iterdir_and_listdir_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": """\
+            import os
+
+
+            def scan(root):
+                dirs = [p for p in root.iterdir()]
+                names = list(os.listdir(root))
+                return dirs, names
+            """})
+        assert hits(lint(pkg, self.policy, "REP102"),
+                    "REP102") == [("REP102", 5), ("REP102", 6)]
+
+
+# ----------------------------------------------------------------------
+# REP103 — content-key completeness
+# ----------------------------------------------------------------------
+class TestREP103:
+    policy = LintPolicy()
+
+    def test_missing_field_flagged_at_field_line(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"spec.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Spec:
+                alpha: int
+                beta: int
+
+                def content_key(self):
+                    return {"alpha": self.alpha}
+            """})
+        findings = lint(pkg, self.policy, "REP103")
+        assert hits(findings, "REP103") == [("REP103", 7)]
+        assert "Spec.beta" in findings[0].message
+
+    def test_field_reached_through_helper_is_clean(self, tmp_path):
+        # The closure follows self.<method> indirection, like
+        # Job.canonical_dict -> Job.resolved_config -> config.
+        pkg = make_pkg(tmp_path, {"spec.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Spec:
+                alpha: int
+                beta: int
+
+                def resolved_beta(self):
+                    return self.beta or 0
+
+                def content_key(self):
+                    return {"alpha": self.alpha,
+                            "beta": self.resolved_beta()}
+            """})
+        assert lint(pkg, self.policy, "REP103") == ()
+
+    def test_fields_iteration_is_complete_by_construction(
+            self, tmp_path):
+        pkg = make_pkg(tmp_path, {"spec.py": """\
+            from dataclasses import dataclass, fields
+
+
+            @dataclass(frozen=True)
+            class Spec:
+                alpha: int
+                beta: int
+
+                def content_key(self):
+                    return {f.name: getattr(self, f.name)
+                            for f in fields(self)}
+            """})
+        assert lint(pkg, self.policy, "REP103") == ()
+
+    def test_declared_volatile_field_allowed(self, tmp_path):
+        policy = LintPolicy(
+            hash_volatile_fields={"Spec": frozenset({"beta"})})
+        pkg = make_pkg(tmp_path, {"spec.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Spec:
+                alpha: int
+                beta: int
+
+                def content_key(self):
+                    return {"alpha": self.alpha}
+            """})
+        assert lint(pkg, policy, "REP103") == ()
+
+
+# ----------------------------------------------------------------------
+# REP104 — shared-memory lifecycle
+# ----------------------------------------------------------------------
+class TestREP104:
+    policy = LintPolicy(shm_owner_modules=("fixturepkg.resident",))
+
+    def test_create_without_exception_unlink_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"resident.py": """\
+            from multiprocessing import shared_memory
+
+
+            def publish(name):
+                shm = shared_memory.SharedMemory(name=name,
+                                                 create=True, size=8)
+                _untrack(shm)
+                return shm
+            """})
+        findings = lint(pkg, self.policy, "REP104")
+        assert hits(findings, "REP104") == [("REP104", 5)]
+        assert "exception path" in findings[0].message
+
+    def test_guarded_create_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"resident.py": """\
+            from multiprocessing import shared_memory
+
+
+            def publish(name):
+                shm = shared_memory.SharedMemory(name=name,
+                                                 create=True, size=8)
+                try:
+                    _untrack(shm)
+                except BaseException:
+                    unlink_segment(name)
+                    raise
+                return shm
+            """})
+        assert lint(pkg, self.policy, "REP104") == ()
+
+    def test_attach_without_untrack_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"resident.py": """\
+            from multiprocessing import shared_memory
+
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """})
+        findings = lint(pkg, self.policy, "REP104")
+        assert hits(findings, "REP104") == [("REP104", 5)]
+        assert "resource tracker" in findings[0].message
+
+    def test_shm_outside_owner_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"other.py": """\
+            from multiprocessing import shared_memory
+
+
+            def sneaky(name):
+                shm = shared_memory.SharedMemory(name=name)
+                _untrack(shm)
+                return shm
+            """})
+        findings = lint(pkg, self.policy, "REP104")
+        assert hits(findings, "REP104") == [("REP104", 5)]
+        assert "outside" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# REP105 — telemetry purity
+# ----------------------------------------------------------------------
+class TestREP105:
+    policy = LintPolicy(hot_roots=("run_scan",))
+
+    def test_ungated_counter_on_hot_path_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"engine.py": """\
+            def run_scan(metrics, rows):
+                for row in rows:
+                    inner(metrics, row)
+
+
+            def inner(metrics, row):
+                metrics.counter("ops", "help").inc()
+                return row
+            """})
+        findings = lint(pkg, self.policy, "REP105")
+        assert hits(findings, "REP105") == [("REP105", 7)]
+        assert "ungated counter()" in findings[0].message
+
+    def test_enabled_gate_variable_is_clean(self, tmp_path):
+        # The engine's `observing = metrics.enabled()` idiom.
+        pkg = make_pkg(tmp_path, {"engine.py": """\
+            def run_scan(metrics, rows):
+                for row in rows:
+                    inner(metrics, row)
+
+
+            def inner(metrics, row):
+                observing = metrics.enabled()
+                if observing:
+                    metrics.counter("ops", "help").inc()
+                return row
+            """})
+        assert lint(pkg, self.policy, "REP105") == ()
+
+    def test_direct_enabled_test_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"engine.py": """\
+            def run_scan(metrics, rows):
+                if metrics.enabled():
+                    metrics.counter("ops", "help").inc()
+                return rows
+            """})
+        assert lint(pkg, self.policy, "REP105") == ()
+
+    def test_cold_function_not_checked(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"engine.py": """\
+            def run_scan(rows):
+                return rows
+
+
+            def report(metrics):
+                metrics.counter("ops", "help").inc()
+            """})
+        assert lint(pkg, self.policy, "REP105") == ()
+
+    def test_volatile_key_in_hash_closure_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"stats.py": """\
+            from dataclasses import dataclass, field
+
+
+            @dataclass
+            class Stats:
+                cycles: int
+                extra: dict = field(default_factory=dict)
+
+                def content_hash(self):
+                    return {"cycles": self.cycles,
+                            "trace": self.extra.get("trace")}
+            """})
+        findings = lint(pkg, self.policy, "REP105")
+        assert hits(findings, "REP105") == [("REP105", 11)]
+        assert "'trace'" in findings[0].message
+
+    def test_identity_contract_enforced(self, tmp_path):
+        policy = LintPolicy(identity_contracts={
+            "Stats": ("identity_dict", "VOLATILE_KEYS")})
+        pkg = make_pkg(tmp_path, {"stats.py": """\
+            VOLATILE_KEYS = ("trace",)
+
+
+            class Stats:
+                def to_dict(self):
+                    return {}
+            """})
+        findings = lint(pkg, policy, "REP105")
+        assert hits(findings, "REP105") == [("REP105", 4)]
+        assert "identity_dict" in findings[0].message
+
+    def test_identity_contract_satisfied(self, tmp_path):
+        policy = LintPolicy(identity_contracts={
+            "Stats": ("identity_dict", "VOLATILE_KEYS")})
+        pkg = make_pkg(tmp_path, {"stats.py": """\
+            VOLATILE_KEYS = ("trace",)
+
+
+            class Stats:
+                def identity_dict(self):
+                    data = dict(x=1)
+                    for key in VOLATILE_KEYS:
+                        data.pop(key, None)
+                    return data
+            """})
+        assert lint(pkg, policy, "REP105") == ()
+
+
+# ----------------------------------------------------------------------
+# REP106 — error taxonomy
+# ----------------------------------------------------------------------
+class TestREP106:
+    policy = LintPolicy(
+        error_scope_prefixes=("fixturepkg.runtime",))
+
+    def test_bare_valueerror_in_scope_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"runtime/cachemod.py": """\
+            def prune(max_bytes):
+                if max_bytes < 0:
+                    raise ValueError("must be >= 0")
+                return []
+            """})
+        findings = lint(pkg, self.policy, "REP106")
+        assert hits(findings, "REP106") == [("REP106", 3)]
+        assert "bare ValueError" in findings[0].message
+
+    def test_typed_error_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"runtime/cachemod.py": """\
+            class CacheError(Exception):
+                pass
+
+
+            def prune(max_bytes):
+                if max_bytes < 0:
+                    raise CacheError("must be >= 0")
+                return []
+            """})
+        assert lint(pkg, self.policy, "REP106") == ()
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"lib.py": """\
+            def check(x):
+                if x < 0:
+                    raise ValueError("no")
+            """})
+        assert lint(pkg, self.policy, "REP106") == ()
+
+    def test_bare_reraise_allowed(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"runtime/cachemod.py": """\
+            def load(path):
+                try:
+                    return path.read_text()
+                except OSError:
+                    raise
+            """})
+        assert lint(pkg, self.policy, "REP106") == ()

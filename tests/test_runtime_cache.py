@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.errors import CacheError
 from repro.hw.stats import RunStats
 from repro.runtime.cache import CACHE_FORMAT_VERSION, ResultCache
 from repro.runtime.job import Job
@@ -154,7 +155,7 @@ class TestInventoryAndPrune:
         assert len(cache) == 1
 
     def test_prune_rejects_negative_budget(self, tmp_path):
-        with pytest.raises(ValueError):
+        with pytest.raises(CacheError):
             ResultCache(tmp_path).prune(-1)
 
 
