@@ -25,10 +25,31 @@ REP105    Telemetry purity: no obs calls on the engine hot path
           never flow into content hashes.
 REP106    Error taxonomy: runtime/service/algorithm layers raise
           typed classes from :mod:`repro.errors`, not bare builtins.
+REP201    Lock discipline: fields of lock-owning classes are written
+          under the owning lock in concurrent execution contexts;
+          cross-class reads of guarded state go through locked
+          accessors.
+REP202    Fork safety: locks, sqlite connections, sockets and shm
+          handles created pre-fork are not used in worker-process
+          contexts (close-in-child and after-fork resets allowed).
+REP203    Blocking timeout: pipe ``recv``, ``queue.get``,
+          ``thread.join`` and friends reachable from concurrent
+          contexts carry a timeout or a ``poll`` guard.
+REP204    No blocking under lock: no sleeps, pipe/socket traffic or
+          tree I/O while a modeled lock is held.
+REP205    Finalizer safety: atexit/weakref/after-fork contexts only
+          call the policy's reentrant-safe allowlist.
+REP206    Claim protocol: every ``_claim_build``-style acquire is
+          released on all exception and return paths.
 ========  ==========================================================
 
+The REP2xx family is powered by an execution-context model
+(:mod:`repro.analysis.contexts`) classifying every function into the
+thread / HTTP-handler / worker-process / finalizer contexts it can
+run in, and a held-lock dataflow (:mod:`repro.analysis.locks`).
+
 Stdlib-``ast`` only — no third-party dependencies.  Findings are
-suppressable per line with ``# repro: noqa REP1xx - reason``.
+suppressable per line with ``# repro: noqa REPxxx - reason``.
 """
 
 from __future__ import annotations

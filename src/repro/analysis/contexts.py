@@ -1,0 +1,231 @@
+"""Execution-context classification for the REP2xx rules.
+
+Every function in the project is classified into the execution
+contexts it can run in:
+
+- ``thread`` — reachable from a ``threading.Thread(target=...)`` (or
+  ``Timer``) spawn site: the supervisor's ``_slot_loop`` slots, the
+  HTTP server's ``serve_forever`` thread.
+- ``http`` — reachable from a ``do_*`` method of a request-handler
+  class (``BaseHTTPRequestHandler`` subclasses): one thread per
+  request under ``ThreadingHTTPServer``.
+- ``process`` — reachable from a ``Process(target=...)`` spawn site
+  or an after-fork callback: runs in a forked child with copied (not
+  shared) memory.
+- ``finalizer`` — reachable from an ``atexit.register`` /
+  ``weakref.finalize`` / ``multiprocessing.util.Finalize`` /
+  ``register_after_fork`` / ``os.register_at_fork`` registration:
+  runs at interpreter teardown or immediately post-fork, where
+  arbitrary locks may be held by threads that no longer exist.
+
+Functions in none of those sets run only on the main thread
+(``main``).  Reachability follows the receiver-typed call graph
+(:meth:`ProjectModel.resolved_calls`): ``self.x()`` and typed
+attribute calls resolve precisely; only unknown receivers fall back
+to name matching bounded by the policy stop-name list.  The model is
+conservative in the over-approximating direction — a function tagged
+``thread`` *may* run there; untagged functions provably (up to the
+call-graph approximation) do not.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.model import (FunctionInfo, ModuleInfo,
+                                  ProjectModel, call_name)
+from repro.analysis.policy import LintPolicy
+
+__all__ = ["CONCURRENT_TAGS", "TAG_FINALIZER", "TAG_HTTP",
+           "TAG_MAIN", "TAG_PROCESS", "TAG_THREAD", "ContextMap",
+           "SpawnSite", "context_map"]
+
+TAG_THREAD = "thread"
+TAG_HTTP = "http"
+TAG_PROCESS = "process"
+TAG_FINALIZER = "finalizer"
+TAG_MAIN = "main"
+
+#: Contexts that share the owning process's memory with other live
+#: execution — where unsynchronised writes are races.  ``process`` is
+#: deliberately absent: a forked child has its *own* copy of the
+#: parent's heap, so cross-context writes there are fork-safety
+#: questions (REP202), not data races.
+CONCURRENT_TAGS = frozenset({TAG_THREAD, TAG_HTTP, TAG_FINALIZER})
+
+
+@dataclass(frozen=True)
+class SpawnSite:
+    """One detected context root: where, what tag, which function."""
+
+    tag: str
+    module: str
+    line: int
+    target_qualname: str
+
+
+class ContextMap:
+    """Per-function execution tags plus the spawn sites behind them."""
+
+    def __init__(self, tags: Dict[int, FrozenSet[str]],
+                 sites: List[SpawnSite]) -> None:
+        self._tags = tags
+        self.sites = tuple(sites)
+
+    def tags_of(self, node: ast.AST) -> FrozenSet[str]:
+        """Concurrency tags of a function node (empty = main only)."""
+        return self._tags.get(id(node), frozenset())
+
+    def contexts_of(self, node: ast.AST) -> FrozenSet[str]:
+        """Tags, with ``main`` for untagged functions."""
+        tags = self.tags_of(node)
+        return tags if tags else frozenset({TAG_MAIN})
+
+    def is_concurrent(self, node: ast.AST) -> bool:
+        """Whether the function runs in a shared-memory context that
+        races with other execution."""
+        return bool(self.tags_of(node) & CONCURRENT_TAGS)
+
+
+def _registration_targets(call: ast.Call,
+                          policy: LintPolicy
+                          ) -> List[Tuple[str, ast.expr]]:
+    """``(tag, callable expr)`` pairs a call registers, if any."""
+    name = call_name(call)
+    if name is None:
+        return []
+    out: List[Tuple[str, ast.expr]] = []
+    target_kw = next((kw.value for kw in call.keywords
+                      if kw.arg == "target"), None)
+    if name in policy.thread_spawn_callees and target_kw is not None:
+        out.append((TAG_THREAD, target_kw))
+    if name in policy.process_spawn_callees and target_kw is not None:
+        out.append((TAG_PROCESS, target_kw))
+    if name == "register" and call.args:
+        # ``atexit.register(f, ...)`` — only the atexit spelling; a
+        # bare ``register`` without the module prefix stays untagged.
+        dotted = ast.unparse(call.func) if isinstance(
+            call.func, ast.Attribute) else None
+        if dotted is not None and dotted.endswith("atexit.register"):
+            out.append((TAG_FINALIZER, call.args[0]))
+    if name == "finalize" and len(call.args) >= 2:
+        out.append((TAG_FINALIZER, call.args[1]))
+    if name == "Finalize" and len(call.args) >= 2:
+        out.append((TAG_FINALIZER, call.args[1]))
+    if name == "register_after_fork" and len(call.args) >= 2:
+        out.append((TAG_PROCESS, call.args[1]))
+        out.append((TAG_FINALIZER, call.args[1]))
+    if name == "register_at_fork":
+        for kw in call.keywords:
+            if kw.arg == "after_in_child":
+                out.append((TAG_PROCESS, kw.value))
+                out.append((TAG_FINALIZER, kw.value))
+    return out
+
+
+def _resolve_target(model: ProjectModel, module: ModuleInfo,
+                    expr: ast.expr) -> List[FunctionInfo]:
+    """The function definitions a spawn-target expression names."""
+    by_id = model.functions_by_id()
+    index = model.class_index()
+    if isinstance(expr, ast.Name):
+        same_module = [info for info
+                       in model.functions_by_name(expr.id)
+                       if info.module == module.name]
+        return same_module or list(model.functions_by_name(expr.id))
+    if isinstance(expr, ast.Attribute):
+        # ``self._slot_loop`` — the enclosing class's method.
+        if isinstance(expr.value, ast.Name) and \
+                expr.value.id in ("self", "cls"):
+            for ancestor in module.ancestors(expr):
+                if isinstance(ancestor, ast.ClassDef):
+                    for cls in index.get(ancestor.name, ()):
+                        method = cls.methods.get(expr.attr)
+                        if method is not None and \
+                                id(method) in by_id:
+                            return [by_id[id(method)]]
+                    break
+            return []
+        # ``WorkerProcess._close_parent_end`` — a class attribute.
+        if isinstance(expr.value, ast.Name) and \
+                expr.value.id in index:
+            out = []
+            for cls in index[expr.value.id]:
+                method = cls.methods.get(expr.attr)
+                if method is not None and id(method) in by_id:
+                    out.append(by_id[id(method)])
+            return out
+        # ``server.serve_forever`` and friends: try a name match so a
+        # project-defined method still roots its context.
+        return list(model.functions_by_name(expr.attr))
+    return []
+
+
+def _spawn_sites(model: ProjectModel,
+                 policy: LintPolicy
+                 ) -> List[Tuple[str, FunctionInfo, SpawnSite]]:
+    """Every detected context root as ``(tag, function, site)``."""
+    roots: List[Tuple[str, FunctionInfo, SpawnSite]] = []
+    by_id = model.functions_by_id()
+    for module in model.modules_sorted():
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = {base.id if isinstance(base, ast.Name)
+                         else base.attr
+                         for base in node.bases
+                         if isinstance(base, (ast.Name, ast.Attribute))}
+                if bases & policy.http_handler_bases:
+                    for stmt in node.body:
+                        if isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)) \
+                                and stmt.name.startswith("do_") and \
+                                id(stmt) in by_id:
+                            info = by_id[id(stmt)]
+                            roots.append((TAG_HTTP, info, SpawnSite(
+                                tag=TAG_HTTP, module=module.name,
+                                line=stmt.lineno,
+                                target_qualname=info.qualname)))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            for tag, expr in _registration_targets(node, policy):
+                for info in _resolve_target(model, module, expr):
+                    roots.append((tag, info, SpawnSite(
+                        tag=tag, module=module.name, line=node.lineno,
+                        target_qualname=info.qualname)))
+    return roots
+
+
+def context_map(model: ProjectModel, policy: LintPolicy) -> ContextMap:
+    """Classify every project function into its execution contexts.
+
+    Cached on the model instance — the six REP2xx rules share one
+    classification per lint run.
+    """
+    cached = getattr(model, "_context_map_cache", None)
+    if cached is not None:
+        return cached
+    model.functions()
+    tags: Dict[int, Set[str]] = {}
+    sites: List[SpawnSite] = []
+    roots = _spawn_sites(model, policy)
+    sites.extend(site for _, _, site in roots)
+    stop_names = policy.call_graph_stop_names
+    for tag in (TAG_THREAD, TAG_HTTP, TAG_PROCESS, TAG_FINALIZER):
+        frontier = [info for root_tag, info, _ in roots
+                    if root_tag == tag]
+        seen: Set[int] = set()
+        while frontier:
+            info = frontier.pop()
+            if id(info.node) in seen:
+                continue
+            seen.add(id(info.node))
+            tags.setdefault(id(info.node), set()).add(tag)
+            frontier.extend(model.resolved_calls(info, stop_names))
+    frozen = {node_id: frozenset(found)
+              for node_id, found in tags.items()}
+    result = ContextMap(frozen, sites)
+    model._context_map_cache = result
+    return result

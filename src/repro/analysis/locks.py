@@ -1,0 +1,176 @@
+"""Held-lock modeling for the REP2xx rules.
+
+Which locks exist (``self._lock = threading.Lock()`` attributes,
+module-level ``_registry_lock = threading.Lock()`` globals) and — per
+statement inside one function — which of them are held.  The dataflow
+is intraprocedural and structural:
+
+- ``with self._lock:`` (including multi-item and nested ``with``)
+  adds the lock for the body;
+- a local alias ``lock = self._lock`` followed by ``with lock:``
+  counts as the same lock;
+- bare ``.acquire()`` / ``.release()`` calls are tracked linearly
+  within a statement list (an approximation: a ``release`` inside
+  only one branch of an ``if`` still ends the region — documented in
+  ``docs/lint-rules.md``).
+
+Lock names are dotted receiver strings (``self._lock``,
+``_registry_lock``): two methods of the same class naming
+``self._lock`` model the same lock; distinct instances are not
+distinguished (conservative for REP201, whose question is "was *the
+owning* lock held", not "which instance").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.analysis.model import ClassInfo, ModuleInfo, dotted_name
+from repro.analysis.policy import LintPolicy
+
+__all__ = ["class_lock_attrs", "held_lock_map", "module_lock_globals"]
+
+
+def _is_lock_factory(value: ast.expr, policy: LintPolicy) -> bool:
+    """Whether an assigned expression constructs a modeled lock
+    (including the ``lock or threading.Lock()`` default idiom)."""
+    if isinstance(value, ast.BoolOp):
+        return any(_is_lock_factory(operand, policy)
+                   for operand in value.values)
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.id if isinstance(func, ast.Name) else \
+        func.attr if isinstance(func, ast.Attribute) else None
+    return name in policy.lock_factory_callees
+
+
+def class_lock_attrs(cls: ClassInfo, policy: LintPolicy
+                     ) -> FrozenSet[str]:
+    """``self.X`` attributes assigned a lock constructor anywhere in
+    the class."""
+    found: Set[str] = set()
+    for method in cls.methods.values():
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and \
+                    node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id in ("self", "cls") and \
+                    _is_lock_factory(value, policy):
+                found.add(target.attr)
+    return frozenset(found)
+
+
+def module_lock_globals(module: ModuleInfo, policy: LintPolicy
+                        ) -> FrozenSet[str]:
+    """Module-level names assigned a lock constructor."""
+    found: Set[str] = set()
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) and \
+                _is_lock_factory(stmt.value, policy):
+            found.add(stmt.targets[0].id)
+    return frozenset(found)
+
+
+def _acquire_release(stmt: ast.stmt,
+                     lock_exprs: Set[str]) -> "tuple[Set[str], Set[str]]":
+    """Locks a simple statement acquires/releases via method calls."""
+    acquired: Set[str] = set()
+    released: Set[str] = set()
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call) or \
+                not isinstance(node.func, ast.Attribute):
+            continue
+        receiver = dotted_name(node.func.value)
+        if receiver is None or receiver not in lock_exprs:
+            continue
+        if node.func.attr == "acquire":
+            acquired.add(receiver)
+        elif node.func.attr == "release":
+            released.add(receiver)
+    return acquired, released
+
+
+def held_lock_map(func: ast.FunctionDef,
+                  lock_exprs: Iterable[str]
+                  ) -> Dict[int, FrozenSet[str]]:
+    """``id(node) -> held locks`` for every node in one function.
+
+    ``lock_exprs`` are the dotted lock names in scope for the
+    function (``self._lock``, module globals); local aliases of them
+    are folded in by a pre-pass.
+    """
+    exprs: Set[str] = set(lock_exprs)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            source = dotted_name(node.value)
+            if source in exprs:
+                exprs.add(node.targets[0].id)
+    held: Dict[int, FrozenSet[str]] = {}
+
+    def mark(node: ast.AST, current: FrozenSet[str]) -> None:
+        for sub in ast.walk(node):
+            held[id(sub)] = current
+
+    def visit_block(stmts: List[ast.stmt],
+                    incoming: FrozenSet[str]) -> None:
+        linear: Set[str] = set()
+        for stmt in stmts:
+            current = frozenset(incoming | linear)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                held[id(stmt)] = current
+                newly: Set[str] = set()
+                for item in stmt.items:
+                    mark(item.context_expr, current)
+                    if item.optional_vars is not None:
+                        mark(item.optional_vars, current)
+                    name = dotted_name(item.context_expr)
+                    if name in exprs:
+                        newly.add(name)
+                visit_block(stmt.body, frozenset(current | newly))
+            elif isinstance(stmt, (ast.If, ast.While)):
+                held[id(stmt)] = current
+                mark(stmt.test, current)
+                visit_block(stmt.body, current)
+                visit_block(stmt.orelse, current)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                held[id(stmt)] = current
+                mark(stmt.iter, current)
+                mark(stmt.target, current)
+                visit_block(stmt.body, current)
+                visit_block(stmt.orelse, current)
+            elif isinstance(stmt, ast.Try):
+                held[id(stmt)] = current
+                visit_block(stmt.body, current)
+                for handler in stmt.handlers:
+                    held[id(handler)] = current
+                    if handler.type is not None:
+                        mark(handler.type, current)
+                    visit_block(handler.body, current)
+                visit_block(stmt.orelse, current)
+                visit_block(stmt.finalbody, current)
+            elif isinstance(stmt, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                # A nested def's *body* runs later, in whatever
+                # context calls it — not under the current lock.
+                mark(stmt, frozenset())
+                held[id(stmt)] = current
+            else:
+                mark(stmt, current)
+                acquired, released = _acquire_release(stmt, exprs)
+                linear |= acquired
+                linear -= released
+
+    visit_block(func.body, frozenset())
+    return held

@@ -14,6 +14,15 @@ directories under analysis.  It offers four views the rules share:
 - **call closure** — a name-matched function reachability set from
   the vertex-program scan loops, powering hot-path telemetry gating
   (REP105).
+- **resolved call graph** — receiver-typed call edges
+  (:meth:`ProjectModel.resolved_calls`): ``self.x()`` resolves inside
+  the defining class, ``self.store.claim()`` resolves through the
+  attribute's inferred class (constructor assignments and parameter /
+  variable annotations), and ``module.f()`` resolves through import
+  aliases.  Only calls whose receiver stays unknown fall back to name
+  matching, bounded by the stop-name list — this is what keeps the
+  REP2xx execution-context closure from dragging every ``def stop``
+  in the project into every thread.
 
 Everything is stdlib ``ast``; name-matched call edges are
 approximate by design (documented in ``docs/lint-rules.md``) and
@@ -23,6 +32,7 @@ bounded by the policy's stop-name list.
 from __future__ import annotations
 
 import ast
+import builtins
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
@@ -31,6 +41,46 @@ from repro.errors import LintError
 
 __all__ = ["ClassInfo", "ClosureInfo", "FunctionInfo", "ModuleInfo",
            "ProjectModel", "call_name", "dotted_name"]
+
+#: Typing constructs and primitives skipped when a type name is read
+#: out of an annotation — ``Optional[JobStore]`` types as ``JobStore``
+#: and ``List[threading.Thread]`` as ``Thread`` (the element type; for
+#: receiver typing that collapse is deliberate and documented).
+_TYPE_NOISE = frozenset({
+    "Optional", "List", "Dict", "Tuple", "Set", "FrozenSet", "Union",
+    "Iterable", "Iterator", "Sequence", "Mapping", "MutableMapping",
+    "Callable", "Any", "Type", "ClassVar", "Deque", "Generator",
+    "str", "int", "float", "bool", "bytes", "object", "None", "none",
+})
+
+
+def _type_candidates(node: Optional[ast.AST]) -> Iterable[str]:
+    """Bare type-name candidates in an annotation, outermost first.
+
+    ``Optional["queue.PriorityQueue"]`` yields ``Optional`` then
+    ``PriorityQueue``; callers filter through :data:`_TYPE_NOISE`.
+    """
+    if node is None:
+        return
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+    elif isinstance(node, ast.Subscript):
+        yield from _type_candidates(node.value)
+        yield from _type_candidates(node.slice)
+    elif isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            yield from _type_candidates(elt)
+    elif isinstance(node, ast.BinOp):  # PEP 604 ``X | None``
+        yield from _type_candidates(node.left)
+        yield from _type_candidates(node.right)
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return
+        yield from _type_candidates(parsed)
 
 
 def call_name(node: ast.Call) -> Optional[str]:
@@ -102,6 +152,9 @@ class FunctionInfo:
     module: str
     qualname: str
     node: ast.FunctionDef
+    #: Name of the immediately enclosing class, ``None`` for
+    #: module-level (and nested-in-function) definitions.
+    cls_name: Optional[str] = None
 
 
 @dataclass
@@ -213,6 +266,13 @@ class ProjectModel:
         self._reachable_cache: Dict[Tuple[str, ...], FrozenSet[str]] = {}
         self._hot_cache: Dict[Tuple[Tuple[str, ...], FrozenSet[str]],
                               FrozenSet[int]] = {}
+        self._class_index: Optional[Dict[str, List[ClassInfo]]] = None
+        self._functions_by_id: Optional[Dict[int, FunctionInfo]] = None
+        self._alias_cache: Dict[str, Dict[str, str]] = {}
+        self._attr_type_cache: Dict[int, Dict[str, str]] = {}
+        self._local_type_cache: Dict[int, Dict[str, str]] = {}
+        self._resolved_cache: Dict[Tuple[int, FrozenSet[str]],
+                                   List[FunctionInfo]] = {}
 
     # ------------------------------------------------------------------
     # Discovery and parsing
@@ -401,8 +461,17 @@ class ProjectModel:
                 if isinstance(node, (ast.FunctionDef,
                                      ast.AsyncFunctionDef)):
                     qual = self._qualname(module, node)
+                    cls_name: Optional[str] = None
+                    for ancestor in module.ancestors(node):
+                        if isinstance(ancestor, (ast.FunctionDef,
+                                                 ast.AsyncFunctionDef)):
+                            break
+                        if isinstance(ancestor, ast.ClassDef):
+                            cls_name = ancestor.name
+                            break
                     info = FunctionInfo(module=module.name,
-                                        qualname=qual, node=node)
+                                        qualname=qual, node=node,
+                                        cls_name=cls_name)
                     found.append(info)
                     self._functions_by_name.setdefault(
                         node.name, []).append(info)
@@ -463,3 +532,328 @@ class ProjectModel:
         result = frozenset(seen)
         self._hot_cache[key] = result
         return result
+
+    # ------------------------------------------------------------------
+    # Receiver-typed call resolution (REP2xx execution contexts)
+    # ------------------------------------------------------------------
+    def class_index(self) -> Dict[str, List[ClassInfo]]:
+        """``bare class name -> definitions`` across every module."""
+        if self._class_index is None:
+            index: Dict[str, List[ClassInfo]] = {}
+            for infos in self.classes().values():
+                for info in infos:
+                    index.setdefault(info.name, []).append(info)
+            self._class_index = index
+        return self._class_index
+
+    def functions_by_id(self) -> Dict[int, FunctionInfo]:
+        """``id(node) -> FunctionInfo`` for every definition."""
+        if self._functions_by_id is None:
+            self._functions_by_id = {id(info.node): info
+                                     for info in self.functions()}
+        return self._functions_by_id
+
+    def functions_by_name(self, name: str) -> List[FunctionInfo]:
+        """Every project definition with the given bare name."""
+        self.functions()
+        return list(self._functions_by_name.get(name, ()))
+
+    def class_of(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        """The :class:`ClassInfo` a method belongs to, else ``None``."""
+        if info.cls_name is None:
+            return None
+        for cls in self.classes().get(info.module, ()):
+            if cls.name == info.cls_name and \
+                    info.node.name in cls.methods and \
+                    cls.methods[info.node.name] is info.node:
+                return cls
+        return None
+
+    def module_aliases(self, module: ModuleInfo) -> Dict[str, str]:
+        """Local names bound to *project modules* by imports.
+
+        ``from repro.obs import metrics as m`` maps ``m`` to
+        ``repro.obs.metrics``; ``import repro.obs.metrics`` maps the
+        full dotted string (receivers are matched by their dotted
+        form, so both spellings resolve).
+        """
+        cached = self._alias_cache.get(module.name)
+        if cached is not None:
+            return cached
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._known_target(alias.name)
+                    if target is None:
+                        continue
+                    aliases[alias.asname or alias.name] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_import_base(module, node)
+                for alias in node.names:
+                    full = f"{base}.{alias.name}" if base \
+                        else alias.name
+                    if full in self.modules:
+                        aliases[alias.asname or alias.name] = full
+        self._alias_cache[module.name] = aliases
+        return aliases
+
+    def annotation_type(self, node: Optional[ast.AST]
+                        ) -> Optional[str]:
+        """The bare type name an annotation pins down, if any.
+
+        Prefers a name that matches a project class; otherwise the
+        first non-typing candidate (``threading.Lock`` -> ``Lock``).
+        """
+        names = [name for name in _type_candidates(node)
+                 if name not in _TYPE_NOISE]
+        if not names:
+            return None
+        index = self.class_index()
+        for name in names:
+            if name in index:
+                return name
+        return names[0]
+
+    def _value_type(self, value: ast.expr,
+                    known: Dict[str, str],
+                    cls: Optional[ClassInfo]) -> Optional[str]:
+        """Type of an assigned expression: constructor calls, typed
+        names, ``self.method()`` / project-function return
+        annotations, and ``a or Default()`` fallbacks."""
+        if isinstance(value, ast.BoolOp):
+            for operand in value.values:
+                inferred = self._value_type(operand, known, cls)
+                if inferred is not None:
+                    return inferred
+            return None
+        if isinstance(value, ast.Name):
+            return known.get(value.id)
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        index = self.class_index()
+        if isinstance(func, ast.Name):
+            if func.id in index:
+                return func.id
+            for candidate in self._functions_by_name.get(func.id, ()):
+                if candidate.cls_name is None:
+                    return self.annotation_type(candidate.node.returns)
+            return func.id if func.id[:1].isupper() else None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and \
+                    func.value.id in ("self", "cls") and \
+                    cls is not None and func.attr in cls.methods:
+                return self.annotation_type(
+                    cls.methods[func.attr].returns)
+            if isinstance(func.value, ast.Name):
+                # ``registry.histogram(...)`` — a typed receiver's
+                # method return annotation types the result.
+                for recv_cls in index.get(
+                        known.get(func.value.id, ""), ()):
+                    if func.attr in recv_cls.methods:
+                        return self.annotation_type(
+                            recv_cls.methods[func.attr].returns)
+            return func.attr if func.attr[:1].isupper() else None
+        return None
+
+    def attr_types(self, cls: ClassInfo) -> Dict[str, str]:
+        """``self.X`` attribute types inferred from constructor
+        assignments, annotations, and annotated parameters
+        (``__init__`` scanned first; first assignment wins)."""
+        cached = self._attr_type_cache.get(id(cls.node))
+        if cached is not None:
+            return cached
+        self.functions()
+        types: Dict[str, str] = {}
+        # Dataclass-style fields: class-body annotations.
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                inferred = self.annotation_type(stmt.annotation)
+                if inferred is not None:
+                    types.setdefault(stmt.target.id, inferred)
+        ordered = sorted(cls.methods.items(),
+                         key=lambda item: item[0] != "__init__")
+        for _, method in ordered:
+            params: Dict[str, str] = {}
+            args = method.args
+            for arg in [*args.posonlyargs, *args.args,
+                        *args.kwonlyargs]:
+                inferred = self.annotation_type(arg.annotation)
+                if inferred is not None:
+                    params[arg.arg] = inferred
+            for node in ast.walk(method):
+                target: Optional[ast.expr] = None
+                inferred = None
+                if isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    inferred = self.annotation_type(node.annotation)
+                elif isinstance(node, ast.Assign) and \
+                        len(node.targets) == 1:
+                    target = node.targets[0]
+                    inferred = self._value_type(node.value, params,
+                                                cls)
+                if inferred is None or \
+                        not isinstance(target, ast.Attribute) or \
+                        not isinstance(target.value, ast.Name) or \
+                        target.value.id not in ("self", "cls"):
+                    continue
+                types.setdefault(target.attr, inferred)
+        self._attr_type_cache[id(cls.node)] = types
+        return types
+
+    def local_types(self, info: FunctionInfo) -> Dict[str, str]:
+        """Local-variable types inside one function: annotated
+        parameters, ``AnnAssign``, constructor / typed-call
+        assignments, and ``for``-loops over typed attributes."""
+        cached = self._local_type_cache.get(id(info.node))
+        if cached is not None:
+            return cached
+        self.functions()
+        cls = self.class_of(info)
+        types: Dict[str, str] = {}
+        args = info.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            inferred = self.annotation_type(arg.annotation)
+            if inferred is not None and arg.arg not in ("self", "cls"):
+                types[arg.arg] = inferred
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                inferred = self.annotation_type(node.annotation)
+                if inferred is not None:
+                    types.setdefault(node.target.id, inferred)
+            elif isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                inferred = self._value_type(node.value, types, cls)
+                if inferred is not None:
+                    types.setdefault(node.targets[0].id, inferred)
+            elif isinstance(node, ast.For) and \
+                    isinstance(node.target, ast.Name):
+                inferred = None
+                if isinstance(node.iter, ast.Attribute) and \
+                        isinstance(node.iter.value, ast.Name) and \
+                        node.iter.value.id in ("self", "cls") and \
+                        cls is not None:
+                    inferred = self.attr_types(cls).get(node.iter.attr)
+                elif isinstance(node.iter, ast.Name):
+                    inferred = types.get(node.iter.id)
+                if inferred is not None:
+                    types.setdefault(node.target.id, inferred)
+        self._local_type_cache[id(info.node)] = types
+        return types
+
+    def receiver_type(self, info: FunctionInfo,
+                      recv: ast.expr) -> Optional[str]:
+        """What ``recv.method()`` dispatches through.
+
+        Returns ``"<self>"`` for ``self``/``cls``, ``"<module:M>"``
+        for a project-module alias, a bare type name when inference
+        pins one down (project class or known external like
+        ``Thread``), or ``None`` when the receiver stays unknown.
+        """
+        if isinstance(recv, ast.Name):
+            if recv.id in ("self", "cls"):
+                return "<self>"
+            local = self.local_types(info).get(recv.id)
+            if local is not None:
+                return local
+            if recv.id in self.class_index():
+                return recv.id
+            alias = self.module_aliases(
+                self.modules[info.module]).get(recv.id)
+            if alias is not None:
+                return f"<module:{alias}>"
+            return None
+        dotted = dotted_name(recv)
+        if dotted is not None:
+            alias = self.module_aliases(
+                self.modules[info.module]).get(dotted)
+            if alias is not None:
+                return f"<module:{alias}>"
+        if isinstance(recv, ast.Attribute) and \
+                isinstance(recv.value, ast.Name) and \
+                recv.value.id in ("self", "cls"):
+            cls = self.class_of(info)
+            if cls is not None:
+                return self.attr_types(cls).get(recv.attr)
+        if isinstance(recv, ast.Call):
+            # ``histogram(...).observe(x)`` — the ctor / factory
+            # return type pins the receiver down.
+            return self._value_type(recv, self.local_types(info),
+                                    self.class_of(info))
+        return None
+
+    def _call_targets(self, info: FunctionInfo, call: ast.Call,
+                      stop_names: FrozenSet[str]
+                      ) -> List[FunctionInfo]:
+        name = call_name(call)
+        if name is None:
+            return []
+        by_id = self.functions_by_id()
+        if isinstance(call.func, ast.Name):
+            classes = self.class_index().get(name)
+            if classes:
+                return [by_id[id(cls.methods["__init__"])]
+                        for cls in classes if "__init__" in cls.methods
+                        and id(cls.methods["__init__"]) in by_id]
+            if hasattr(builtins, name):
+                # ``list(...)`` must not match every project ``list``.
+                return []
+            return list(self._functions_by_name.get(name, ()))
+        rtype = self.receiver_type(info, call.func.value)
+        if rtype == "<self>":
+            cls = self.class_of(info)
+            if cls is not None and name in cls.methods and \
+                    id(cls.methods[name]) in by_id:
+                return [by_id[id(cls.methods[name])]]
+            return []  # inherited / dynamic — no name-match fallback
+        if rtype is not None and rtype.startswith("<module:"):
+            target_module = rtype[len("<module:"):-1]
+            return [candidate for candidate
+                    in self._functions_by_name.get(name, ())
+                    if candidate.module == target_module
+                    and candidate.cls_name is None]
+        if rtype is not None:
+            classes = self.class_index().get(rtype)
+            if classes:
+                return [by_id[id(cls.methods[name])]
+                        for cls in classes if name in cls.methods
+                        and id(cls.methods[name]) in by_id]
+            return []  # typed external receiver — no fallback
+        if name in stop_names or name.startswith("__"):
+            return []
+        return list(self._functions_by_name.get(name, ()))
+
+    def call_targets(self, info: FunctionInfo, call: ast.Call,
+                     stop_names: FrozenSet[str]
+                     ) -> List[FunctionInfo]:
+        """Project definitions one call site may dispatch to (empty
+        for stdlib/external calls and typed non-project receivers)."""
+        self.functions()
+        return self._call_targets(info, call, stop_names)
+
+    def resolved_calls(self, info: FunctionInfo,
+                       stop_names: FrozenSet[str]
+                       ) -> List[FunctionInfo]:
+        """Project functions one definition may call, with receiver
+        types resolved where inference allows and name matching
+        (bounded by ``stop_names``) only for unknown receivers."""
+        key = (id(info.node), stop_names)
+        cached = self._resolved_cache.get(key)
+        if cached is not None:
+            return cached
+        self.functions()
+        seen: Set[int] = set()
+        out: List[FunctionInfo] = []
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for target in self._call_targets(info, node, stop_names):
+                if id(target.node) not in seen:
+                    seen.add(id(target.node))
+                    out.append(target)
+        self._resolved_cache[key] = out
+        return out

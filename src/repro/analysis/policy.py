@@ -12,7 +12,7 @@ default (:func:`default_policy`) encodes this repository.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
 
 __all__ = ["LintPolicy", "default_policy"]
 
@@ -73,6 +73,45 @@ class LintPolicy:
         ``class -> (method, constant)``: the method must strip the
         named volatile-keys constant, and the constant must cover
         ``volatile_extra_keys``.
+    thread_spawn_callees / process_spawn_callees:
+        Constructor names whose ``target=`` argument roots a thread /
+        worker-process execution context (REP2xx context model).
+    http_handler_bases:
+        Base-class names whose ``do_*`` methods root the HTTP handler
+        thread context.
+    lock_factory_callees:
+        Constructor names that make a ``self.X`` attribute (or module
+        global) a modeled lock for REP201/REP204.
+    threadsafe_field_types:
+        Attribute types whose own synchronisation REP201 trusts
+        (queues, events): writes through them need no owning lock.
+    mutator_call_names:
+        Method names that count as writing the receiver attribute
+        (``self._busy.add(...)`` mutates ``_busy``).
+    fork_unsafe_factories:
+        Dotted constructor names whose pre-fork products (locks,
+        sqlite connections, sockets, shm handles) REP202 bans from
+        worker-process contexts.
+    blocking_bare_calls:
+        Call names that block indefinitely without a timeout argument
+        or a ``poll(...)`` guard (REP203), matched by bare name.
+    blocking_typed_calls:
+        ``(method name, receiver types)`` pairs REP203/REP204 treat as
+        blocking only when the receiver's inferred type matches —
+        keeps ``dict.get`` and ``str.join`` out of scope.
+    blocking_wait_allowed:
+        ``(function qualname-prefix, reason)`` pairs: REP203 findings
+        inside matching functions are deliberate design, recorded
+        here rather than suppressed inline.
+    lock_blocking_callees:
+        Call names REP204 refuses to see under a held modeled lock
+        (sleeps, pipe/socket traffic, recursive tree I/O).
+    finalizer_allowed_calls:
+        The reentrant-safe closure: the only unresolved call names an
+        atexit/finalizer context may make (REP205).
+    claim_acquire_callees / claim_release_callees:
+        The shm claim protocol's acquire/release function names;
+        REP206 checks every acquire is released on all paths.
     """
 
     compute_roots: Tuple[str, ...] = ()
@@ -92,7 +131,8 @@ class LintPolicy:
     call_graph_stop_names: FrozenSet[str] = frozenset(
         {"get", "items", "keys", "values", "pop", "append", "update",
          "copy", "close", "add", "set", "put", "run", "join", "read",
-         "write", "extend", "clear", "sort", "index"})
+         "write", "extend", "clear", "sort", "index", "start",
+         "finish", "stop"})
     error_scope_prefixes: Tuple[str, ...] = ()
     error_bare_names: FrozenSet[str] = frozenset(
         {"ValueError", "RuntimeError", "KeyError", "Exception"})
@@ -104,6 +144,45 @@ class LintPolicy:
     volatile_extra_keys: Tuple[str, ...] = ("trace",)
     identity_contracts: Mapping[str, Tuple[str, str]] = \
         field(default_factory=dict)
+    # ---- REP2xx concurrency model ------------------------------------
+    thread_spawn_callees: FrozenSet[str] = frozenset(
+        {"Thread", "Timer"})
+    process_spawn_callees: FrozenSet[str] = frozenset({"Process"})
+    http_handler_bases: FrozenSet[str] = frozenset(
+        {"BaseHTTPRequestHandler"})
+    lock_factory_callees: FrozenSet[str] = frozenset(
+        {"Lock", "RLock", "Condition"})
+    threadsafe_field_types: FrozenSet[str] = frozenset(
+        {"Queue", "PriorityQueue", "LifoQueue", "SimpleQueue",
+         "JoinableQueue", "Event", "Semaphore", "BoundedSemaphore",
+         "Barrier", "Lock", "RLock", "Condition"})
+    mutator_call_names: FrozenSet[str] = frozenset(
+        {"append", "appendleft", "add", "remove", "discard", "clear",
+         "pop", "popleft", "popitem", "extend", "update", "insert",
+         "setdefault", "move_to_end", "sort"})
+    fork_unsafe_factories: FrozenSet[str] = frozenset(
+        {"threading.Lock", "threading.RLock", "threading.Condition",
+         "threading.Semaphore", "threading.BoundedSemaphore",
+         "sqlite3.connect", "socket.socket",
+         "multiprocessing.shared_memory.SharedMemory",
+         "shared_memory.SharedMemory"})
+    blocking_bare_calls: FrozenSet[str] = frozenset(
+        {"recv", "recv_bytes", "accept"})
+    blocking_typed_calls: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+        ("get", ("Queue", "PriorityQueue", "LifoQueue", "SimpleQueue",
+                 "JoinableQueue")),
+        ("join", ("Thread", "Process")),
+        ("wait", ("Event", "Condition")),
+    )
+    blocking_wait_allowed: Tuple[Tuple[str, str], ...] = ()
+    lock_blocking_callees: FrozenSet[str] = frozenset(
+        {"sleep", "recv", "recv_bytes", "send", "send_bytes",
+         "rmtree", "copytree", "urlopen", "accept", "connect"})
+    finalizer_allowed_calls: FrozenSet[str] = frozenset(
+        {"getpid", "rmtree", "close", "unlink", "exists", "is_dir",
+         "isdir", "Lock", "RLock", "len", "str", "repr"})
+    claim_acquire_callees: FrozenSet[str] = frozenset()
+    claim_release_callees: FrozenSet[str] = frozenset()
 
     # ------------------------------------------------------------------
     def skipped_rules(self, module: str) -> Set[str]:
@@ -125,6 +204,21 @@ class LintPolicy:
 
     def is_shm_owner(self, module: str) -> bool:
         return module in self.shm_owner_modules
+
+    def blocking_wait_reason(self, qualname: str) -> Optional[str]:
+        """The recorded reason a function may block without a
+        timeout, or ``None`` if it may not."""
+        for prefix, reason in self.blocking_wait_allowed:
+            if qualname == prefix or qualname.startswith(prefix + "."):
+                return reason
+        return None
+
+    def typed_blocking_receivers(self, name: str) -> Tuple[str, ...]:
+        """Receiver types for which ``name`` is a blocking call."""
+        for method, types in self.blocking_typed_calls:
+            if method == name:
+                return types
+        return ()
 
 
 def default_policy() -> LintPolicy:
@@ -162,4 +256,13 @@ def default_policy() -> LintPolicy:
         identity_contracts={
             "RunStats": ("identity_dict", "VOLATILE_EXTRA_KEYS"),
         },
+        blocking_wait_allowed=(
+            ("repro.runtime.scheduler:worker_loop",
+             "the worker's request pipe blocks forever by design: the "
+             "parent ends a worker with a shutdown sentinel or by "
+             "closing the pipe (EOFError), so a timeout would only "
+             "add an idle wake-up loop"),
+        ),
+        claim_acquire_callees=frozenset({"_claim_build"}),
+        claim_release_callees=frozenset({"_release_claim"}),
     )

@@ -72,17 +72,42 @@ def list_rules() -> List[Dict[str, str]]:
             for rule in sorted(_REGISTRY)]
 
 
+def _expand(tokens: Iterable[str],
+            known: List[str]) -> "tuple[List[str], List[str]]":
+    """Expand exact IDs and family prefixes (``REP2`` -> REP201...);
+    returns ``(expanded, unknown)``."""
+    expanded: List[str] = []
+    unknown: List[str] = []
+    for token in tokens:
+        if token in _REGISTRY:
+            expanded.append(token)
+            continue
+        matches = [rule for rule in known
+                   if rule.startswith(token)] if token else []
+        if matches:
+            expanded.extend(matches)
+        else:
+            unknown.append(token)
+    return expanded, unknown
+
+
 def resolve_rules(select: Iterable[str] = (),
                   ignore: Iterable[str] = ()) -> List[str]:
-    """The rule IDs a run should execute after --select/--ignore."""
+    """The rule IDs a run should execute after --select/--ignore.
+
+    Both lists accept exact IDs (``REP104``) and family prefixes
+    (``REP2`` selects every REP2xx rule); anything matching neither
+    is an error — a stale selection must fail loudly.
+    """
     _ensure_loaded()
     known = sorted(_REGISTRY)
-    chosen = list(select) or known
-    unknown = [rule for rule in [*chosen, *ignore]
-               if rule not in _REGISTRY]
+    chosen, unknown_select = _expand(select, known)
+    ignored, unknown_ignore = _expand(ignore, known)
+    unknown = unknown_select + unknown_ignore
     if unknown:
         raise LintError(
             f"unknown lint rule(s): {', '.join(sorted(set(unknown)))}")
-    ignored = set(ignore)
+    chosen = chosen or known
+    ignored_set = set(ignored)
     return [rule for rule in known
-            if rule in chosen and rule not in ignored]
+            if rule in chosen and rule not in ignored_set]

@@ -1,13 +1,14 @@
-"""Text and JSON reporters over a lint run."""
+"""Text, JSON and SARIF reporters over a lint run."""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from pathlib import Path
+from typing import Dict, List
 
 from repro.analysis.runner import LintResult
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 #: Schema version of the ``--json`` report; CI parses this.
 REPORT_VERSION = 1
@@ -45,5 +46,62 @@ def render_json(result: LintResult) -> str:
         "rule_counts": result.rule_counts(),
         "findings": [finding.as_dict()
                      for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _artifact_uri(path: str) -> str:
+    """Repo-relative POSIX URI when possible, absolute otherwise."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report for GitHub code scanning upload."""
+    from repro.analysis.registry import list_rules
+
+    summaries: Dict[str, str] = {entry["rule"]: entry["summary"]
+                                 for entry in list_rules()}
+    rules = [{
+        "id": rule,
+        "shortDescription": {"text": summaries.get(rule, rule)},
+    } for rule in result.rules]
+    results = [{
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": _artifact_uri(finding.path),
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    } for finding in result.findings]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro lint",
+                    "version": str(REPORT_VERSION),
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -9,4 +9,10 @@ from repro.analysis.rules import (  # noqa: F401
     rep104_shm_lifecycle,
     rep105_telemetry_purity,
     rep106_error_taxonomy,
+    rep201_lock_discipline,
+    rep202_fork_safety,
+    rep203_blocking_timeout,
+    rep204_blocking_under_lock,
+    rep205_finalizer_safety,
+    rep206_claim_protocol,
 )

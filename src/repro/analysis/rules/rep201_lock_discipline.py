@@ -1,0 +1,233 @@
+"""REP201 — lock discipline for shared mutable state.
+
+A class that owns a ``threading.Lock`` has declared which of its
+state is shared; the lock is only worth its cost if every write that
+can race actually holds it.  The rule checks, for each lock-owning
+class:
+
+1. **In-owner writes** — an instance field written from a concurrent
+   execution context (thread / HTTP handler / finalizer — see
+   :mod:`repro.analysis.contexts`) must happen under one of the
+   class's own locks.  ``__init__`` is exempt (no second thread can
+   hold a reference yet), as are fields whose inferred type carries
+   its own synchronisation (queues, events).  A private method whose
+   every same-class call site already holds a lock is treated as
+   running locked (``_adopt``-style helpers).
+2. **Cross-class reads** — a concurrent method reading
+   ``self.other.field`` where ``field`` is *guarded* (written under
+   the owner's lock somewhere in the owning class) bypasses the
+   owner's synchronisation; the fix is a locked accessor on the
+   owner.
+
+Classes without a modeled lock are out of scope — this rule audits
+the discipline of classes that opted into locking, it does not decree
+that every class must lock.  In-owner *reads* are likewise unchecked
+(torn multi-field reads are what the cross-class check catches at the
+consumer side); both bounds are documented in ``docs/lint-rules.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.analysis.contexts import ContextMap, context_map
+from repro.analysis.findings import Finding
+from repro.analysis.locks import class_lock_attrs, held_lock_map
+from repro.analysis.model import ClassInfo, ModuleInfo, ProjectModel
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _written_field(target: ast.expr) -> Iterator[str]:
+    """Field names a store target writes through ``self``."""
+    if isinstance(target, ast.Tuple):
+        for elt in target.elts:
+            yield from _written_field(elt)
+        return
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute) and \
+            isinstance(target.value, ast.Name) and \
+            target.value.id in ("self", "cls"):
+        yield target.attr
+
+
+def _self_writes(fn: ast.FunctionDef, module: ModuleInfo,
+                 policy: LintPolicy
+                 ) -> Iterator[Tuple[str, ast.stmt]]:
+    """``(field, statement)`` for every ``self.X`` write in ``fn``
+    (assignments, augmented assigns, deletes, and mutator calls like
+    ``self._busy.add(...)``)."""
+    for node in ast.walk(fn):
+        if module.enclosing_function(node) is not fn:
+            continue
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for field in _written_field(target):
+                    yield field, node
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            for field in _written_field(node.target):
+                yield field, node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                for field in _written_field(target):
+                    yield field, node
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in policy.mutator_call_names:
+            receiver = node.func.value
+            while isinstance(receiver, ast.Subscript):
+                receiver = receiver.value
+            if isinstance(receiver, ast.Attribute) and \
+                    isinstance(receiver.value, ast.Name) and \
+                    receiver.value.id in ("self", "cls"):
+                yield receiver.attr, node
+
+
+@register
+class LockDisciplineChecker:
+    rule = "REP201"
+    summary = ("fields of lock-owning classes are written (and read "
+               "across classes) under the owning lock in concurrent "
+               "contexts")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        contexts = context_map(model, policy)
+        # class name -> fields written under the owner's lock; built
+        # for every lock-owning class (even skipped modules) so the
+        # cross-class pass knows what is guarded.
+        guarded: Dict[str, FrozenSet[str]] = {}
+        deferred: List[Finding] = []
+        for module in model.modules_sorted():
+            skip = self.rule in policy.skipped_rules(module.name)
+            for cls in model.classes().get(module.name, ()):
+                locks = class_lock_attrs(cls, policy)
+                if not locks:
+                    continue
+                findings, fields = self._check_class(
+                    model, module, cls, locks, policy, contexts)
+                previous = guarded.get(cls.name, frozenset())
+                guarded[cls.name] = previous | fields
+                if not skip:
+                    deferred.extend(findings)
+        yield from deferred
+        yield from self._cross_class_reads(model, policy, contexts,
+                                           guarded)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, model: ProjectModel, module: ModuleInfo,
+                     cls: ClassInfo, locks: FrozenSet[str],
+                     policy: LintPolicy, contexts: ContextMap
+                     ) -> Tuple[List[Finding], FrozenSet[str]]:
+        lock_exprs = frozenset(f"self.{name}" for name in locks)
+        attr_types = model.attr_types(cls)
+        held_maps = {name: held_lock_map(fn, lock_exprs)
+                     for name, fn in cls.methods.items()}
+        guarded: Set[str] = set()
+        candidates: Dict[str, List[Tuple[str, ast.stmt]]] = {}
+        for mname, fn in cls.methods.items():
+            held = held_maps[mname]
+            for field, stmt in _self_writes(fn, module, policy):
+                if field in locks:
+                    continue
+                if attr_types.get(field) in policy.threadsafe_field_types:
+                    continue
+                if held.get(id(stmt)):
+                    guarded.add(field)
+                    continue
+                if mname == "__init__":
+                    continue
+                if not contexts.is_concurrent(fn):
+                    continue
+                candidates.setdefault(mname, []).append((field, stmt))
+        findings: List[Finding] = []
+        for mname, items in candidates.items():
+            if self._all_callers_hold_lock(module, cls, mname,
+                                           held_maps):
+                # The method is only ever entered with a lock held —
+                # its writes are guarded at the call sites.
+                guarded.update(field for field, _ in items)
+                continue
+            fn = cls.methods[mname]
+            tags = "/".join(sorted(contexts.tags_of(fn)))
+            pretty = " or ".join(f"self.{name}"
+                                 for name in sorted(locks))
+            for field, stmt in items:
+                findings.append(Finding(
+                    path=str(module.path), line=stmt.lineno,
+                    col=stmt.col_offset, rule=self.rule,
+                    message=(f"self.{field} is written from a {tags} "
+                             f"context without holding {pretty}; "
+                             f"{cls.name} guards its shared state "
+                             f"with that lock"),
+                    module=module.name))
+        return findings, frozenset(guarded)
+
+    @staticmethod
+    def _all_callers_hold_lock(module: ModuleInfo, cls: ClassInfo,
+                               method: str,
+                               held_maps: Dict[str, Dict[int,
+                                               FrozenSet[str]]]
+                               ) -> bool:
+        sites: List[FrozenSet[str]] = []
+        for other, fn in cls.methods.items():
+            if other == method:
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == method and \
+                        isinstance(node.func.value, ast.Name) and \
+                        node.func.value.id in ("self", "cls"):
+                    sites.append(held_maps[other].get(id(node),
+                                                      frozenset()))
+        return bool(sites) and all(sites)
+
+    # ------------------------------------------------------------------
+    def _cross_class_reads(self, model: ProjectModel,
+                           policy: LintPolicy, contexts: ContextMap,
+                           guarded: Dict[str, FrozenSet[str]]
+                           ) -> Iterator[Finding]:
+        if not guarded:
+            return
+        for info in model.functions():
+            if self.rule in policy.skipped_rules(info.module):
+                continue
+            if not contexts.is_concurrent(info.node):
+                continue
+            cls = model.class_of(info)
+            if cls is None:
+                continue
+            attr_types = model.attr_types(cls)
+            module = model.modules[info.module]
+            parents = module.parent_map()
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Attribute) or \
+                        not isinstance(node.ctx, ast.Load):
+                    continue
+                receiver = node.value
+                if not (isinstance(receiver, ast.Attribute) and
+                        isinstance(receiver.value, ast.Name) and
+                        receiver.value.id in ("self", "cls")):
+                    continue
+                rtype = attr_types.get(receiver.attr)
+                if rtype is None or rtype == cls.name:
+                    continue
+                fields = guarded.get(rtype)
+                if not fields or node.attr not in fields:
+                    continue
+                parent = parents.get(id(node))
+                if isinstance(parent, ast.Call) and \
+                        parent.func is node:
+                    continue  # a method call, not a state read
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(f"unlocked read of {rtype}.{node.attr}, "
+                             f"which {rtype} writes under its own "
+                             f"lock; add a locked accessor on "
+                             f"{rtype} instead of reaching into its "
+                             f"state"),
+                    module=module.name)

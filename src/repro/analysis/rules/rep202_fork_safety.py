@@ -1,0 +1,225 @@
+"""REP202 — fork safety of pre-fork resources.
+
+``fork()`` copies the parent's heap but not its threads: a lock some
+parent thread held at fork time is copied *locked forever*; a sqlite3
+connection or socket shares its file descriptor and kernel state with
+the parent; a ``SharedMemory`` handle's resource-tracker registration
+double-unlinks on child exit.  The rule therefore bans *using* (not
+merely inheriting) such pre-fork objects in worker-process contexts:
+
+- module-level globals assigned a fork-unsafe constructor
+  (``threading.Lock()``, ``sqlite3.connect``, ``socket.socket``,
+  ``SharedMemory``) must not be referenced in a function tagged
+  ``process`` (see :mod:`repro.analysis.contexts`);
+- ``self.X`` attributes created by such constructors outside the
+  process context must not be touched from it.
+
+Two idioms are recognised as the *fix* rather than the bug and stay
+allowed: calling ``.close()`` on the inherited object (shedding the
+parent's descriptor is exactly what an after-fork callback is for),
+and globals reassigned by a callback registered via
+``os.register_at_fork(after_in_child=...)`` or
+``multiprocessing.util.register_after_fork`` — the stdlib
+``logging``-style reset that makes a pre-fork lock safe again.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.contexts import TAG_PROCESS, context_map
+from repro.analysis.findings import Finding
+from repro.analysis.model import (ModuleInfo, ProjectModel, call_name,
+                                  dotted_name)
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _alias_map(tree: ast.Module) -> Dict[str, str]:
+    """Local import bindings to full dotted names (``shared_memory``
+    -> ``multiprocessing.shared_memory``)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                aliases[bound] = alias.name if alias.asname \
+                    else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _unsafe_ctor(value: ast.expr, aliases: Dict[str, str],
+                 policy: LintPolicy) -> Optional[str]:
+    """The resolved fork-unsafe constructor a value calls, if any."""
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = dotted_name(value.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved = aliases.get(head, head)
+    full = f"{resolved}.{rest}" if rest else resolved
+    if full in policy.fork_unsafe_factories:
+        return full
+    return None
+
+
+def _fork_reset_names(module: ModuleInfo,
+                      model: ProjectModel) -> Set[str]:
+    """Global names reassigned by registered after-fork callbacks."""
+    callbacks: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        targets = []
+        if name == "register_at_fork":
+            targets = [kw.value for kw in node.keywords
+                       if kw.arg == "after_in_child"]
+        elif name == "register_after_fork" and len(node.args) >= 2:
+            targets = [node.args[1]]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                callbacks.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                callbacks.add(target.attr)
+    reset: Set[str] = set()
+    for info in model.functions():
+        if info.module != module.name or \
+                info.node.name not in callbacks:
+            continue
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Global):
+                reset.update(node.names)
+            elif isinstance(node, ast.Assign):
+                reset.update(target.id for target in node.targets
+                             if isinstance(target, ast.Name))
+    return reset
+
+
+def _is_close_use(node: ast.AST,
+                  parents: Dict[int, ast.AST]) -> bool:
+    """Whether the reference is only closed (``conn.close()``)."""
+    parent = parents.get(id(node))
+    while isinstance(parent, ast.Attribute):
+        if parent.attr == "close":
+            grand = parents.get(id(parent))
+            return isinstance(grand, ast.Call) and \
+                grand.func is parent
+        node = parent
+        parent = parents.get(id(node))
+    return False
+
+
+@register
+class ForkSafetyChecker:
+    rule = "REP202"
+    summary = ("locks, connections, sockets and shm handles created "
+               "pre-fork are not used in worker-process contexts")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        contexts = context_map(model, policy)
+        for module in model.modules_sorted():
+            if self.rule in policy.skipped_rules(module.name):
+                continue
+            aliases = _alias_map(module.tree)
+            yield from self._check_globals(model, module, aliases,
+                                           policy, contexts)
+            yield from self._check_attrs(model, module, aliases,
+                                         policy, contexts)
+
+    # ------------------------------------------------------------------
+    def _check_globals(self, model: ProjectModel, module: ModuleInfo,
+                       aliases: Dict[str, str], policy: LintPolicy,
+                       contexts) -> Iterator[Finding]:
+        tracked: Dict[str, str] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and \
+                    len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                ctor = _unsafe_ctor(stmt.value, aliases, policy)
+                if ctor is not None:
+                    tracked[stmt.targets[0].id] = ctor
+        if not tracked:
+            return
+        reset = _fork_reset_names(module, model)
+        parents = module.parent_map()
+        for info in model.functions():
+            if info.module != module.name:
+                continue
+            if TAG_PROCESS not in contexts.tags_of(info.node):
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Name) or \
+                        not isinstance(node.ctx, ast.Load) or \
+                        node.id not in tracked:
+                    continue
+                if node.id in reset:
+                    continue  # an after-fork callback recreates it
+                if _is_close_use(node, parents):
+                    continue
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(f"{node.id} is a module-level "
+                             f"{tracked[node.id]} created before "
+                             f"fork but used in a worker-process "
+                             f"context; recreate it via "
+                             f"os.register_at_fork(after_in_child="
+                             f"...) or construct it post-fork"),
+                    module=module.name)
+
+    # ------------------------------------------------------------------
+    def _check_attrs(self, model: ProjectModel, module: ModuleInfo,
+                     aliases: Dict[str, str], policy: LintPolicy,
+                     contexts) -> Iterator[Finding]:
+        parents = module.parent_map()
+        for cls in model.classes().get(module.name, ()):
+            tracked: Dict[str, str] = {}
+            for mname, fn in cls.methods.items():
+                if TAG_PROCESS in contexts.tags_of(fn):
+                    continue  # created post-fork: fine to use there
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Assign) and \
+                            len(node.targets) == 1 and \
+                            isinstance(node.targets[0],
+                                       ast.Attribute) and \
+                            isinstance(node.targets[0].value,
+                                       ast.Name) and \
+                            node.targets[0].value.id in ("self",
+                                                         "cls"):
+                        ctor = _unsafe_ctor(node.value, aliases,
+                                            policy)
+                        if ctor is not None:
+                            tracked[node.targets[0].attr] = ctor
+            if not tracked:
+                continue
+            for mname, fn in cls.methods.items():
+                if TAG_PROCESS not in contexts.tags_of(fn):
+                    continue
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.Attribute) or \
+                            not isinstance(node.value, ast.Name) or \
+                            node.value.id not in ("self", "cls") or \
+                            node.attr not in tracked or \
+                            not isinstance(node.ctx, ast.Load):
+                        continue
+                    if _is_close_use(node, parents):
+                        continue
+                    yield Finding(
+                        path=str(module.path), line=node.lineno,
+                        col=node.col_offset, rule=self.rule,
+                        message=(f"self.{node.attr} "
+                                 f"({tracked[node.attr]}) is created "
+                                 f"pre-fork but used in a "
+                                 f"worker-process context; close it "
+                                 f"in an after-fork callback and "
+                                 f"recreate it in the child"),
+                        module=module.name)

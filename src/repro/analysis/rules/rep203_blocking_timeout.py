@@ -1,0 +1,114 @@
+"""REP203 — blocking calls in concurrent contexts carry a timeout.
+
+A supervisor slot thread stuck in ``queue.get()`` can never observe
+the stop event; a daemon thread stuck in ``pipe.recv()`` survives the
+worker it was reading from; a ``thread.join()`` without a timeout
+turns shutdown into a hang.  In any tagged execution context (thread,
+HTTP handler, worker process, finalizer — see
+:mod:`repro.analysis.contexts`) the rule requires that:
+
+- bare blocking names (``recv``, ``recv_bytes``, ``accept``) either
+  pass a ``timeout=`` or sit under a ``poll(...)`` guard (the
+  ``if conn.poll(step): conn.recv()`` idiom — ``poll`` carries the
+  timeout, making the subsequent ``recv`` non-blocking);
+- typed blocking calls (``queue.get``, ``thread.join``,
+  ``event.wait`` — matched only when the receiver's inferred type
+  says so, keeping ``dict.get`` and ``str.join`` out of scope) pass a
+  timeout argument.
+
+A function that *must* block forever by design (the worker's request
+pipe) is not silenced inline: it gets a
+``LintPolicy.blocking_wait_allowed`` entry with a recorded reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.contexts import context_map
+from repro.analysis.findings import Finding
+from repro.analysis.model import (FunctionInfo, ModuleInfo,
+                                  ProjectModel, call_name)
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    return any(kw.arg in ("timeout", "block") for kw in call.keywords)
+
+
+def _poll_guarded(call: ast.Call, fn: ast.AST,
+                  module: ModuleInfo) -> bool:
+    """Whether an enclosing ``if``/``while`` test polls first."""
+    for ancestor in module.ancestors(call):
+        if ancestor is fn:
+            break
+        if isinstance(ancestor, (ast.If, ast.While)):
+            for node in ast.walk(ancestor.test):
+                if isinstance(node, ast.Call) and \
+                        call_name(node) == "poll" and \
+                        (node.args or node.keywords):
+                    return True
+    return False
+
+
+@register
+class BlockingTimeoutChecker:
+    rule = "REP203"
+    summary = ("blocking calls reachable from concurrent contexts "
+               "carry a timeout or a poll guard")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        contexts = context_map(model, policy)
+        for info in model.functions():
+            if self.rule in policy.skipped_rules(info.module):
+                continue
+            tags = contexts.tags_of(info.node)
+            if not tags:
+                continue
+            if policy.blocking_wait_reason(info.qualname) is not None:
+                continue  # deliberate, recorded in the policy
+            module = model.modules[info.module]
+            yield from self._check_function(model, module, info,
+                                            tags, policy)
+
+    def _check_function(self, model: ProjectModel,
+                        module: ModuleInfo, info: FunctionInfo,
+                        tags, policy: LintPolicy
+                        ) -> Iterator[Finding]:
+        pretty_tags = "/".join(sorted(tags))
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.enclosing_function(node) is not info.node:
+                continue  # nested defs are checked as themselves
+            name = call_name(node)
+            if name in policy.blocking_bare_calls:
+                if _has_timeout(node) or \
+                        _poll_guarded(node, info.node, module):
+                    continue
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(f"{name}() in a {pretty_tags} context "
+                             f"blocks indefinitely; add a timeout "
+                             f"or guard it with poll(timeout)"),
+                    module=module.name)
+                continue
+            types = policy.typed_blocking_receivers(name or "")
+            if not types or not isinstance(node.func, ast.Attribute):
+                continue
+            rtype = model.receiver_type(info, node.func.value)
+            if rtype not in types:
+                continue
+            if node.args or _has_timeout(node):
+                continue
+            yield Finding(
+                path=str(module.path), line=node.lineno,
+                col=node.col_offset, rule=self.rule,
+                message=(f"{rtype}.{name}() without a timeout in a "
+                         f"{pretty_tags} context can hang shutdown; "
+                         f"pass timeout="),
+                module=module.name)

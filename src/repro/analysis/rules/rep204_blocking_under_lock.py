@@ -1,0 +1,129 @@
+"""REP204 — no blocking work while a modeled lock is held.
+
+A lock held across ``sleep``, pipe/socket traffic, or recursive tree
+I/O turns every other thread that needs the lock into a queue behind
+that I/O — the classic convoy, and (with two locks) half of a
+deadlock.  Using the held-lock dataflow
+(:func:`repro.analysis.locks.held_lock_map`), the rule flags, in any
+function of a lock-owning class or lock-owning module:
+
+- direct calls to blocking names (``sleep``, ``recv``, ``send``,
+  ``rmtree``, ``urlopen``, ...) while a modeled lock is held;
+- typed blocking calls (``queue.get``/``thread.join``/``event.wait``,
+  matched by the receiver's inferred type) while a lock is held;
+- one level of same-class indirection: ``self.helper()`` under the
+  lock where ``helper``'s body makes a blocking call.
+
+SQLite ``execute`` is deliberately *not* in the default blocking set:
+the job store's design holds its lock across its own transactions
+(WAL, local disk) — what the rule polices is I/O with unbounded
+latency (network, pipes, sleeps, directory trees).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.locks import (class_lock_attrs, held_lock_map,
+                                  module_lock_globals)
+from repro.analysis.model import (FunctionInfo, ModuleInfo,
+                                  ProjectModel, call_name)
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+def _blocking_name(call: ast.Call, model: ProjectModel,
+                   info: FunctionInfo,
+                   policy: LintPolicy) -> Optional[str]:
+    """The blocking operation a call performs, if any."""
+    name = call_name(call)
+    if name is None:
+        return None
+    if name in policy.lock_blocking_callees:
+        return name
+    types = policy.typed_blocking_receivers(name)
+    if types and isinstance(call.func, ast.Attribute):
+        rtype = model.receiver_type(info, call.func.value)
+        if rtype in types:
+            return f"{rtype}.{name}"
+    return None
+
+
+@register
+class BlockingUnderLockChecker:
+    rule = "REP204"
+    summary = ("no sleeps, pipe/socket traffic or tree I/O while a "
+               "modeled lock is held")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        for module in model.modules_sorted():
+            if self.rule in policy.skipped_rules(module.name):
+                continue
+            mod_locks = module_lock_globals(module, policy)
+            for info in model.functions():
+                if info.module != module.name:
+                    continue
+                yield from self._check_function(model, module, info,
+                                               mod_locks, policy)
+
+    def _check_function(self, model: ProjectModel,
+                        module: ModuleInfo, info: FunctionInfo,
+                        mod_locks, policy: LintPolicy
+                        ) -> Iterator[Finding]:
+        cls = model.class_of(info)
+        lock_exprs = set(mod_locks)
+        if cls is not None:
+            lock_exprs |= {f"self.{name}"
+                           for name in class_lock_attrs(cls, policy)}
+        if not lock_exprs:
+            return
+        held = held_lock_map(info.node, lock_exprs)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.enclosing_function(node) is not info.node:
+                continue
+            locks_held = held.get(id(node))
+            if not locks_held:
+                continue
+            pretty = "/".join(sorted(locks_held))
+            blocking = _blocking_name(node, model, info, policy)
+            if blocking is not None:
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(f"{blocking}() while holding {pretty}; "
+                             f"move the blocking work outside the "
+                             f"lock (snapshot state under the lock, "
+                             f"do I/O after)"),
+                    module=module.name)
+                continue
+            # One level of same-class indirection.
+            if cls is not None and \
+                    isinstance(node.func, ast.Attribute) and \
+                    isinstance(node.func.value, ast.Name) and \
+                    node.func.value.id in ("self", "cls") and \
+                    node.func.attr in cls.methods:
+                callee = cls.methods[node.func.attr]
+                callee_info = model.functions_by_id().get(id(callee))
+                if callee_info is None:
+                    continue
+                for sub in ast.walk(callee):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    blocking = _blocking_name(sub, model,
+                                              callee_info, policy)
+                    if blocking is not None:
+                        yield Finding(
+                            path=str(module.path), line=node.lineno,
+                            col=node.col_offset, rule=self.rule,
+                            message=(f"self.{node.func.attr}() is "
+                                     f"called while holding {pretty} "
+                                     f"and performs blocking "
+                                     f"{blocking}(); move the I/O "
+                                     f"outside the lock"),
+                            module=module.name)
+                        break

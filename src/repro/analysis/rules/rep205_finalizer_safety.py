@@ -1,0 +1,72 @@
+"""REP205 — finalizer contexts stay on the reentrant-safe allowlist.
+
+Code registered with ``atexit.register``, ``weakref.finalize``,
+``multiprocessing.util.Finalize`` or an after-fork hook runs at the
+worst possible moments: interpreter teardown (modules half-cleared,
+daemon threads killed mid-statement) or immediately post-fork (every
+lock another thread held is locked forever, with no thread left to
+release it).  Logging-handler mutation, lock acquisition, metric
+registration — all can deadlock or throw there, and the traceback is
+swallowed.
+
+The rule walks every function tagged ``finalizer`` by the context
+model and requires each call to either resolve to project code (which
+carries the tag itself and is checked recursively) or appear in the
+``LintPolicy.finalizer_allowed_calls`` allowlist — the small closure
+of operations that are safe without locks or imports:
+``os.getpid``, ``shutil.rmtree``, ``.close()``/``.unlink()``, and
+fresh lock *construction* (the after-fork reset idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.contexts import TAG_FINALIZER, context_map
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, call_name
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+
+@register
+class FinalizerSafetyChecker:
+    rule = "REP205"
+    summary = ("atexit/finalizer contexts only call the policy's "
+               "reentrant-safe allowlist")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        contexts = context_map(model, policy)
+        stop_names = policy.call_graph_stop_names
+        for info in model.functions():
+            if self.rule in policy.skipped_rules(info.module):
+                continue
+            if TAG_FINALIZER not in contexts.tags_of(info.node):
+                continue
+            module = model.modules[info.module]
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if module.enclosing_function(node) is not info.node:
+                    continue
+                name = call_name(node)
+                if name is None:
+                    continue
+                if model.call_targets(info, node, stop_names):
+                    # Resolves to project code: that function carries
+                    # the finalizer tag and is checked itself.
+                    continue
+                if name in policy.finalizer_allowed_calls:
+                    continue
+                yield Finding(
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(f"{name}() called from a finalizer "
+                             f"context (atexit/weakref/after-fork) "
+                             f"but not on the reentrant-safe "
+                             f"allowlist; finalizers run with locks "
+                             f"possibly held forever and modules "
+                             f"half-torn-down"),
+                    module=module.name)

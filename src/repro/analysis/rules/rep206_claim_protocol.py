@@ -1,0 +1,323 @@
+"""REP206 — the shm claim protocol releases on every path.
+
+The residency layer serialises segment builds with a filesystem-level
+claim: ``lock = _claim_build(name)`` creates a ``.lck`` segment
+(``None`` means someone else holds it) and ``_release_claim(lock)``
+removes it.  A claim leaked on an exception or early ``return``
+stalls *every other process* for the full stale-claim grace period —
+this is REP104's unlink obligation generalised into a state machine.
+
+For every function that binds the result of an acquire call
+(``LintPolicy.claim_acquire_callees``, plus forwarders that directly
+``return`` an acquire — ``_steal_stale_claim``-style), a small
+abstract interpreter tracks the claim variable through the lattice
+``{NONE, HELD, RELEASED}``:
+
+- an acquire yields ``{NONE, HELD}`` (claims are contended);
+- ``if lock is None`` / ``is not None`` / truthiness tests refine
+  the state per branch;
+- a ``try`` whose ``finally`` (or handler) calls the release
+  protects everything inside it, including ``return``;
+- a ``return`` (or bare ``raise``) while ``HELD`` outside protection
+  leaks the claim — finding;
+- any call while ``HELD`` outside protection can raise past the
+  release — finding ("no release on the exception path");
+- falling off the end while ``HELD`` — finding.
+
+Loops are evaluated once (a claim acquired per-iteration and leaked
+would still show inside the body); the approximation is conservative
+in the reporting direction only where branch refinement applies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import (FunctionInfo, ModuleInfo,
+                                  ProjectModel, call_name)
+from repro.analysis.policy import LintPolicy
+from repro.analysis.registry import register
+
+NONE = "none"
+HELD = "held"
+RELEASED = "released"
+
+_FULL = frozenset({NONE, HELD})
+
+
+def _acquire_names(model: ProjectModel,
+                   policy: LintPolicy) -> FrozenSet[str]:
+    """Configured acquire callees plus direct-return forwarders."""
+    names: Set[str] = set(policy.claim_acquire_callees)
+    changed = True
+    while changed:
+        changed = False
+        for info in model.functions():
+            if info.node.name in names:
+                continue
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Return) and \
+                        isinstance(node.value, ast.Call) and \
+                        call_name(node.value) in names:
+                    names.add(info.node.name)
+                    changed = True
+                    break
+    return frozenset(names)
+
+
+def _released_vars(node: ast.AST, release: FrozenSet[str]
+                   ) -> Set[str]:
+    """Claim variables a statement passes to a release call."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and \
+                call_name(sub) in release:
+            out.update(arg.id for arg in sub.args
+                       if isinstance(arg, ast.Name))
+    return out
+
+
+def _contains_call(node: ast.AST) -> bool:
+    return any(isinstance(sub, ast.Call) for sub in ast.walk(node))
+
+
+class _Interp:
+    """One function's claim-state walk; collects findings."""
+
+    def __init__(self, module: ModuleInfo, fn: ast.FunctionDef,
+                 rule: str, acquire: FrozenSet[str],
+                 release: FrozenSet[str]) -> None:
+        self.module = module
+        self.fn = fn
+        self.rule = rule
+        self.acquire = acquire
+        self.release = release
+        self.findings: List[Finding] = []
+        self.reported: Set[Tuple[str, str]] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _report(self, var: str, kind: str, line: int, col: int,
+                message: str) -> None:
+        if (var, kind) in self.reported:
+            return
+        self.reported.add((var, kind))
+        self.findings.append(Finding(
+            path=str(self.module.path), line=line, col=col,
+            rule=self.rule, message=message,
+            module=self.module.name))
+
+    @staticmethod
+    def _refine(env: Dict[str, FrozenSet[str]], test: ast.expr
+                ) -> Tuple[Dict[str, FrozenSet[str]],
+                           Dict[str, FrozenSet[str]]]:
+        """(then-env, else-env) after an ``is None``-style test."""
+        then_env = dict(env)
+        else_env = dict(env)
+        var = None
+        none_in_then = None
+        if isinstance(test, ast.Compare) and \
+                isinstance(test.left, ast.Name) and \
+                len(test.ops) == 1 and \
+                isinstance(test.comparators[0], ast.Constant) and \
+                test.comparators[0].value is None:
+            var = test.left.id
+            if isinstance(test.ops[0], ast.Is):
+                none_in_then = True
+            elif isinstance(test.ops[0], ast.IsNot):
+                none_in_then = False
+        elif isinstance(test, ast.Name):
+            var = test.id
+            none_in_then = False
+        elif isinstance(test, ast.UnaryOp) and \
+                isinstance(test.op, ast.Not) and \
+                isinstance(test.operand, ast.Name):
+            var = test.operand.id
+            none_in_then = True
+        if var is not None and var in env and \
+                none_in_then is not None:
+            states = env[var]
+            if none_in_then:
+                then_env[var] = states & frozenset({NONE})
+                else_env[var] = states - frozenset({NONE})
+            else:
+                then_env[var] = states - frozenset({NONE})
+                else_env[var] = states & frozenset({NONE})
+        return then_env, else_env
+
+    # -- the walk ------------------------------------------------------
+    def run(self) -> List[Finding]:
+        env, _ = self.block(self.fn.body, {}, frozenset())
+        for var, states in env.items():
+            if HELD in states:
+                self._report(
+                    var, "fallthrough", self.fn.lineno,
+                    self.fn.col_offset,
+                    f"claim {var!r} may reach the end of "
+                    f"{self.fn.name}() without a release")
+        return self.findings
+
+    def block(self, stmts: List[ast.stmt],
+              env: Dict[str, FrozenSet[str]],
+              protected: FrozenSet[str]
+              ) -> Tuple[Dict[str, FrozenSet[str]], bool]:
+        """Returns (env-after, falls-through)."""
+        env = dict(env)
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign) and \
+                    len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                var = stmt.targets[0].id
+                is_acquire = isinstance(stmt.value, ast.Call) and \
+                    call_name(stmt.value) in self.acquire
+                if HELD in env.get(var, frozenset()) and \
+                        var not in protected:
+                    self._report(
+                        var, "overwrite", stmt.lineno,
+                        stmt.col_offset,
+                        f"claim {var!r} is reassigned while "
+                        f"possibly held; release it first")
+                if is_acquire:
+                    env[var] = _FULL
+                    continue
+                env.pop(var, None)
+                if _contains_call(stmt):
+                    self._may_raise(stmt, env, protected)
+                continue
+            if isinstance(stmt, ast.Return):
+                self._leak_check(stmt, env, protected,
+                                 "early return leaks claim")
+                return env, False
+            if isinstance(stmt, ast.Raise):
+                self._leak_check(stmt, env, protected,
+                                 "raise leaks claim")
+                return env, False
+            if isinstance(stmt, ast.If):
+                then_env, else_env = self._refine(env, stmt.test)
+                out1, ft1 = self.block(stmt.body, then_env,
+                                       protected)
+                out2, ft2 = self.block(stmt.orelse, else_env,
+                                       protected)
+                env = self._join(out1, ft1, out2, ft2)
+                if not (ft1 or ft2):
+                    return env, False
+                continue
+            if isinstance(stmt, ast.Try):
+                protecting = set()
+                for release_stmt in stmt.finalbody:
+                    protecting |= _released_vars(release_stmt,
+                                                 self.release)
+                for handler in stmt.handlers:
+                    for release_stmt in handler.body:
+                        protecting |= _released_vars(release_stmt,
+                                                     self.release)
+                inner = frozenset(protected | protecting)
+                env, ft = self.block(stmt.body, env, inner)
+                for handler in stmt.handlers:
+                    self.block(handler.body, env, inner)
+                env, ft_orelse = self.block(stmt.orelse, env, inner)
+                ft = ft and ft_orelse
+                env, ft_final = self.block(stmt.finalbody, env,
+                                           protected)
+                for var in protecting:
+                    if var in env:
+                        env[var] = (env[var] - {HELD}) | {RELEASED}
+                if not (ft and ft_final):
+                    return env, False
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                env, ft = self.block(stmt.body, env, protected)
+                if not ft:
+                    return env, False
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                body_env, _ = self.block(stmt.body, env, protected)
+                orelse_env, _ = self.block(stmt.orelse, body_env,
+                                           protected)
+                env = self._join(env, True, orelse_env, True)
+                continue
+            if isinstance(stmt, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            # Simple statement: releases apply first, then the
+            # may-raise obligation for still-held claims.
+            released = _released_vars(stmt, self.release)
+            for var in released:
+                if var in env:
+                    env[var] = (env[var] - {HELD}) | {RELEASED}
+            if released:
+                continue
+            if _contains_call(stmt):
+                self._may_raise(stmt, env, protected)
+        return env, True
+
+    def _may_raise(self, stmt: ast.stmt,
+                   env: Dict[str, FrozenSet[str]],
+                   protected: FrozenSet[str]) -> None:
+        for var, states in env.items():
+            if HELD in states and var not in protected:
+                self._report(
+                    var, "exception", stmt.lineno, stmt.col_offset,
+                    f"call while claim {var!r} is held and no "
+                    f"release on the exception path; wrap in "
+                    f"try/finally with "
+                    f"{'/'.join(sorted(self.release))}")
+
+    def _leak_check(self, stmt: ast.stmt,
+                    env: Dict[str, FrozenSet[str]],
+                    protected: FrozenSet[str], what: str) -> None:
+        for var, states in env.items():
+            if HELD in states and var not in protected:
+                self._report(
+                    var, "return", stmt.lineno, stmt.col_offset,
+                    f"{what} {var!r}; release it before leaving "
+                    f"the function")
+
+    @staticmethod
+    def _join(env1: Dict[str, FrozenSet[str]], ft1: bool,
+              env2: Dict[str, FrozenSet[str]], ft2: bool
+              ) -> Dict[str, FrozenSet[str]]:
+        if ft1 and not ft2:
+            return env1
+        if ft2 and not ft1:
+            return env2
+        joined: Dict[str, FrozenSet[str]] = {}
+        for var in set(env1) | set(env2):
+            joined[var] = env1.get(var, frozenset()) | \
+                env2.get(var, frozenset())
+        return joined
+
+
+@register
+class ClaimProtocolChecker:
+    rule = "REP206"
+    summary = ("every claim acquire is released on all exception "
+               "and return paths")
+
+    def check(self, model: ProjectModel,
+              policy: LintPolicy) -> Iterator[Finding]:
+        if not policy.claim_acquire_callees:
+            return
+        acquire = _acquire_names(model, policy)
+        release = frozenset(policy.claim_release_callees)
+        for info in model.functions():
+            if self.rule in policy.skipped_rules(info.module):
+                continue
+            if not self._binds_claim(info, acquire):
+                continue
+            module = model.modules[info.module]
+            interp = _Interp(module, info.node, self.rule, acquire,
+                             release)
+            yield from interp.run()
+
+    @staticmethod
+    def _binds_claim(info: FunctionInfo,
+                     acquire: FrozenSet[str]) -> bool:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and \
+                    isinstance(node.value, ast.Call) and \
+                    call_name(node.value) in acquire:
+                return True
+        return False

@@ -226,24 +226,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="check repository invariants (REP1xx rules)",
+        help="check repository invariants (REP1xx/REP2xx rules)",
         description="AST-based invariant checks: determinism, "
                     "filesystem ordering, content-key completeness, "
                     "shared-memory lifecycle, telemetry purity, error "
-                    "taxonomy.  Exits 1 on findings, 2 on misuse.")
+                    "taxonomy, plus the REP2xx concurrency family "
+                    "(lock discipline, fork safety, blocking "
+                    "timeouts, finalizer safety, claim protocol).  "
+                    "Exits 1 on findings, 2 on misuse.")
     lint.add_argument("paths", nargs="*",
                       help="package dirs or .py files to lint "
                            "(default: the installed repro package)")
     lint.add_argument("--select", action="append", default=[],
                       metavar="RULES",
                       help="run only these comma-separated rule IDs "
+                           "or family prefixes, e.g. REP2 "
                            "(repeatable)")
     lint.add_argument("--ignore", action="append", default=[],
                       metavar="RULES",
-                      help="skip these comma-separated rule IDs "
-                           "(repeatable)")
+                      help="skip these comma-separated rule IDs or "
+                           "family prefixes (repeatable)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default=None,
+                      help="report format (default: text)")
     lint.add_argument("--json", action="store_true",
-                      help="emit the machine-readable report")
+                      help="emit the machine-readable report "
+                           "(alias for --format json)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
     return parser
@@ -715,7 +723,8 @@ def _split_rules(values: Sequence[str]) -> List[str]:
 
 def _lint_command(args: argparse.Namespace) -> int:
     from repro.analysis import list_rules, run_lint
-    from repro.analysis.reporting import render_json, render_text
+    from repro.analysis.reporting import (render_json, render_sarif,
+                                          render_text)
 
     if args.list_rules:
         for entry in list_rules():
@@ -729,7 +738,10 @@ def _lint_command(args: argparse.Namespace) -> int:
     result = run_lint(paths,
                       select=_split_rules(args.select),
                       ignore=_split_rules(args.ignore))
-    print(render_json(result) if args.json else render_text(result))
+    fmt = args.format or ("json" if args.json else "text")
+    renderers = {"text": render_text, "json": render_json,
+                 "sarif": render_sarif}
+    print(renderers[fmt](result))
     return 0 if result.ok else 1
 
 

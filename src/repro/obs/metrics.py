@@ -21,6 +21,7 @@ results, and :func:`set_enabled` turns every record call into a no-op.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -334,6 +335,23 @@ def _format(value: float) -> str:
 # ----------------------------------------------------------------------
 _registry = MetricsRegistry()
 _registry_lock = threading.Lock()
+
+
+def _reset_locks_after_fork() -> None:
+    """Replace locks a forked child inherited from the parent.
+
+    If another parent thread held ``_registry_lock`` (or the
+    registry's internal lock) at fork time, the child's copy is locked
+    forever with no owner left to release it — fresh locks make the
+    child's first ``set_registry`` safe.
+    """
+    global _registry_lock
+    _registry_lock = threading.Lock()
+    _registry._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_locks_after_fork)
 
 
 def get_registry() -> MetricsRegistry:

@@ -672,13 +672,14 @@ class ResidentSetManager:
                 evicted.append(victim)
         for name in evicted:
             unlink_segment(name)
-            self.evictions += 1
             metrics.get_registry().counter(
                 "repro_resident_evictions_total",
                 "Resident segments unlinked to fit the byte "
                 "budget").inc()
             log.info("evicted resident segment %s", name)
         if evicted:
+            with self._lock:
+                self.evictions += len(evicted)
             self._publish_gauges()
         return evicted
 
@@ -708,7 +709,8 @@ class ResidentSetManager:
                 if unlink_segment(name):
                     removed.append(name)
         if removed:
-            self.orphans_swept += len(removed)
+            with self._lock:
+                self.orphans_swept += len(removed)
             metrics.get_registry().counter(
                 "repro_resident_orphans_swept_total",
                 "Orphaned segments/locks removed after worker "

@@ -257,6 +257,7 @@ class SimulationService:
             cache_served = self._cache_served
         done_last_minute = self.store.done_since(now - 60.0)
         inventory_memo = self._cache_inventory()
+        completed, failed = self.supervisor.totals()
         return {
             "uptime_s": (now - self._started_at
                          if self._started_at else 0.0),
@@ -271,8 +272,8 @@ class SimulationService:
             "jobs": {
                 "submitted": submissions,
                 "served_from_cache": cache_served,
-                "completed": self.supervisor.completed,
-                "failed": self.supervisor.failed,
+                "completed": completed,
+                "failed": failed,
                 "done_last_minute": done_last_minute,
                 "per_sec_1m": done_last_minute / 60.0,
             },

@@ -35,7 +35,7 @@ import queue
 import threading
 import time
 from collections import deque
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from repro.errors import JobError
 from repro.hw.stats import RunStats
@@ -353,3 +353,9 @@ class WorkerSupervisor:
                 self.completed += 1
             else:
                 self.failed += 1
+
+    def totals(self) -> Tuple[int, int]:
+        """``(completed, failed)`` read atomically under the counter
+        lock — the pair stays consistent for health/metrics readers."""
+        with self._counter_lock:
+            return self.completed, self.failed

@@ -1,0 +1,729 @@
+"""REP2xx concurrency-rule tests: the execution-context classifier,
+the held-lock dataflow, and a violating/clean fixture pair per rule
+asserting exact rule IDs and line numbers (mirroring
+``test_lint_rules.py``).
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import LintPolicy, run_lint
+from repro.analysis.contexts import (TAG_FINALIZER, TAG_PROCESS,
+                                     TAG_THREAD, context_map)
+from repro.analysis.locks import held_lock_map
+from repro.analysis.model import ProjectModel
+
+
+def make_pkg(tmp_path: Path, files: dict) -> Path:
+    pkg = tmp_path / "fixturepkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for rel, text in files.items():
+        (pkg / rel).write_text(textwrap.dedent(text))
+    return pkg
+
+
+def lint(pkg: Path, policy: LintPolicy, rule: str):
+    return run_lint([pkg], select=[rule], policy=policy).findings
+
+
+def hits(findings, rule):
+    return [(f.rule, f.line) for f in findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# The execution-context classifier
+# ----------------------------------------------------------------------
+class TestContextClassifier:
+    SOURCE = {"workers.py": """\
+        import atexit
+        import threading
+        from multiprocessing import Process
+
+
+        def thread_target():
+            helper()
+
+
+        def helper():
+            return 1
+
+
+        def process_target():
+            return 2
+
+
+        def exit_hook():
+            return 3
+
+
+        def untouched():
+            return 4
+
+
+        def main():
+            threading.Thread(target=thread_target).start()
+            Process(target=process_target).start()
+            atexit.register(exit_hook)
+        """}
+
+    def _tags(self, tmp_path):
+        pkg = make_pkg(tmp_path, self.SOURCE)
+        model = ProjectModel([pkg])
+        cmap = context_map(model, LintPolicy())
+        return {info.qualname.split(":")[1]: cmap.tags_of(info.node)
+                for info in model.functions()}
+
+    def test_thread_spawn_tags_target(self, tmp_path):
+        tags = self._tags(tmp_path)
+        assert tags["thread_target"] == {TAG_THREAD}
+
+    def test_tag_propagates_through_calls(self, tmp_path):
+        tags = self._tags(tmp_path)
+        assert tags["helper"] == {TAG_THREAD}
+
+    def test_process_spawn_tags_target(self, tmp_path):
+        tags = self._tags(tmp_path)
+        assert tags["process_target"] == {TAG_PROCESS}
+
+    def test_atexit_registration_tags_finalizer(self, tmp_path):
+        tags = self._tags(tmp_path)
+        assert tags["exit_hook"] == {TAG_FINALIZER}
+
+    def test_unspawned_functions_stay_main(self, tmp_path):
+        tags = self._tags(tmp_path)
+        assert tags["untouched"] == frozenset()
+        assert tags["main"] == frozenset()
+
+    def test_spawn_sites_recorded(self, tmp_path):
+        pkg = make_pkg(tmp_path, self.SOURCE)
+        model = ProjectModel([pkg])
+        cmap = context_map(model, LintPolicy())
+        tags = {site.tag for site in cmap.sites}
+        assert tags == {TAG_THREAD, TAG_PROCESS, TAG_FINALIZER}
+
+
+# ----------------------------------------------------------------------
+# The held-lock dataflow
+# ----------------------------------------------------------------------
+def _func(source: str) -> ast.FunctionDef:
+    return ast.parse(textwrap.dedent(source)).body[0]
+
+
+def _held_at_calls(func, lock_exprs):
+    """``call name -> held locks`` for every call in the function."""
+    held = held_lock_map(func, lock_exprs)
+    out = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name):
+            out[node.func.id] = held[id(node)]
+    return out
+
+
+class TestHeldLockMap:
+    def test_with_block_holds_and_releases(self):
+        func = _func("""\
+            def f(self):
+                before()
+                with self._lock:
+                    inside()
+                after()
+            """)
+        at = _held_at_calls(func, {"self._lock"})
+        assert at["before"] == frozenset()
+        assert at["inside"] == {"self._lock"}
+        assert at["after"] == frozenset()
+
+    def test_nested_with_accumulates(self):
+        func = _func("""\
+            def f(self):
+                with self._outer:
+                    with self._inner:
+                        both()
+                    one()
+            """)
+        at = _held_at_calls(func, {"self._outer", "self._inner"})
+        assert at["both"] == {"self._outer", "self._inner"}
+        assert at["one"] == {"self._outer"}
+
+    def test_multi_item_with(self):
+        func = _func("""\
+            def f(self):
+                with self._lock, self._conn:
+                    inside()
+            """)
+        at = _held_at_calls(func, {"self._lock", "self._conn"})
+        assert at["inside"] == {"self._lock", "self._conn"}
+
+    def test_alias_counts_as_the_same_lock(self):
+        func = _func("""\
+            def f(self):
+                lock = self._lock
+                with lock:
+                    inside()
+            """)
+        at = _held_at_calls(func, {"self._lock"})
+        assert at["inside"] == {"lock"}
+
+    def test_acquire_release_linear(self):
+        func = _func("""\
+            def f(self):
+                self._lock.acquire()
+                inside()
+                self._lock.release()
+                after()
+            """)
+        at = _held_at_calls(func, {"self._lock"})
+        assert at["inside"] == {"self._lock"}
+        assert at["after"] == frozenset()
+
+    def test_nested_def_body_is_not_under_the_lock(self):
+        func = _func("""\
+            def f(self):
+                with self._lock:
+                    def cb():
+                        later()
+                    register(cb)
+            """)
+        at = _held_at_calls(func, {"self._lock"})
+        assert at["later"] == frozenset()
+        assert at["register"] == {"self._lock"}
+
+
+# ----------------------------------------------------------------------
+# REP201 — lock discipline
+# ----------------------------------------------------------------------
+class TestREP201:
+    policy = LintPolicy()
+
+    def test_unlocked_write_from_thread_context_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"tally.py": """\
+            import threading
+
+
+            class Tally:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def spawn(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    self.total += 1
+            """})
+        findings = lint(pkg, self.policy, "REP201")
+        assert hits(findings, "REP201") == [("REP201", 13)]
+        assert "self.total" in findings[0].message
+
+    def test_locked_write_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"tally.py": """\
+            import threading
+
+
+            class Tally:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def spawn(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    with self._lock:
+                        self.total += 1
+            """})
+        assert lint(pkg, self.policy, "REP201") == ()
+
+    def test_cross_class_unlocked_read_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"pair.py": """\
+            import threading
+
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.total += 1
+
+
+            class Reader:
+                def __init__(self, owner: Owner):
+                    self.owner = owner
+
+                def spawn(self):
+                    threading.Thread(target=self.snapshot).start()
+
+                def snapshot(self):
+                    return {"total": self.owner.total}
+            """})
+        findings = lint(pkg, self.policy, "REP201")
+        assert hits(findings, "REP201") == [("REP201", 22)]
+        assert "locked accessor" in findings[0].message
+
+    def test_locked_accessor_read_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"pair.py": """\
+            import threading
+
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.total += 1
+
+                def totals(self):
+                    with self._lock:
+                        return self.total
+
+
+            class Reader:
+                def __init__(self, owner: Owner):
+                    self.owner = owner
+
+                def spawn(self):
+                    threading.Thread(target=self.snapshot).start()
+
+                def snapshot(self):
+                    return {"total": self.owner.totals()}
+            """})
+        assert lint(pkg, self.policy, "REP201") == ()
+
+    def test_threadsafe_typed_field_is_exempt(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"tally.py": """\
+            import queue
+            import threading
+
+
+            class Tally:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._inbox = queue.Queue()
+
+                def spawn(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    self._inbox.put(1)
+            """})
+        assert lint(pkg, self.policy, "REP201") == ()
+
+
+# ----------------------------------------------------------------------
+# REP202 — fork safety
+# ----------------------------------------------------------------------
+class TestREP202:
+    policy = LintPolicy()
+
+    def test_prefork_lock_used_in_worker_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"pool.py": """\
+            import threading
+            from multiprocessing import Process
+
+            _LOCK = threading.Lock()
+
+
+            def handle():
+                with _LOCK:
+                    return 1
+
+
+            def spawn():
+                proc = Process(target=handle)
+                proc.start()
+                return proc
+            """})
+        findings = lint(pkg, self.policy, "REP202")
+        assert hits(findings, "REP202") == [("REP202", 8)]
+        assert "_LOCK" in findings[0].message
+
+    def test_after_fork_reset_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"pool.py": """\
+            import os
+            import threading
+            from multiprocessing import Process
+
+            _LOCK = threading.Lock()
+
+
+            def _reset():
+                global _LOCK
+                _LOCK = threading.Lock()
+
+
+            if hasattr(os, "register_at_fork"):
+                os.register_at_fork(after_in_child=_reset)
+
+
+            def handle():
+                with _LOCK:
+                    return 1
+
+
+            def spawn():
+                proc = Process(target=handle)
+                proc.start()
+                return proc
+            """})
+        assert lint(pkg, self.policy, "REP202") == ()
+
+    def test_close_in_child_is_allowed(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"pool.py": """\
+            import sqlite3
+            from multiprocessing import Process
+
+
+            class Holder:
+                def __init__(self, path):
+                    self._conn = sqlite3.connect(path)
+
+                def _in_child(self):
+                    self._conn.close()
+
+                def spawn(self):
+                    proc = Process(target=self._in_child)
+                    proc.start()
+                    return proc
+            """})
+        assert lint(pkg, self.policy, "REP202") == ()
+
+
+# ----------------------------------------------------------------------
+# REP203 — blocking call without timeout
+# ----------------------------------------------------------------------
+class TestREP203:
+    policy = LintPolicy()
+
+    def test_bare_queue_get_in_thread_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"puller.py": """\
+            import queue
+            import threading
+
+
+            class Puller:
+                def __init__(self):
+                    self._queue = queue.Queue()
+
+                def spawn(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    while True:
+                        item = self._queue.get()
+                        if item is None:
+                            return
+            """})
+        findings = lint(pkg, self.policy, "REP203")
+        assert hits(findings, "REP203") == [("REP203", 14)]
+        assert "timeout" in findings[0].message
+
+    def test_get_with_timeout_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"puller.py": """\
+            import queue
+            import threading
+
+
+            class Puller:
+                def __init__(self):
+                    self._queue = queue.Queue()
+
+                def spawn(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    while True:
+                        try:
+                            item = self._queue.get(timeout=0.5)
+                        except queue.Empty:
+                            continue
+                        if item is None:
+                            return
+            """})
+        assert lint(pkg, self.policy, "REP203") == ()
+
+    def test_poll_guarded_recv_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"pipes.py": """\
+            import threading
+
+
+            class Reader:
+                def __init__(self, conn):
+                    self.conn = conn
+
+                def spawn(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    while True:
+                        if self.conn.poll(1.0):
+                            payload = self.conn.recv()
+                            if payload is None:
+                                return
+            """})
+        assert lint(pkg, self.policy, "REP203") == ()
+
+    def test_untagged_function_not_checked(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"puller.py": """\
+            import queue
+
+
+            def drain(q: queue.Queue):
+                return q.get()
+            """})
+        assert lint(pkg, self.policy, "REP203") == ()
+
+    def test_policy_exemption_silences_with_reason(self, tmp_path):
+        policy = LintPolicy(blocking_wait_allowed=(
+            ("fixturepkg.puller:Puller._loop",
+             "sentinel shutdown by design"),))
+        pkg = make_pkg(tmp_path, {"puller.py": """\
+            import queue
+            import threading
+
+
+            class Puller:
+                def __init__(self):
+                    self._queue = queue.Queue()
+
+                def spawn(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    while True:
+                        item = self._queue.get()
+                        if item is None:
+                            return
+            """})
+        assert lint(pkg, policy, "REP203") == ()
+
+
+# ----------------------------------------------------------------------
+# REP204 — no blocking under lock
+# ----------------------------------------------------------------------
+class TestREP204:
+    policy = LintPolicy()
+
+    def test_sleep_under_lock_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"keeper.py": """\
+            import threading
+            import time
+
+
+            class Keeper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+
+                def purge(self):
+                    with self._lock:
+                        del self.items[:]
+                        time.sleep(0.1)
+            """})
+        findings = lint(pkg, self.policy, "REP204")
+        assert hits(findings, "REP204") == [("REP204", 13)]
+        assert "sleep" in findings[0].message
+
+    def test_sleep_outside_lock_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"keeper.py": """\
+            import threading
+            import time
+
+
+            class Keeper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+
+                def purge(self):
+                    with self._lock:
+                        del self.items[:]
+                    time.sleep(0.1)
+            """})
+        assert lint(pkg, self.policy, "REP204") == ()
+
+    def test_blocking_call_in_helper_under_lock_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"keeper.py": """\
+            import threading
+            import time
+
+
+            class Keeper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def _nap(self):
+                    time.sleep(0.1)
+
+                def purge(self):
+                    with self._lock:
+                        self._nap()
+            """})
+        findings = lint(pkg, self.policy, "REP204")
+        assert hits(findings, "REP204") == [("REP204", 14)]
+
+
+# ----------------------------------------------------------------------
+# REP205 — finalizer safety
+# ----------------------------------------------------------------------
+class TestREP205:
+    policy = LintPolicy()
+
+    def test_logging_from_atexit_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"cleanup.py": """\
+            import atexit
+            import logging
+
+
+            def _cleanup():
+                logging.shutdown()
+
+
+            atexit.register(_cleanup)
+            """})
+        findings = lint(pkg, self.policy, "REP205")
+        assert hits(findings, "REP205") == [("REP205", 6)]
+        assert "finalizer" in findings[0].message
+
+    def test_allowlisted_calls_are_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"cleanup.py": """\
+            import atexit
+            import shutil
+
+            SCRATCH = "/tmp/fixture-scratch"
+
+
+            def _cleanup():
+                shutil.rmtree(SCRATCH)
+
+
+            atexit.register(_cleanup)
+            """})
+        assert lint(pkg, self.policy, "REP205") == ()
+
+    def test_project_helper_checked_recursively(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"cleanup.py": """\
+            import atexit
+            import logging
+
+
+            def _cleanup():
+                _helper()
+
+
+            def _helper():
+                logging.shutdown()
+
+
+            atexit.register(_cleanup)
+            """})
+        findings = lint(pkg, self.policy, "REP205")
+        assert hits(findings, "REP205") == [("REP205", 10)]
+
+
+# ----------------------------------------------------------------------
+# REP206 — claim-protocol state machine
+# ----------------------------------------------------------------------
+class TestREP206:
+    policy = LintPolicy(
+        claim_acquire_callees=frozenset({"claim"}),
+        claim_release_callees=frozenset({"unclaim"}))
+
+    def test_unprotected_call_while_held_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"claims.py": """\
+            def claim(name):
+                return name
+
+
+            def unclaim(lock):
+                return lock
+
+
+            def build(name, publish):
+                lock = claim(name)
+                if lock is not None:
+                    publish(name)
+                    unclaim(lock)
+                return None
+            """})
+        findings = lint(pkg, self.policy, "REP206")
+        assert hits(findings, "REP206") == [("REP206", 12)]
+        assert "exception path" in findings[0].message
+
+    def test_early_return_while_held_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"claims.py": """\
+            def claim(name):
+                return name
+
+
+            def build(name):
+                lock = claim(name)
+                if lock is not None:
+                    return name
+                return None
+            """})
+        findings = lint(pkg, self.policy, "REP206")
+        assert hits(findings, "REP206") == [("REP206", 8)]
+        assert "release" in findings[0].message
+
+    def test_try_finally_release_is_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"claims.py": """\
+            def claim(name):
+                return name
+
+
+            def unclaim(lock):
+                return lock
+
+
+            def build(name, publish):
+                lock = claim(name)
+                if lock is not None:
+                    try:
+                        publish(name)
+                    finally:
+                        unclaim(lock)
+                return None
+            """})
+        assert lint(pkg, self.policy, "REP206") == ()
+
+    def test_none_branch_needs_no_release(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"claims.py": """\
+            def claim(name):
+                return name
+
+
+            def unclaim(lock):
+                return lock
+
+
+            def build(name, wait):
+                lock = claim(name)
+                if lock is None:
+                    wait(name)
+                    return None
+                unclaim(lock)
+                return name
+            """})
+        assert lint(pkg, self.policy, "REP206") == ()
+
+    def test_inactive_without_policy_callees(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"claims.py": """\
+            def claim(name):
+                return name
+
+
+            def build(name):
+                lock = claim(name)
+                if lock is not None:
+                    return name
+                return None
+            """})
+        assert lint(pkg, LintPolicy(), "REP206") == ()

@@ -13,14 +13,18 @@ import repro
 from repro.analysis import (LintPolicy, default_policy, list_rules,
                             run_lint)
 from repro.analysis.registry import resolve_rules
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import (render_json, render_sarif,
+                                      render_text)
 from repro.analysis.suppressions import (is_suppressed,
                                          suppressed_rules_on_line)
 from repro.cli import main
 from repro.errors import LintError
 
 ALL_RULES = ["REP101", "REP102", "REP103", "REP104", "REP105",
-             "REP106"]
+             "REP106",
+             "REP201", "REP202", "REP203", "REP204", "REP205",
+             "REP206"]
+REP2_RULES = ALL_RULES[6:]
 
 
 def make_pkg(tmp_path: Path, files: dict) -> Path:
@@ -109,6 +113,25 @@ class TestRuleSelection:
         with pytest.raises(LintError, match="BOGUS"):
             resolve_rules(select=["BOGUS"])
 
+    def test_family_prefix_selects_the_family(self):
+        assert resolve_rules(select=["REP2"]) == REP2_RULES
+        assert resolve_rules(select=["REP1"]) == ALL_RULES[:6]
+        assert resolve_rules(select=["REP"]) == ALL_RULES
+
+    def test_prefix_mixes_with_exact_ids(self):
+        assert resolve_rules(select=["REP103", "REP2"]) == \
+            ["REP103", *REP2_RULES]
+
+    def test_ignore_accepts_a_prefix(self):
+        assert resolve_rules(ignore=["REP2"]) == ALL_RULES[:6]
+        assert resolve_rules(select=["REP2"],
+                             ignore=["REP204"]) == \
+            [r for r in REP2_RULES if r != "REP204"]
+
+    def test_prefix_matching_nothing_is_loud(self):
+        with pytest.raises(LintError, match="REP9"):
+            resolve_rules(select=["REP9"])
+
     def test_ignored_rule_not_run(self, tmp_path):
         pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
         result = run_lint([pkg], ignore=["REP102"],
@@ -151,6 +174,36 @@ class TestReports:
         text = render_text(run_lint([pkg], policy=LintPolicy()))
         assert text.startswith("clean:")
 
+    def test_sarif_schema(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        result = run_lint([pkg], policy=LintPolicy())
+        payload = json.loads(render_sarif(result))
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro lint"
+        assert [r["id"] for r in driver["rules"]] == ALL_RULES
+        assert all(r["shortDescription"]["text"]
+                   for r in driver["rules"])
+        (res,) = run["results"]
+        assert res["ruleId"] == "REP102"
+        assert res["level"] == "error"
+        assert res["message"]["text"]
+        (loc,) = res["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] >= 1
+        uri = loc["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri.endswith("fixturepkg/store.py")
+        assert "\\" not in uri
+
+    def test_sarif_clean_run_has_no_results(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"store.py": CLEAN})
+        payload = json.loads(
+            render_sarif(run_lint([pkg], policy=LintPolicy())))
+        assert payload["runs"][0]["results"] == []
+
 
 # ----------------------------------------------------------------------
 # CLI
@@ -177,6 +230,36 @@ class TestLintCLI:
         pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
         assert main(["lint", str(pkg), "--select", "REP106"]) == 0
         capsys.readouterr()
+
+    def test_select_family_prefix(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        # REP2xx rules see no concurrency in the fixture: clean.
+        assert main(["lint", str(pkg), "--select", "REP2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == REP2_RULES
+
+    def test_select_mixes_prefix_and_exact(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        assert main(["lint", str(pkg), "--select", "REP102,REP2",
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["REP102", *REP2_RULES]
+        assert payload["rule_counts"] == {"REP102": 1}
+
+    def test_format_sarif(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        assert main(["lint", str(pkg), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"][0]["ruleId"] == "REP102"
+
+    def test_format_json_equals_json_flag(self, tmp_path, capsys):
+        pkg = make_pkg(tmp_path, {"store.py": VIOLATING})
+        assert main(["lint", str(pkg), "--format", "json"]) == 1
+        via_format = capsys.readouterr().out
+        assert main(["lint", str(pkg), "--json"]) == 1
+        assert capsys.readouterr().out == via_format
 
     def test_single_file_restricts_findings(self, tmp_path, capsys):
         pkg = make_pkg(tmp_path, {"store.py": VIOLATING,

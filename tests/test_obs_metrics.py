@@ -192,3 +192,18 @@ class TestProcessCurrentRegistry:
         assert registry.counter("c").value == 0.0
         assert registry.gauge("g").value == 0.0
         assert registry.histogram("h").count == 0
+
+    def test_after_fork_reset_replaces_inherited_locks(self):
+        """A forked child inherits module/registry locks in whatever
+        state some parent thread had them; the after-fork hook swaps
+        in fresh ones so the child's first set_registry cannot
+        deadlock."""
+        old_module_lock = metrics._registry_lock
+        old_registry_lock = metrics._registry._lock
+        metrics._reset_locks_after_fork()
+        assert metrics._registry_lock is not old_module_lock
+        assert metrics._registry._lock is not old_registry_lock
+        # The swapped-in locks are immediately usable.
+        with use_registry() as inner:
+            inner.counter("post_fork").inc()
+            assert inner.counter("post_fork").value == 1.0

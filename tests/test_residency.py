@@ -267,6 +267,7 @@ class TestResidentSetManager:
         # adopted instead of leaked.
         assert SEGMENT_PREFIX + "teststale.lck" in removed
         assert torn in removed
+        assert manager.orphans_swept == len(removed) == 2
         assert manager.as_dict()["resident_segments"] == 1
         manager.shutdown()
         assert list_host_segments(include_locks=True) == []

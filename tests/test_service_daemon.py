@@ -139,6 +139,17 @@ class TestEndToEnd:
         assert metrics["cache"]["entries"] == 3
         assert metrics["cache"]["total_bytes"] > 0
 
+    def test_metrics_counters_come_from_locked_totals(self, service):
+        """``metrics()`` reads completed/failed as one pair via
+        ``WorkerSupervisor.totals()`` — never torn between the two
+        counter fields."""
+        service.submit(ENTRIES)
+        drain(service)
+        completed, failed = service.supervisor.totals()
+        metrics = service.metrics()
+        assert metrics["jobs"]["completed"] == completed == 3
+        assert metrics["jobs"]["failed"] == failed == 0
+
 
 class TestCancel:
     def test_cancel_queued_job(self, tmp_path):
